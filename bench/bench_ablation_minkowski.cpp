@@ -1,0 +1,86 @@
+// Ablation 1 (DESIGN.md §6): sensitivity of the dynamic ranking to the
+// Minkowski order p (the paper fixes p=3) and to the number of execution
+// environments K (Eq. 2 averages over K).
+#include <cstdio>
+
+#include "harness.h"
+#include "util/table.h"
+
+using namespace patchecko;
+
+namespace {
+
+struct RankStats {
+  int top1 = 0;
+  int top3 = 0;
+  int found = 0;
+  int total = 0;
+};
+
+RankStats rank_stats(const bench::EvalContext& ctx, double p,
+                     std::size_t max_envs) {
+  PipelineConfig config;
+  config.minkowski_p = p;
+  const Patchecko pipeline(&ctx.model, config);
+  RankStats stats;
+  for (const CveEntry& entry : ctx.database->entries()) {
+    // Truncate the environment set to K = max_envs.
+    CveEntry limited = entry;
+    if (limited.environments.size() > max_envs) {
+      limited.environments.resize(max_envs);
+      auto trim = [&](DynamicProfile& profile) {
+        if (profile.per_env.size() > max_envs)
+          profile.per_env.resize(max_envs);
+      };
+      trim(limited.vulnerable_profile);
+      trim(limited.patched_profile);
+      for (auto& [arch, refs] : limited.arch_refs) {
+        trim(refs.vulnerable_profile);
+        trim(refs.patched_profile);
+      }
+    }
+    const AnalyzedLibrary& target = ctx.analyzed_for(entry, false);
+    const DetectionOutcome outcome =
+        pipeline.detect(limited, target, /*query_is_patched=*/false);
+    ++stats.total;
+    if (outcome.rank_of_target > 0) {
+      ++stats.found;
+      if (outcome.rank_of_target == 1) ++stats.top1;
+      if (outcome.rank_of_target <= 3) ++stats.top3;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const bench::EvalContext& ctx = bench::shared_eval_context();
+  const std::size_t k_full =
+      ctx.database->entries().front().environments.size();
+
+  std::printf("=== Ablation: Minkowski order p (K=%zu environments) ===\n",
+              k_full);
+  TextTable p_table({"p", "top-1", "top-3", "found", "total"});
+  for (double p : {1.0, 2.0, 3.0, 4.0}) {
+    const RankStats stats = rank_stats(ctx, p, k_full);
+    p_table.add_row({fmt_double(p, 0), std::to_string(stats.top1),
+                     std::to_string(stats.top3), std::to_string(stats.found),
+                     std::to_string(stats.total)});
+  }
+  std::printf("%s\n", p_table.render().c_str());
+
+  std::printf("=== Ablation: number of execution environments K (p=3) ===\n");
+  TextTable k_table({"K", "top-1", "top-3", "found", "total"});
+  for (std::size_t k = 1; k <= k_full; ++k) {
+    const RankStats stats = rank_stats(ctx, 3.0, k);
+    k_table.add_row({std::to_string(k), std::to_string(stats.top1),
+                     std::to_string(stats.top3), std::to_string(stats.found),
+                     std::to_string(stats.total)});
+  }
+  std::printf("%s\n", k_table.render().c_str());
+  std::printf(
+      "Shape check: ranking quality is stable in p (the paper's p=3 is not "
+      "load-bearing) and improves/stabilizes with more environments.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Section VI comparison: PATCHECKO's hybrid pipeline vs the prior-work
+// families it claims to outperform —
+//   * static-distance-only matching (scalable but leaves a large candidate
+//     set: the rank of the true function is poor),
+//   * BinDiff-style CFG bipartite matching (better precision, much slower),
+//   * PATCHECKO (DL stage + dynamic pruning: top-3 and fast).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/baseline.h"
+#include "baseline/graph_embedding.h"
+#include "harness.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace patchecko;
+
+int main() {
+  const bench::EvalContext& ctx = bench::shared_eval_context();
+  const Patchecko pipeline(&ctx.model);
+
+  std::printf("training the graph-embedding comparator ([41] analog)...\n");
+  const GraphEmbedTrainingRun gnn =
+      train_graph_embedder(GraphEmbedConfig{}, 24, 16, 0x6411);
+  std::printf("graph-embedding test AUC %.3f (paper cites 0.971 for [41])\n\n",
+              gnn.test_auc);
+
+  std::printf(
+      "=== Related-work comparison: rank of the true function per method "
+      "===\n");
+  TextTable table({"CVE", "Total", "static-only rank", "bindiff rank",
+                   "graph-embed rank", "patchecko rank", "static(s)",
+                   "bindiff(s)", "gnn(s)", "patchecko(s)"});
+
+  double sums[4] = {0, 0, 0, 0};
+  int wins[4] = {0, 0, 0, 0};
+  std::size_t rows = 0;
+  for (const CveEntry& entry : ctx.database->entries()) {
+    const AnalyzedLibrary& target = ctx.analyzed_for(entry, false);
+    const std::size_t n = target.features.size();
+    // Cap the Hungarian-matching baseline's cost on the largest libraries.
+    if (n > 3000) continue;
+
+    auto rank_of_uid = [&](const std::vector<std::size_t>& order) {
+      for (std::size_t r = 0; r < order.size(); ++r)
+        if (target.binary->functions[order[r]].source_uid ==
+            entry.target_uid)
+          return static_cast<int>(r) + 1;
+      return -1;
+    };
+
+    // 1. Static-distance-only.
+    Stopwatch watch;
+    const auto static_ranked =
+        static_distance_ranking(entry.vulnerable_features, target.features);
+    std::vector<std::size_t> static_order;
+    for (const auto& s : static_ranked)
+      static_order.push_back(s.function_index);
+    const int static_rank = rank_of_uid(static_order);
+    const double static_seconds = watch.elapsed_seconds();
+
+    // 2. BinDiff-style graph matching.
+    watch.restart();
+    std::vector<std::pair<std::size_t, double>> bindiff_scores;
+    for (std::size_t f = 0; f < n; ++f)
+      bindiff_scores.emplace_back(
+          f, bindiff_distance(entry.vulnerable_binary,
+                              target.binary->functions[f]));
+    std::stable_sort(bindiff_scores.begin(), bindiff_scores.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second < b.second;
+                     });
+    std::vector<std::size_t> bindiff_order;
+    for (const auto& s : bindiff_scores) bindiff_order.push_back(s.first);
+    const int bindiff_rank = rank_of_uid(bindiff_order);
+    const double bindiff_seconds = watch.elapsed_seconds();
+
+    // 3. Graph-embedding similarity ([41] analog): rank by descending
+    //    cosine to the reference function's embedding.
+    watch.restart();
+    const EmbeddingGraph query_graph =
+        embedding_graph(entry.vulnerable_binary);
+    const auto query_embedding = gnn.model.embed(query_graph);
+    std::vector<std::pair<std::size_t, double>> gnn_scores;
+    for (std::size_t f = 0; f < n; ++f) {
+      const auto candidate =
+          gnn.model.embed(embedding_graph(target.binary->functions[f]));
+      double dot = 0.0, nq = 0.0, nc = 0.0;
+      for (std::size_t d = 0; d < candidate.size(); ++d) {
+        dot += query_embedding[d] * candidate[d];
+        nq += query_embedding[d] * query_embedding[d];
+        nc += candidate[d] * candidate[d];
+      }
+      const double cosine =
+          (nq > 0 && nc > 0) ? dot / std::sqrt(nq * nc) : 0.0;
+      gnn_scores.emplace_back(f, -cosine);  // ascending sort => best first
+    }
+    std::stable_sort(gnn_scores.begin(), gnn_scores.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second < b.second;
+                     });
+    std::vector<std::size_t> gnn_order;
+    for (const auto& s : gnn_scores) gnn_order.push_back(s.first);
+    const int gnn_rank = rank_of_uid(gnn_order);
+    const double gnn_seconds = watch.elapsed_seconds();
+
+    // 4. PATCHECKO hybrid.
+    watch.restart();
+    const DetectionOutcome outcome =
+        pipeline.detect(entry, target, /*query_is_patched=*/false);
+    const double patchecko_seconds = watch.elapsed_seconds();
+
+    table.add_row({entry.spec.cve_id, std::to_string(n),
+                   static_rank > 0 ? std::to_string(static_rank) : "N/A",
+                   bindiff_rank > 0 ? std::to_string(bindiff_rank) : "N/A",
+                   gnn_rank > 0 ? std::to_string(gnn_rank) : "N/A",
+                   outcome.rank_of_target > 0
+                       ? std::to_string(outcome.rank_of_target)
+                       : "N/A",
+                   fmt_double(static_seconds, 3),
+                   fmt_double(bindiff_seconds, 3),
+                   fmt_double(gnn_seconds, 3),
+                   fmt_double(patchecko_seconds, 3)});
+    sums[0] += static_seconds;
+    sums[1] += bindiff_seconds;
+    sums[2] += gnn_seconds;
+    sums[3] += patchecko_seconds;
+    if (static_rank == 1) ++wins[0];
+    if (bindiff_rank == 1) ++wins[1];
+    if (gnn_rank == 1) ++wins[2];
+    if (outcome.rank_of_target == 1) ++wins[3];
+    ++rows;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nrank-1 hits: static-only %d, bindiff %d, graph-embed %d, "
+      "patchecko %d (of %zu)\n",
+      wins[0], wins[1], wins[2], wins[3], rows);
+  std::printf(
+      "total time : static %.2fs, bindiff %.2fs, gnn %.2fs, patchecko "
+      "%.2fs\n",
+      sums[0], sums[1], sums[2], sums[3]);
+  std::printf(
+      "\nShape check (paper, Section VI): pure static similarity leaves a "
+      "large candidate set to triage; graph matching is accurate but does "
+      "not scale; the hybrid pipeline is both accurate (top-3) and fast.\n");
+  return 0;
+}

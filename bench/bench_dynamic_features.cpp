@@ -1,0 +1,101 @@
+// Table II companion + microbenchmarks: instrumented execution cost of the
+// dynamic-analysis engine (the GDB/gdbserver tracing analog): raw VM
+// throughput, feature-collection overhead, and end-to-end candidate
+// profiling.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "fuzz/fuzzer.h"
+#include "similarity/similarity.h"
+#include "source/generator.h"
+#include "util/table.h"
+#include "vm/machine.h"
+
+using namespace patchecko;
+
+namespace {
+
+struct Fixture {
+  LibraryBinary library;
+  std::vector<CallEnv> environments;
+};
+
+const Fixture& fixture() {
+  static const Fixture fx = [] {
+    Fixture out;
+    const SourceLibrary source = generate_library("dynlib", 0xD1A, 64);
+    out.library = compile_library(source, Arch::arm32, OptLevel::O2, 1);
+    Rng rng(0xF077);
+    FuzzConfig config;
+    out.environments =
+        generate_environments(out.library, 3, rng, config);
+    return out;
+  }();
+  return fx;
+}
+
+void BM_ExecuteInstrumented(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  const Machine machine(fx.library);
+  std::size_t f = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.run(f, fx.environments.front()));
+    f = (f + 1) % fx.library.functions.size();
+  }
+}
+BENCHMARK(BM_ExecuteInstrumented);
+
+void BM_ExecuteUninstrumented(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  MachineConfig config;
+  config.collect_features = false;
+  const Machine machine(fx.library, config);
+  std::size_t f = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.run(f, fx.environments.front()));
+    f = (f + 1) % fx.library.functions.size();
+  }
+}
+BENCHMARK(BM_ExecuteUninstrumented);
+
+void BM_ProfileFunction(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  const Machine machine(fx.library);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        profile_function(machine, 3, fx.environments));
+}
+BENCHMARK(BM_ProfileFunction);
+
+void BM_ProfileDistance(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  const Machine machine(fx.library);
+  const DynamicProfile a = profile_function(machine, 3, fx.environments);
+  const DynamicProfile b = profile_function(machine, 5, fx.environments);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(profile_distance(a, b, 3.0));
+}
+BENCHMARK(BM_ProfileDistance);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Fixture& fx = fixture();
+  const Machine machine(fx.library);
+  const RunResult result = machine.run(3, fx.environments.front());
+
+  std::printf("=== Table II: the 21 dynamic features ===\n");
+  TextTable table({"#", "Feature", "Example value (fn_3, env_0)"});
+  const auto values = result.features.to_array();
+  for (std::size_t i = 0; i < DynamicFeatures::count; ++i)
+    table.add_row({std::to_string(i + 1),
+                   std::string(DynamicFeatures::name(i)),
+                   fmt_double(values[i], 2)});
+  std::printf("%s\n", table.render().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

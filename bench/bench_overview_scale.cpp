@@ -1,0 +1,57 @@
+// Section II-A reproduction: the scale of whole-firmware analysis (library
+// and function counts per image) and the throughput of the static stage that
+// makes scanning them tractable — plus the number of candidate functions a
+// purely static approach leaves for manual triage.
+#include <cstdio>
+
+#include "harness.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace patchecko;
+
+int main() {
+  const bench::EvalContext& ctx = bench::shared_eval_context();
+
+  std::printf("=== Section II-A: whole-firmware scale ===\n");
+  TextTable scale({"Image", "Libraries", "Functions"});
+  std::size_t things_fns = 0, pixel_fns = 0;
+  for (const auto& lib : ctx.things_libraries) things_fns += lib.function_count();
+  for (const auto& lib : ctx.pixel_libraries) pixel_fns += lib.function_count();
+  scale.add_row({ctx.things.name, std::to_string(ctx.things_libraries.size()),
+                 std::to_string(things_fns)});
+  scale.add_row({ctx.pixel.name, std::to_string(ctx.pixel_libraries.size()),
+                 std::to_string(pixel_fns)});
+  scale.add_row({"(paper) Android Things 1.0", "379", "440532"});
+  scale.add_row({"(paper) iOS 12.0.1", "198", "93714"});
+  std::printf("%s\n", scale.render().c_str());
+
+  // Static-stage throughput: feature extraction + model scoring per function.
+  const CveEntry& entry = ctx.database->entries().front();
+  const LibraryBinary& lib = ctx.things_libraries[entry.library_index];
+  Stopwatch watch;
+  const AnalyzedLibrary analyzed = analyze_library(lib);
+  const double extract_seconds = watch.elapsed_seconds();
+
+  watch.restart();
+  std::size_t hits = 0;
+  for (const auto& features : analyzed.features)
+    if (ctx.model.score(entry.vulnerable_features, features) >= 0.5f) ++hits;
+  const double score_seconds = watch.elapsed_seconds();
+
+  std::printf("Static stage throughput on %s (%zu functions):\n",
+              lib.name.c_str(), lib.function_count());
+  std::printf("  feature extraction : %.3fs (%.0f functions/s)\n",
+              extract_seconds,
+              static_cast<double>(lib.function_count()) / extract_seconds);
+  std::printf("  DL pair scoring    : %.3fs (%.0f pairs/s), %zu hits\n",
+              score_seconds,
+              static_cast<double>(lib.function_count()) / score_seconds,
+              hits);
+  std::printf(
+      "\nWhy the hybrid design: scanning a full image statically is cheap, "
+      "but the static stage alone leaves hundreds of candidates per CVE "
+      "(paper: 600+ for a 3000-function binary); the dynamic stage exists "
+      "to prune them automatically.\n");
+  return 0;
+}

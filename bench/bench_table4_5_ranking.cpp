@@ -1,0 +1,61 @@
+// Tables IV and V reproduction: top-10 candidate ranking by dynamic
+// similarity for CVE-2018-9412 on Android Things, queried with the
+// vulnerable reference (Table IV) and the patched reference (Table V),
+// with ground-truth symbol names shown for verification.
+#include <cstdio>
+
+#include "harness.h"
+#include "util/table.h"
+
+using namespace patchecko;
+
+namespace {
+
+void run_ranking(const bench::EvalContext& ctx, const CveEntry& entry,
+                 bool query_is_patched) {
+  const Patchecko pipeline(&ctx.model);
+  const AnalyzedLibrary& target = ctx.analyzed_for(entry, false);
+  const DetectionOutcome outcome =
+      pipeline.detect(entry, target, query_is_patched);
+
+  TextTable table({"Candidate", "Sim", "Ground truth"});
+  std::size_t shown = 0;
+  for (const RankedCandidate& ranked : outcome.ranking) {
+    if (shown++ >= 10) break;
+    const bool is_target =
+        target.binary->functions[ranked.function_index].source_uid ==
+        entry.target_uid;
+    std::string name = ctx.corpus->function_name(entry.library_index,
+                                                 ranked.function_index);
+    if (is_target) name += "   <-- target";
+    table.add_row({"candidate_" + std::to_string(ranked.function_index),
+                   fmt_double(ranked.distance, 1), name});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("(target rank: %d; %zu candidates executed)\n\n",
+              outcome.rank_of_target, outcome.executed);
+}
+
+}  // namespace
+
+int main() {
+  const bench::EvalContext& ctx = bench::shared_eval_context();
+  const CveEntry& entry = ctx.database->by_id("CVE-2018-9412");
+
+  std::printf(
+      "=== Table IV: function similarity for CVE-2018-9412, vulnerable "
+      "query (top 10) ===\n");
+  run_ranking(ctx, entry, /*query_is_patched=*/false);
+
+  std::printf(
+      "=== Table V: function similarity for CVE-2018-9412, patched query "
+      "(top 10) ===\n");
+  run_ranking(ctx, entry, /*query_is_patched=*/true);
+
+  std::printf(
+      "Shape check (paper): with the vulnerable query the target tops the "
+      "list with a clear gap to rank 2; with the patched query it lands in "
+      "the top 2 but without a decisive margin — the unpatched target is "
+      "*near* the patched reference but not identical.\n");
+  return 0;
+}

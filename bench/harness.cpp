@@ -1,0 +1,90 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+namespace patchecko::bench {
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+std::string env_string(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : fallback;
+}
+
+}  // namespace
+
+HarnessConfig harness_config() {
+  HarnessConfig config;
+  config.eval.scale = env_double("PATCHECKO_SCALE", 1.0);
+  config.trainer.epochs = static_cast<std::size_t>(
+      env_double("PATCHECKO_EPOCHS", 12));
+  config.trainer.verbose = false;
+  config.cache_dir = env_string("PATCHECKO_CACHE", "/tmp/patchecko_cache");
+  std::filesystem::create_directories(config.cache_dir);
+  return config;
+}
+
+const SimilarityModel& shared_model() {
+  static SimilarityModel model = [] {
+    const HarnessConfig config = harness_config();
+    std::ostringstream path;
+    // v-tag invalidates cached models when the corpus generator evolves.
+    path << config.cache_dir << "/model_v4_e" << config.trainer.epochs << "_s"
+         << config.trainer.dataset.seed << "_l"
+         << config.trainer.dataset.library_count << ".bin";
+    std::fprintf(stderr, "[harness] similarity model: %s\n",
+                 path.str().c_str());
+    return load_or_train_model(path.str(), config.trainer);
+  }();
+  return model;
+}
+
+const AnalyzedLibrary& EvalContext::analyzed_for(const CveEntry& entry,
+                                                 bool pixel_device) const {
+  return pixel_device ? pixel_analyzed[entry.library_index]
+                      : things_analyzed[entry.library_index];
+}
+
+const EvalContext& shared_eval_context() {
+  static EvalContext context = [] {
+    EvalContext ctx;
+    ctx.config = harness_config();
+    ctx.model = shared_model();
+    std::fprintf(stderr,
+                 "[harness] building evaluation corpus (scale=%.3f)...\n",
+                 ctx.config.eval.scale);
+    ctx.corpus = std::make_unique<EvalCorpus>(ctx.config.eval);
+    std::fprintf(stderr, "[harness] building vulnerability database...\n");
+    ctx.database =
+        std::make_unique<CveDatabase>(*ctx.corpus, ctx.config.database);
+    ctx.things = android_things_device();
+    ctx.pixel = pixel2xl_device();
+
+    const std::size_t libs = ctx.corpus->library_specs().size();
+    std::fprintf(stderr, "[harness] compiling device firmware images...\n");
+    for (std::size_t i = 0; i < libs; ++i) {
+      ctx.things_libraries.push_back(
+          ctx.corpus->compile_for_device(i, ctx.things));
+      ctx.pixel_libraries.push_back(
+          ctx.corpus->compile_for_device(i, ctx.pixel));
+    }
+    for (std::size_t i = 0; i < libs; ++i) {
+      ctx.things_analyzed.push_back(
+          analyze_library(ctx.things_libraries[i]));
+      ctx.pixel_analyzed.push_back(analyze_library(ctx.pixel_libraries[i]));
+    }
+    std::fprintf(stderr, "[harness] ready.\n");
+    return ctx;
+  }();
+  return context;
+}
+
+}  // namespace patchecko::bench

@@ -1,0 +1,57 @@
+// Shared benchmark harness: one trained model and one evaluation universe
+// per process, with disk caching so the bench suite doesn't retrain the
+// network for every table.
+//
+// Environment knobs (all optional):
+//   PATCHECKO_SCALE   — evaluation-library scale factor (default 1.0 = the
+//                       paper's function counts; use 0.05 for a fast pass)
+//   PATCHECKO_EPOCHS  — training epochs (default 12)
+//   PATCHECKO_CACHE   — cache directory (default /tmp/patchecko_cache)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cve_database.h"
+#include "core/pipeline.h"
+#include "dl/trainer.h"
+#include "firmware/firmware.h"
+
+namespace patchecko::bench {
+
+struct HarnessConfig {
+  TrainerConfig trainer;
+  EvalConfig eval;
+  DatabaseConfig database;
+  PipelineConfig pipeline;
+  std::string cache_dir;
+};
+
+/// Defaults + environment overrides.
+HarnessConfig harness_config();
+
+/// Trains (or loads from cache) the similarity model.
+const SimilarityModel& shared_model();
+
+/// The full evaluation universe: corpus, CVE database, both device
+/// firmwares' analyzed libraries, and the pipeline. Built once per process.
+struct EvalContext {
+  HarnessConfig config;
+  SimilarityModel model;
+  std::unique_ptr<EvalCorpus> corpus;
+  std::unique_ptr<CveDatabase> database;
+  DeviceSpec things;
+  DeviceSpec pixel;
+  // Compiled + analyzed libraries per device, indexed like corpus libraries.
+  std::vector<LibraryBinary> things_libraries;
+  std::vector<AnalyzedLibrary> things_analyzed;
+  std::vector<LibraryBinary> pixel_libraries;
+  std::vector<AnalyzedLibrary> pixel_analyzed;
+
+  const AnalyzedLibrary& analyzed_for(const CveEntry& entry,
+                                      bool pixel_device) const;
+};
+
+const EvalContext& shared_eval_context();
+
+}  // namespace patchecko::bench

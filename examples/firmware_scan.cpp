@@ -1,0 +1,74 @@
+// Whole-firmware vulnerability scan: run all 25 database CVEs against every
+// library of a device image and print the findings — the workflow a
+// penetration tester would run against a vendor OTA payload.
+//
+// PATCHECKO_SCALE (default 0.1) shrinks the paper-sized libraries.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.h"
+#include "dl/trainer.h"
+#include "util/timer.h"
+
+using namespace patchecko;
+
+int main(int argc, char** argv) {
+  const char* scale_env = std::getenv("PATCHECKO_SCALE");
+  EvalConfig eval;
+  eval.scale = scale_env != nullptr ? std::atof(scale_env) : 0.1;
+  const bool pixel = argc > 1 && std::string_view(argv[1]) == "--pixel";
+
+  std::printf("training model...\n");
+  TrainerConfig trainer;
+  trainer.dataset.library_count = 30;
+  trainer.dataset.functions_per_library = 20;
+  trainer.epochs = 10;
+  const TrainingRun run = train_similarity_model(trainer);
+
+  std::printf("building corpus + database (scale %.2f)...\n", eval.scale);
+  const EvalCorpus corpus(eval);
+  const CveDatabase database(corpus, DatabaseConfig{});
+  const DeviceSpec device =
+      pixel ? pixel2xl_device() : android_things_device();
+
+  std::printf("scanning firmware image of \"%s\" (%s patch level)...\n\n",
+              device.name.c_str(), device.patch_level.c_str());
+
+  const Patchecko pipeline(&run.model);
+  Stopwatch total;
+  int vulnerable = 0, patched = 0, unmatched = 0;
+  std::size_t current_lib = static_cast<std::size_t>(-1);
+  LibraryBinary library;
+  AnalyzedLibrary analyzed;
+
+  for (const CveEntry& entry : database.entries()) {
+    if (entry.library_index != current_lib) {
+      current_lib = entry.library_index;
+      library = corpus.compile_for_device(current_lib, device);
+      analyzed = analyze_library(library);
+    }
+    const PatchReport report = pipeline.full_report(entry, analyzed);
+    if (!report.decision) {
+      std::printf("  %-16s %-18s -> no match\n", entry.spec.cve_id.c_str(),
+                  library.name.c_str());
+      ++unmatched;
+      continue;
+    }
+    const bool is_patched =
+        report.decision->verdict == PatchVerdict::patched;
+    std::printf("  %-16s %-18s -> %s (matched function #%zu)\n",
+                entry.spec.cve_id.c_str(), library.name.c_str(),
+                is_patched ? "patched" : "VULNERABLE",
+                *report.matched_function);
+    if (is_patched)
+      ++patched;
+    else
+      ++vulnerable;
+  }
+
+  std::printf(
+      "\nscan finished in %.1fs: %d still vulnerable, %d patched, %d "
+      "unmatched\n",
+      total.elapsed_seconds(), vulnerable, patched, unmatched);
+  return 0;
+}

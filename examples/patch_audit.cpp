@@ -1,0 +1,79 @@
+// Hidden-patch-gap audit (the paper's motivating scenario): vendors claim a
+// security-patch level, but do the binaries actually contain the patches?
+// This audit compares each device's *claimed* patch status against what
+// PATCHECKO finds in the shipped binaries — and plants two deliberate gaps
+// (CVEs the vendor claims patched while shipping the vulnerable build).
+// PATCHECKO exposes the CVE-2018-9412 gap; the CVE-2018-9470 gap survives
+// the audit because its one-integer patch is the differential engine's
+// documented blind spot (paper Table VIII).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "dl/trainer.h"
+
+using namespace patchecko;
+
+int main() {
+  std::printf("training model...\n");
+  TrainerConfig trainer;
+  trainer.dataset.library_count = 30;
+  trainer.dataset.functions_per_library = 20;
+  trainer.epochs = 10;
+  const TrainingRun run = train_similarity_model(trainer);
+
+  EvalConfig eval;
+  eval.scale = 0.05;
+  const EvalCorpus corpus(eval);
+  const CveDatabase database(corpus, DatabaseConfig{});
+  const Patchecko pipeline(&run.model);
+
+  DeviceSpec device = android_things_device();
+  // The vendor's *claim*: everything at the 2018-05 level plus two more
+  // CVEs they report as fixed in their changelog...
+  std::vector<std::string> claimed = device.patched_cves;
+  claimed.push_back("CVE-2018-9412");   // claimed, NOT actually shipped
+  claimed.push_back("CVE-2018-9470");   // claimed, NOT actually shipped
+
+  std::printf(
+      "\nauditing \"%s\" — vendor changelog claims %zu CVEs patched\n\n",
+      device.name.c_str(), claimed.size());
+  std::printf("  %-16s %-10s %-12s %s\n", "CVE", "claimed", "measured",
+              "assessment");
+
+  int hidden_gaps = 0, confirmed = 0;
+  std::size_t current_lib = static_cast<std::size_t>(-1);
+  LibraryBinary library;
+  AnalyzedLibrary analyzed;
+  for (const CveEntry& entry : database.entries()) {
+    const bool vendor_claims =
+        std::find(claimed.begin(), claimed.end(), entry.spec.cve_id) !=
+        claimed.end();
+    if (!vendor_claims) continue;  // audit only claimed fixes
+
+    if (entry.library_index != current_lib) {
+      current_lib = entry.library_index;
+      library = corpus.compile_for_device(current_lib, device);
+      analyzed = analyze_library(library);
+    }
+    const PatchReport report = pipeline.full_report(entry, analyzed);
+    const bool measured_patched =
+        report.decision &&
+        report.decision->verdict == PatchVerdict::patched;
+    const bool gap = vendor_claims && !measured_patched;
+    std::printf("  %-16s %-10s %-12s %s\n", entry.spec.cve_id.c_str(),
+                "patched", measured_patched ? "patched" : "vulnerable",
+                gap ? "HIDDEN PATCH GAP" : "confirmed");
+    hidden_gaps += gap ? 1 : 0;
+    confirmed += gap ? 0 : 1;
+  }
+
+  std::printf(
+      "\naudit result: %d claims confirmed, %d hidden patch gaps found\n",
+      confirmed, hidden_gaps);
+  std::printf(
+      "(the paper: 80.4%% of vendor firmware ships with known-vulnerable "
+      "third-party code, and vendors at times report patches they never "
+      "shipped)\n");
+  return 0;
+}

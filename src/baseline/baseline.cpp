@@ -1,0 +1,102 @@
+#include "baseline/baseline.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "binary/cfg.h"
+#include "graph/matching.h"
+#include "util/stats.h"
+
+namespace patchecko {
+
+namespace {
+
+// Per-basic-block descriptor used for the assignment cost.
+struct BlockVector {
+  std::array<double, 6> v{};
+};
+
+std::vector<BlockVector> block_vectors(const FunctionBinary& fn,
+                                       const Cfg& cfg) {
+  std::vector<BlockVector> out;
+  const auto in_degrees = cfg.graph.in_degrees();
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const BasicBlock& block = cfg.blocks[b];
+    BlockVector bv;
+    double arith = 0, calls = 0, mem = 0;
+    for (std::size_t i = block.first; i <= block.last; ++i) {
+      const Opcode op = fn.code[i].op;
+      if (is_arith(op)) ++arith;
+      if (is_call(op) || op == Opcode::libcall || op == Opcode::syscall)
+        ++calls;
+      if (is_load(op) || is_store(op)) ++mem;
+    }
+    bv.v = {static_cast<double>(block.instruction_count()),
+            arith,
+            calls,
+            mem,
+            static_cast<double>(cfg.graph.successors(b).size()),
+            static_cast<double>(in_degrees[b])};
+    out.push_back(bv);
+  }
+  return out;
+}
+
+double block_cost(const BlockVector& a, const BlockVector& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.v.size(); ++i)
+    d += std::abs(std::log1p(a.v[i]) - std::log1p(b.v[i]));
+  return d;
+}
+
+}  // namespace
+
+double bindiff_distance(const FunctionBinary& a, const FunctionBinary& b) {
+  const Cfg cfg_a = build_cfg(a);
+  const Cfg cfg_b = build_cfg(b);
+  const auto blocks_a = block_vectors(a, cfg_a);
+  const auto blocks_b = block_vectors(b, cfg_b);
+  if (blocks_a.empty() || blocks_b.empty())
+    return blocks_a.size() == blocks_b.size() ? 0.0 : 1e9;
+
+  std::vector<std::vector<double>> cost(blocks_a.size());
+  for (std::size_t r = 0; r < blocks_a.size(); ++r) {
+    cost[r].resize(blocks_b.size());
+    for (std::size_t c = 0; c < blocks_b.size(); ++c)
+      cost[r][c] = block_cost(blocks_a[r], blocks_b[c]);
+  }
+  const AssignmentResult assignment = solve_assignment(cost);
+  // Unmatched blocks (size mismatch) are charged their own mass.
+  const double size_penalty = std::abs(
+      static_cast<double>(blocks_a.size()) -
+      static_cast<double>(blocks_b.size()));
+  const double denom =
+      static_cast<double>(std::max(blocks_a.size(), blocks_b.size()));
+  return (assignment.total_cost + size_penalty) / denom;
+}
+
+std::vector<StaticRanked> static_distance_ranking(
+    const StaticFeatureVector& query,
+    const std::vector<StaticFeatureVector>& functions) {
+  std::vector<StaticRanked> out;
+  out.reserve(functions.size());
+  StaticFeatureVector lq{};
+  for (std::size_t i = 0; i < static_feature_count; ++i)
+    lq[i] = signed_log1p(query[i]);
+  for (std::size_t f = 0; f < functions.size(); ++f) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < static_feature_count; ++i) {
+      const double diff = signed_log1p(functions[f][i]) - lq[i];
+      d += diff * diff;
+    }
+    out.push_back({f, std::sqrt(d)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StaticRanked& x, const StaticRanked& y) {
+                     return x.distance < y.distance;
+                   });
+  return out;
+}
+
+}  // namespace patchecko

@@ -1,0 +1,35 @@
+// State-of-the-art baselines (Section VI comparison).
+//
+// 1. BinDiff-style graph matching: basic blocks of two functions are matched
+//    via minimum-cost bipartite assignment over block-level feature vectors;
+//    the normalized assignment cost is the dissimilarity. This reproduces
+//    the structure-matching family of prior work ([44], [16], [17]).
+// 2. Static-only detector: rank target functions by plain (normalized)
+//    feature distance to the query, no neural network and no dynamic stage —
+//    the scalability-first approach the paper argues leaves hundreds of
+//    candidates to triage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "binary/binary.h"
+#include "features/static_features.h"
+
+namespace patchecko {
+
+/// Dissimilarity in [0, +inf): 0 = structurally identical block sets.
+double bindiff_distance(const FunctionBinary& a, const FunctionBinary& b);
+
+struct StaticRanked {
+  std::size_t function_index = 0;
+  double distance = 0.0;
+};
+
+/// Ranks every target function by Euclidean distance between
+/// log1p-compressed feature vectors (closest first).
+std::vector<StaticRanked> static_distance_ranking(
+    const StaticFeatureVector& query,
+    const std::vector<StaticFeatureVector>& functions);
+
+}  // namespace patchecko

@@ -1,0 +1,320 @@
+#include "baseline/graph_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "binary/cfg.h"
+#include "compiler/compiler.h"
+#include "dl/network.h"  // auc_score
+#include "source/generator.h"
+
+namespace patchecko {
+
+EmbeddingGraph embedding_graph(const FunctionBinary& function) {
+  const Cfg cfg = build_cfg(function);
+  EmbeddingGraph graph;
+  graph.node_features.resize(cfg.block_count());
+  graph.successors.resize(cfg.block_count());
+  const auto in_degrees = cfg.graph.in_degrees();
+  for (std::size_t b = 0; b < cfg.block_count(); ++b) {
+    const BasicBlock& block = cfg.blocks[b];
+    double arith = 0, calls = 0, mem = 0, branches = 0, constants = 0;
+    for (std::size_t i = block.first; i <= block.last; ++i) {
+      const Opcode op = function.code[i].op;
+      if (is_arith(op)) ++arith;
+      if (is_call(op) || op == Opcode::libcall || op == Opcode::syscall)
+        ++calls;
+      if (is_load(op) || is_store(op)) ++mem;
+      if (is_branch(op)) ++branches;
+      if (op == Opcode::ldi) ++constants;
+    }
+    auto& x = graph.node_features[b];
+    x = {std::log1p(static_cast<double>(block.instruction_count())),
+         std::log1p(arith),
+         std::log1p(calls),
+         std::log1p(mem),
+         std::log1p(branches),
+         std::log1p(static_cast<double>(cfg.graph.successors(b).size())),
+         std::log1p(static_cast<double>(in_degrees[b])),
+         std::log1p(constants)};
+    graph.successors[b] = cfg.graph.successors(b);
+  }
+  return graph;
+}
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+struct GraphEmbedder::Forward {
+  // mu[t][v * dim + d]: node embeddings after t rounds (mu[0] == 0).
+  std::vector<std::vector<double>> mu;
+  // s[t][v * dim + d]: neighbour sums feeding round t (t in [1, T]).
+  std::vector<std::vector<double>> s;
+  std::vector<double> graph_sum;  // sum_v mu_v^T
+  std::vector<double> embedding;  // W3 * graph_sum
+};
+
+GraphEmbedder::GraphEmbedder(const GraphEmbedConfig& config,
+                             std::uint64_t seed)
+    : config_(config) {
+  Rng rng(seed);
+  const std::size_t dim = config_.embedding_dim;
+  const double scale1 = std::sqrt(1.0 / block_feature_count);
+  const double scale2 = std::sqrt(1.0 / static_cast<double>(dim));
+  w1_.resize(dim * block_feature_count);
+  w2_.resize(dim * dim);
+  w3_.resize(dim * dim);
+  for (double& w : w1_) w = rng.gaussian(0.0, scale1);
+  for (double& w : w2_) w = rng.gaussian(0.0, scale2 * 0.5);
+  for (double& w : w3_) w = rng.gaussian(0.0, scale2);
+}
+
+GraphEmbedder::Forward GraphEmbedder::forward(
+    const EmbeddingGraph& graph) const {
+  const std::size_t dim = config_.embedding_dim;
+  const std::size_t n = graph.node_count();
+  Forward cache;
+  cache.mu.assign(static_cast<std::size_t>(config_.iterations) + 1,
+                  std::vector<double>(n * dim, 0.0));
+  cache.s.assign(static_cast<std::size_t>(config_.iterations) + 1,
+                 std::vector<double>(n * dim, 0.0));
+
+  for (int t = 1; t <= config_.iterations; ++t) {
+    const auto& prev = cache.mu[static_cast<std::size_t>(t) - 1];
+    auto& s = cache.s[static_cast<std::size_t>(t)];
+    auto& mu = cache.mu[static_cast<std::size_t>(t)];
+    for (std::size_t v = 0; v < n; ++v) {
+      for (std::size_t u : graph.successors[v])
+        for (std::size_t d = 0; d < dim; ++d)
+          s[v * dim + d] += prev[u * dim + d];
+      for (std::size_t d = 0; d < dim; ++d) {
+        double pre = 0.0;
+        for (std::size_t f = 0; f < block_feature_count; ++f)
+          pre += w1_[d * block_feature_count + f] * graph.node_features[v][f];
+        for (std::size_t k = 0; k < dim; ++k)
+          pre += w2_[d * dim + k] * s[v * dim + k];
+        mu[v * dim + d] = std::tanh(pre);
+      }
+    }
+  }
+
+  cache.graph_sum.assign(dim, 0.0);
+  const auto& last = cache.mu[static_cast<std::size_t>(config_.iterations)];
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t d = 0; d < dim; ++d)
+      cache.graph_sum[d] += last[v * dim + d];
+
+  cache.embedding.assign(dim, 0.0);
+  for (std::size_t d = 0; d < dim; ++d)
+    for (std::size_t k = 0; k < dim; ++k)
+      cache.embedding[d] += w3_[d * dim + k] * cache.graph_sum[k];
+  return cache;
+}
+
+std::vector<double> GraphEmbedder::embed(const EmbeddingGraph& graph) const {
+  return forward(graph).embedding;
+}
+
+double GraphEmbedder::similarity(const EmbeddingGraph& a,
+                                 const EmbeddingGraph& b) const {
+  const std::vector<double> ea = embed(a);
+  const std::vector<double> eb = embed(b);
+  const double na = norm(ea), nb = norm(eb);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(ea, eb) / (na * nb);
+}
+
+void GraphEmbedder::backward(const EmbeddingGraph& graph,
+                             const Forward& cache,
+                             const std::vector<double>& grad_embedding) {
+  const std::size_t dim = config_.embedding_dim;
+  const std::size_t n = graph.node_count();
+  const double lr = config_.learning_rate;
+
+  // Gradients accumulate locally, applied at the end (plain SGD).
+  std::vector<double> gw1(w1_.size(), 0.0), gw2(w2_.size(), 0.0),
+      gw3(w3_.size(), 0.0);
+
+  // e = W3 g  =>  dW3 = de (x) g,  dg = W3^T de.
+  std::vector<double> grad_sum(dim, 0.0);
+  for (std::size_t d = 0; d < dim; ++d)
+    for (std::size_t k = 0; k < dim; ++k) {
+      gw3[d * dim + k] += grad_embedding[d] * cache.graph_sum[k];
+      grad_sum[k] += w3_[d * dim + k] * grad_embedding[d];
+    }
+
+  // d mu_v^T = dg for every node.
+  std::vector<double> grad_mu(n * dim);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t d = 0; d < dim; ++d)
+      grad_mu[v * dim + d] = grad_sum[d];
+
+  for (int t = config_.iterations; t >= 1; --t) {
+    const auto& mu = cache.mu[static_cast<std::size_t>(t)];
+    const auto& s = cache.s[static_cast<std::size_t>(t)];
+    std::vector<double> grad_prev(n * dim, 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      // d pre = d mu * (1 - mu^2)
+      std::vector<double> grad_pre(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double m = mu[v * dim + d];
+        grad_pre[d] = grad_mu[v * dim + d] * (1.0 - m * m);
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        for (std::size_t f = 0; f < block_feature_count; ++f)
+          gw1[d * block_feature_count + f] +=
+              grad_pre[d] * graph.node_features[v][f];
+        for (std::size_t k = 0; k < dim; ++k)
+          gw2[d * dim + k] += grad_pre[d] * s[v * dim + k];
+      }
+      // ds = W2^T d pre; ds flows to predecessors' mu^{t-1}.
+      std::vector<double> grad_s(dim, 0.0);
+      for (std::size_t d = 0; d < dim; ++d)
+        for (std::size_t k = 0; k < dim; ++k)
+          grad_s[k] += w2_[d * dim + k] * grad_pre[d];
+      for (std::size_t u : graph.successors[v])
+        for (std::size_t d = 0; d < dim; ++d)
+          grad_prev[u * dim + d] += grad_s[d];
+    }
+    grad_mu = std::move(grad_prev);
+  }
+
+  for (std::size_t i = 0; i < w1_.size(); ++i) w1_[i] -= lr * gw1[i];
+  for (std::size_t i = 0; i < w2_.size(); ++i) w2_[i] -= lr * gw2[i];
+  for (std::size_t i = 0; i < w3_.size(); ++i) w3_[i] -= lr * gw3[i];
+}
+
+double GraphEmbedder::train_pair(const EmbeddingGraph& a,
+                                 const EmbeddingGraph& b, bool same_source) {
+  const Forward fa = forward(a);
+  const Forward fb = forward(b);
+  const double na = norm(fa.embedding), nb = norm(fb.embedding);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  const double cosine = dot(fa.embedding, fb.embedding) / (na * nb);
+
+  double loss, dcos;
+  if (same_source) {
+    loss = 1.0 - cosine;
+    dcos = -1.0;
+  } else {
+    loss = std::max(0.0, cosine - config_.margin);
+    dcos = loss > 0.0 ? 1.0 : 0.0;
+  }
+  if (dcos == 0.0) return loss;
+
+  const std::size_t dim = config_.embedding_dim;
+  std::vector<double> grad_a(dim), grad_b(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    grad_a[d] = dcos * (fb.embedding[d] / (na * nb) -
+                        cosine * fa.embedding[d] / (na * na));
+    grad_b[d] = dcos * (fa.embedding[d] / (na * nb) -
+                        cosine * fb.embedding[d] / (nb * nb));
+  }
+  backward(a, fa, grad_a);
+  backward(b, fb, grad_b);
+  return loss;
+}
+
+GraphEmbedTrainingRun train_graph_embedder(
+    const GraphEmbedConfig& config, std::size_t library_count,
+    std::size_t functions_per_library, std::uint64_t seed) {
+  GraphEmbedTrainingRun run;
+  run.model = GraphEmbedder(config, seed);
+  Rng rng(seed ^ 0x6E4B);
+
+  // Variant graphs per source function: two arches x two opt levels keeps
+  // the corpus cheap while retaining the cross-platform premise.
+  struct FnGraphs {
+    std::vector<EmbeddingGraph> variants;
+  };
+  std::vector<FnGraphs> corpus;
+  for (std::size_t lib = 0; lib < library_count; ++lib) {
+    const SourceLibrary source = generate_library(
+        "gnn_" + std::to_string(lib), rng.fork(lib + 1)(),
+        functions_per_library);
+    const std::size_t first = corpus.size();
+    corpus.resize(corpus.size() + source.functions.size());
+    for (Arch arch : {Arch::amd64, Arch::arm32}) {
+      for (OptLevel opt : {OptLevel::O1, OptLevel::O2}) {
+        const LibraryBinary binary = compile_library(source, arch, opt);
+        for (std::size_t f = 0; f < binary.functions.size(); ++f)
+          corpus[first + f].variants.push_back(
+              embedding_graph(binary.functions[f]));
+      }
+    }
+  }
+
+  // Pairs, split by function 80/20.
+  std::vector<std::size_t> order(corpus.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  const std::size_t train_end = order.size() * 8 / 10;
+
+  auto make_pairs = [&](std::size_t begin, std::size_t end) {
+    std::vector<GraphPair> pairs;
+    for (std::size_t k = begin; k < end; ++k) {
+      const FnGraphs& fn = corpus[order[k]];
+      if (fn.variants.size() < 2) continue;
+      for (int p = 0; p < 2; ++p) {
+        GraphPair positive;
+        positive.a = fn.variants[static_cast<std::size_t>(rng.uniform(
+            0, static_cast<std::int64_t>(fn.variants.size()) - 1))];
+        positive.b = fn.variants[static_cast<std::size_t>(rng.uniform(
+            0, static_cast<std::int64_t>(fn.variants.size()) - 1))];
+        positive.same_source = true;
+        pairs.push_back(std::move(positive));
+
+        const std::size_t other =
+            order[begin + static_cast<std::size_t>(rng.uniform(
+                      0, static_cast<std::int64_t>(end - begin) - 1))];
+        if (other == order[k] || corpus[other].variants.empty()) continue;
+        GraphPair negative;
+        negative.a = fn.variants.front();
+        negative.b = corpus[other].variants.front();
+        negative.same_source = false;
+        pairs.push_back(std::move(negative));
+      }
+    }
+    return pairs;
+  };
+  std::vector<GraphPair> train_pairs = make_pairs(0, train_end);
+  const std::vector<GraphPair> test_pairs =
+      make_pairs(train_end, order.size());
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::shuffle(train_pairs.begin(), train_pairs.end(), rng);
+    double total = 0.0;
+    for (const GraphPair& pair : train_pairs)
+      total += run.model.train_pair(pair.a, pair.b, pair.same_source);
+    run.epoch_losses.push_back(
+        train_pairs.empty() ? 0.0
+                            : total / static_cast<double>(train_pairs.size()));
+  }
+
+  std::vector<float> scores, labels;
+  std::size_t correct = 0;
+  for (const GraphPair& pair : test_pairs) {
+    const double cosine = run.model.similarity(pair.a, pair.b);
+    scores.push_back(static_cast<float>(cosine));
+    labels.push_back(pair.same_source ? 1.f : 0.f);
+    if ((cosine >= 0.5) == pair.same_source) ++correct;
+  }
+  run.test_auc = auc_score(scores, labels);
+  run.test_accuracy = test_pairs.empty()
+                          ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(test_pairs.size());
+  return run;
+}
+
+}  // namespace patchecko

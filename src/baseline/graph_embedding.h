@@ -1,0 +1,97 @@
+// Structure2vec-style graph embedding baseline — the paper's main prior-art
+// comparator ([41] Xu et al., "Neural network-based graph embedding for
+// cross-platform binary code similarity detection", CCS 2017).
+//
+// Each CFG basic block carries a small raw feature vector x_v; T rounds of
+// neighbourhood aggregation produce node embeddings
+//
+//     mu_v^{t+1} = tanh( W1 x_v + W2 * sum_{u in succ(v)} mu_u^t )
+//
+// and the graph embedding is W3 * sum_v mu_v^T. Two functions are similar
+// when their embeddings' cosine is high. The model trains siamese-style on
+// the same same-source/different-source pairs as the PATCHECKO classifier,
+// with manual backpropagation through the unrolled aggregation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "binary/binary.h"
+#include "util/rng.h"
+
+namespace patchecko {
+
+/// Raw per-basic-block features fed to the embedding network.
+constexpr std::size_t block_feature_count = 8;
+
+/// A CFG prepared for embedding: per-node features + successor lists.
+struct EmbeddingGraph {
+  std::vector<std::array<double, block_feature_count>> node_features;
+  std::vector<std::vector<std::size_t>> successors;
+
+  std::size_t node_count() const { return node_features.size(); }
+};
+
+/// Extracts the embedding graph of a compiled function.
+EmbeddingGraph embedding_graph(const FunctionBinary& function);
+
+struct GraphEmbedConfig {
+  std::size_t embedding_dim = 32;
+  int iterations = 3;           ///< T rounds of aggregation
+  double learning_rate = 5e-3;
+  std::size_t epochs = 4;
+  double margin = 0.3;          ///< hinge margin for negative pairs
+};
+
+/// The trainable siamese model.
+class GraphEmbedder {
+ public:
+  GraphEmbedder() = default;
+  GraphEmbedder(const GraphEmbedConfig& config, std::uint64_t seed);
+
+  /// Embedding of one graph (length embedding_dim).
+  std::vector<double> embed(const EmbeddingGraph& graph) const;
+
+  /// Cosine of the two graphs' embeddings in [-1, 1]; higher = more similar.
+  double similarity(const EmbeddingGraph& a, const EmbeddingGraph& b) const;
+
+  /// One SGD step on a labelled pair (label 1 = same source). Returns the
+  /// pair loss before the update.
+  double train_pair(const EmbeddingGraph& a, const EmbeddingGraph& b,
+                    bool same_source);
+
+  const GraphEmbedConfig& config() const { return config_; }
+
+ private:
+  struct Forward;  // cached activations for backprop
+
+  Forward forward(const EmbeddingGraph& graph) const;
+  void backward(const EmbeddingGraph& graph, const Forward& cache,
+                const std::vector<double>& grad_embedding);
+
+  GraphEmbedConfig config_;
+  // W1: dim x features, W2: dim x dim, W3: dim x dim (row-major).
+  std::vector<double> w1_, w2_, w3_;
+};
+
+struct GraphPair {
+  EmbeddingGraph a;
+  EmbeddingGraph b;
+  bool same_source = false;
+};
+
+struct GraphEmbedTrainingRun {
+  GraphEmbedder model;
+  std::vector<double> epoch_losses;
+  double test_auc = 0.0;
+  double test_accuracy = 0.0;  ///< at the best symmetric cosine threshold 0
+};
+
+/// Builds a pair corpus from compiled variants (cross arch/opt positives,
+/// random negatives) and trains the embedder.
+GraphEmbedTrainingRun train_graph_embedder(
+    const GraphEmbedConfig& config, std::size_t library_count,
+    std::size_t functions_per_library, std::uint64_t seed);
+
+}  // namespace patchecko

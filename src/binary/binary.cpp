@@ -1,0 +1,170 @@
+#include "binary/binary.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace patchecko {
+
+std::int64_t FunctionBinary::byte_size() const {
+  std::int64_t total = 0;
+  for (const Instruction& inst : code) total += encoded_size(inst, arch);
+  return total;
+}
+
+void LibraryBinary::strip() {
+  for (FunctionBinary& fn : functions) fn.name.clear();
+  stripped = true;
+}
+
+namespace {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void i64(std::int64_t v) {
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) bytes_.push_back((u >> (8 * i)) & 0xff);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    return static_cast<std::int64_t>(v);
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > bytes_.size())
+      throw std::runtime_error("deserialize_library: truncated input");
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::uint32_t format_magic = 0x504b4c42;  // "PKLB"
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_library(const LibraryBinary& library) {
+  Writer w;
+  w.u32(format_magic);
+  w.str(library.name);
+  w.u8(static_cast<std::uint8_t>(library.arch));
+  w.u8(static_cast<std::uint8_t>(library.opt));
+  w.u8(library.stripped ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(library.strings.size()));
+  for (const std::string& s : library.strings) w.str(s);
+  w.u32(static_cast<std::uint32_t>(library.functions.size()));
+  for (const FunctionBinary& fn : library.functions) {
+    w.str(fn.name);
+    w.u32(fn.id);
+    w.i64(fn.frame_size);
+    w.i64(static_cast<std::int64_t>(fn.source_uid));
+    w.u32(static_cast<std::uint32_t>(fn.param_types.size()));
+    for (ValueType t : fn.param_types) w.u8(static_cast<std::uint8_t>(t));
+    w.u32(static_cast<std::uint32_t>(fn.jump_tables.size()));
+    for (const auto& table : fn.jump_tables) {
+      w.u32(static_cast<std::uint32_t>(table.size()));
+      for (std::int32_t entry : table)
+        w.u32(static_cast<std::uint32_t>(entry));
+    }
+    w.u32(static_cast<std::uint32_t>(fn.code.size()));
+    for (const Instruction& inst : fn.code) {
+      w.u8(static_cast<std::uint8_t>(inst.op));
+      w.u8(inst.dst);
+      w.u8(inst.src1);
+      w.u8(inst.src2);
+      w.i64(inst.imm);
+      w.u32(static_cast<std::uint32_t>(inst.target));
+    }
+  }
+  return w.take();
+}
+
+LibraryBinary deserialize_library(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.u32() != format_magic)
+    throw std::runtime_error("deserialize_library: bad magic");
+  LibraryBinary library;
+  library.name = r.str();
+  library.arch = static_cast<Arch>(r.u8());
+  library.opt = static_cast<OptLevel>(r.u8());
+  library.stripped = r.u8() != 0;
+  const std::uint32_t string_count = r.u32();
+  library.strings.reserve(string_count);
+  for (std::uint32_t i = 0; i < string_count; ++i)
+    library.strings.push_back(r.str());
+  const std::uint32_t fn_count = r.u32();
+  library.functions.reserve(fn_count);
+  for (std::uint32_t i = 0; i < fn_count; ++i) {
+    FunctionBinary fn;
+    fn.arch = library.arch;
+    fn.opt = library.opt;
+    fn.name = r.str();
+    fn.id = r.u32();
+    fn.frame_size = r.i64();
+    fn.source_uid = static_cast<std::uint64_t>(r.i64());
+    const std::uint32_t param_count = r.u32();
+    for (std::uint32_t p = 0; p < param_count; ++p)
+      fn.param_types.push_back(static_cast<ValueType>(r.u8()));
+    const std::uint32_t table_count = r.u32();
+    for (std::uint32_t t = 0; t < table_count; ++t) {
+      std::vector<std::int32_t> table(r.u32());
+      for (auto& entry : table)
+        entry = static_cast<std::int32_t>(r.u32());
+      fn.jump_tables.push_back(std::move(table));
+    }
+    const std::uint32_t code_count = r.u32();
+    fn.code.reserve(code_count);
+    for (std::uint32_t c = 0; c < code_count; ++c) {
+      Instruction inst;
+      inst.op = static_cast<Opcode>(r.u8());
+      inst.dst = r.u8();
+      inst.src1 = r.u8();
+      inst.src2 = r.u8();
+      inst.imm = r.i64();
+      inst.target = static_cast<std::int32_t>(r.u32());
+      fn.code.push_back(inst);
+    }
+    library.functions.push_back(std::move(fn));
+  }
+  return library;
+}
+
+}  // namespace patchecko

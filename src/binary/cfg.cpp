@@ -1,0 +1,113 @@
+#include "binary/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace patchecko {
+
+Cfg build_cfg(const FunctionBinary& function) {
+  Cfg cfg;
+  const auto& code = function.code;
+  const std::size_t n = code.size();
+  if (n == 0) return cfg;
+
+  // --- Leaders: entry, branch targets, jump-table entries, fallthroughs of
+  // control transfers.
+  std::set<std::size_t> leaders{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instruction& inst = code[i];
+    if (is_conditional_branch(inst.op) || inst.op == Opcode::jmp) {
+      if (inst.target >= 0 && static_cast<std::size_t>(inst.target) < n)
+        leaders.insert(static_cast<std::size_t>(inst.target));
+      if (i + 1 < n) leaders.insert(i + 1);
+    } else if (inst.op == Opcode::jmpi) {
+      const auto table_id = static_cast<std::size_t>(inst.imm);
+      if (table_id < function.jump_tables.size())
+        for (std::int32_t entry : function.jump_tables[table_id])
+          if (entry >= 0 && static_cast<std::size_t>(entry) < n)
+            leaders.insert(static_cast<std::size_t>(entry));
+      if (i + 1 < n) leaders.insert(i + 1);
+    } else if (inst.op == Opcode::ret) {
+      if (i + 1 < n) leaders.insert(i + 1);
+    }
+  }
+
+  // --- Blocks: consecutive leader-to-leader ranges.
+  std::vector<std::size_t> starts(leaders.begin(), leaders.end());
+  cfg.block_of.assign(n, 0);
+  for (std::size_t b = 0; b < starts.size(); ++b) {
+    BasicBlock block;
+    block.first = starts[b];
+    block.last = (b + 1 < starts.size()) ? starts[b + 1] - 1 : n - 1;
+    for (std::size_t i = block.first; i <= block.last; ++i)
+      cfg.block_of[i] = b;
+    cfg.blocks.push_back(block);
+    cfg.graph.add_node();
+  }
+
+  // --- Edges + block kinds.
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    BasicBlock& block = cfg.blocks[b];
+    const Instruction& last = code[block.last];
+    const bool has_fallthrough = block.last + 1 < n;
+
+    if (last.op == Opcode::ret) {
+      block.kind = BlockKind::ret;
+    } else if (last.op == Opcode::jmpi) {
+      block.kind = BlockKind::indjump;
+      const auto table_id = static_cast<std::size_t>(last.imm);
+      if (table_id < function.jump_tables.size())
+        for (std::int32_t entry : function.jump_tables[table_id])
+          if (entry >= 0 && static_cast<std::size_t>(entry) < n)
+            cfg.graph.add_edge(b, cfg.block_of[static_cast<std::size_t>(
+                                      entry)]);
+    } else if (last.op == Opcode::jmp) {
+      if (last.target >= 0 && static_cast<std::size_t>(last.target) < n)
+        cfg.graph.add_edge(b, cfg.block_of[static_cast<std::size_t>(
+                                  last.target)]);
+    } else if (is_conditional_branch(last.op)) {
+      if (last.target >= 0 && static_cast<std::size_t>(last.target) < n)
+        cfg.graph.add_edge(b, cfg.block_of[static_cast<std::size_t>(
+                                  last.target)]);
+      if (has_fallthrough)
+        cfg.graph.add_edge(b, cfg.block_of[block.last + 1]);
+    } else {
+      // Plain fallthrough; a block running past the function end is the
+      // paper's fcb_error category.
+      if (has_fallthrough)
+        cfg.graph.add_edge(b, cfg.block_of[block.last + 1]);
+      else
+        block.kind = BlockKind::error;
+    }
+  }
+
+  // --- Refinement passes for the remaining Table I block categories.
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    BasicBlock& block = cfg.blocks[b];
+    if (block.kind != BlockKind::normal) continue;
+    const Instruction& last = code[block.last];
+    if (is_conditional_branch(last.op) && last.target >= 0 &&
+        static_cast<std::size_t>(last.target) < n) {
+      const BasicBlock& taken =
+          cfg.blocks[cfg.block_of[static_cast<std::size_t>(last.target)]];
+      if (taken.kind == BlockKind::ret) {
+        block.kind = BlockKind::cndret;
+        continue;
+      }
+    }
+    bool has_libcall = false;
+    bool has_syscall = false;
+    for (std::size_t i = block.first; i <= block.last; ++i) {
+      if (code[i].op == Opcode::libcall) has_libcall = true;
+      if (code[i].op == Opcode::syscall) has_syscall = true;
+    }
+    if (has_syscall)
+      block.kind = BlockKind::enoret;
+    else if (has_libcall)
+      block.kind = BlockKind::external;
+  }
+
+  return cfg;
+}
+
+}  // namespace patchecko

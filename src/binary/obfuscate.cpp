@@ -1,0 +1,84 @@
+#include "binary/obfuscate.h"
+
+#include <vector>
+
+namespace patchecko {
+
+namespace {
+
+bool is_plain_reg(std::uint8_t r) {
+  return r != reg::none && r != reg::sp && r != reg::fp;
+}
+
+}  // namespace
+
+FunctionBinary obfuscate_function(const FunctionBinary& function, Rng& rng,
+                                  const ObfuscationConfig& config) {
+  FunctionBinary out = function;
+  out.code.clear();
+
+  // Phase 1: expand instructions; remember where each original landed.
+  std::vector<std::int32_t> new_start(function.code.size(), 0);
+  for (std::size_t i = 0; i < function.code.size(); ++i) {
+    while (rng.chance(config.nop_rate)) {
+      Instruction nop;
+      nop.op = Opcode::nop;
+      out.code.push_back(nop);
+    }
+    new_start[i] = static_cast<std::int32_t>(out.code.size());
+    const Instruction& inst = function.code[i];
+    if (inst.op == Opcode::mov && is_plain_reg(inst.dst) &&
+        is_plain_reg(inst.src1) &&
+        rng.chance(config.mov_substitution_rate)) {
+      Instruction push;
+      push.op = Opcode::push;
+      push.src1 = inst.src1;
+      Instruction pop;
+      pop.op = Opcode::pop;
+      pop.dst = inst.dst;
+      out.code.push_back(push);
+      out.code.push_back(pop);
+      continue;
+    }
+    out.code.push_back(inst);
+  }
+
+  // Phase 2: re-resolve direct branch targets and jump tables.
+  auto remap = [&](std::int32_t target) {
+    if (target < 0 ||
+        static_cast<std::size_t>(target) >= new_start.size())
+      return target;
+    return new_start[static_cast<std::size_t>(target)];
+  };
+  for (Instruction& inst : out.code)
+    if (is_conditional_branch(inst.op) || inst.op == Opcode::jmp)
+      inst.target = remap(inst.target);
+  for (auto& table : out.jump_tables)
+    for (std::int32_t& entry : table) entry = remap(entry);
+
+  // Phase 3: branch trampolines appended past the function body.
+  const std::size_t body_end = out.code.size();
+  for (std::size_t i = 0; i < body_end; ++i) {
+    Instruction& inst = out.code[i];
+    const bool direct_branch =
+        is_conditional_branch(inst.op) || inst.op == Opcode::jmp;
+    if (!direct_branch || !rng.chance(config.trampoline_rate)) continue;
+    Instruction trampoline;
+    trampoline.op = Opcode::jmp;
+    trampoline.target = inst.target;
+    inst.target = static_cast<std::int32_t>(out.code.size());
+    out.code.push_back(trampoline);
+  }
+
+  return out;
+}
+
+LibraryBinary obfuscate_library(const LibraryBinary& library, Rng& rng,
+                                const ObfuscationConfig& config) {
+  LibraryBinary out = library;
+  for (FunctionBinary& fn : out.functions)
+    fn = obfuscate_function(fn, rng, config);
+  return out;
+}
+
+}  // namespace patchecko

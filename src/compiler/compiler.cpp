@@ -1,0 +1,56 @@
+#include "compiler/compiler.h"
+
+#include "compiler/lower.h"
+#include "compiler/passes.h"
+#include "compiler/regalloc.h"
+
+namespace patchecko {
+
+namespace {
+
+// Stable per-function seed so Ofast scheduling is deterministic across runs.
+std::uint64_t schedule_seed(const SourceFunction& fn, Arch arch) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : fn.name) h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ULL;
+  h ^= static_cast<std::uint64_t>(arch) << 32;
+  return h;
+}
+
+}  // namespace
+
+FunctionBinary compile_function(const SourceLibrary& library,
+                                std::size_t function_index, Arch arch,
+                                OptLevel opt, std::uint64_t uid_base) {
+  const SourceFunction& original = library.functions.at(function_index);
+
+  SourceFunction working = original;  // deep copy: unrolling mutates
+  if (opt == OptLevel::O3 || opt == OptLevel::Ofast)
+    unroll_constant_loops(working, /*max_trip=*/8);
+
+  VCode vcode = lower_function(working);
+  run_passes(vcode, arch, opt, schedule_seed(working, arch));
+
+  FunctionBinary fn =
+      allocate_and_emit(vcode, arch, opt, /*spill_all=*/opt == OptLevel::O0);
+  fn.name = original.name;
+  fn.id = static_cast<std::uint32_t>(function_index);
+  fn.param_types = original.param_types;
+  fn.source_uid = uid_base + function_index;
+  return fn;
+}
+
+LibraryBinary compile_library(const SourceLibrary& library, Arch arch,
+                              OptLevel opt, std::uint64_t uid_base) {
+  LibraryBinary out;
+  out.name = library.name;
+  out.arch = arch;
+  out.opt = opt;
+  out.strings = library.strings;
+  out.functions.reserve(library.functions.size());
+  for (std::size_t i = 0; i < library.functions.size(); ++i)
+    out.functions.push_back(
+        compile_function(library, i, arch, opt, uid_base));
+  return out;
+}
+
+}  // namespace patchecko

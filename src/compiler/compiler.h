@@ -1,0 +1,27 @@
+// Public compiler interface: MiniC -> FunctionBinary / LibraryBinary.
+//
+// Reproduces the paper's build matrix: every (architecture, optimization
+// level) pair yields a distinct binary from identical source. Differences
+// come from register pressure (spills), O0 keeping locals in memory,
+// constant folding / DCE / copy propagation at O1+, addressing-mode fusion
+// and branch threading at O2+, loop unrolling at O3/Ofast, size-oriented
+// selection at Oz, and deterministic instruction scheduling at Ofast.
+#pragma once
+
+#include "binary/binary.h"
+#include "source/ast.h"
+
+namespace patchecko {
+
+/// Compiles one function of `library`. `function_index` must be valid.
+/// The returned binary's `source_uid` is seeded from `uid_base` + index so
+/// evaluation can identify same-source variants across the build matrix.
+FunctionBinary compile_function(const SourceLibrary& library,
+                                std::size_t function_index, Arch arch,
+                                OptLevel opt, std::uint64_t uid_base = 0);
+
+/// Compiles a whole library for one (arch, opt) pair.
+LibraryBinary compile_library(const SourceLibrary& library, Arch arch,
+                              OptLevel opt, std::uint64_t uid_base = 0);
+
+}  // namespace patchecko

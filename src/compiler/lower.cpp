@@ -1,0 +1,561 @@
+#include "compiler/lower.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace patchecko {
+
+bool is_pure(const VInst& inst) {
+  switch (inst.op) {
+    case Opcode::mov: case Opcode::ldi: case Opcode::ldstr:
+    case Opcode::add: case Opcode::sub: case Opcode::mul:
+    case Opcode::neg: case Opcode::andi: case Opcode::ori:
+    case Opcode::xori: case Opcode::shl: case Opcode::shr:
+    case Opcode::cmp:
+    case Opcode::fadd: case Opcode::fsub: case Opcode::fmul:
+    case Opcode::fneg: case Opcode::cvtif: case Opcode::cvtfi:
+      return true;
+    // divi/modi/fdiv and loads may trap; everything else has side effects.
+    default:
+      return false;
+  }
+}
+
+bool is_control(const VInst& inst) {
+  return is_branch(inst.op) || inst.op == Opcode::ret;
+}
+
+namespace {
+
+class Lowerer {
+ public:
+  explicit Lowerer(const SourceFunction& fn) : fn_(fn) {
+    for (std::size_t i = 0; i < fn.param_types.size(); ++i)
+      code_.param_vregs.push_back(code_.new_vreg());
+    for (std::size_t i = 0; i < fn.local_types.size(); ++i)
+      local_vregs_.push_back(code_.new_vreg());
+  }
+
+  VCode run() {
+    // Locals start zero-initialized (interpreter Frame semantics).
+    for (int vreg : local_vregs_) emit_ldi(vreg, 0);
+    for (const auto& stmt : fn_.body) lower_stmt(*stmt);
+    // Unconditional epilogue: catches fall-off-the-end and binds any
+    // pending labels (e.g. the join label of a trailing if).
+    const int zero = code_.new_vreg();
+    emit_ldi(zero, 0);
+    VInst ret;
+    ret.op = Opcode::ret;
+    ret.a = zero;
+    emit(std::move(ret));
+    return std::move(code_);
+  }
+
+ private:
+  // --- emission helpers ----------------------------------------------------
+
+  void emit(VInst inst) {
+    if (!pending_labels_.empty()) {
+      inst.labels.insert(inst.labels.end(), pending_labels_.begin(),
+                         pending_labels_.end());
+      pending_labels_.clear();
+    }
+    code_.insts.push_back(std::move(inst));
+  }
+
+  void bind_label(int label) { pending_labels_.push_back(label); }
+
+  void emit_ldi(int dst, std::int64_t imm) {
+    VInst inst;
+    inst.op = Opcode::ldi;
+    inst.dst = dst;
+    inst.imm = imm;
+    emit(std::move(inst));
+  }
+
+  void emit3(Opcode op, int dst, int a, int b) {
+    VInst inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.a = a;
+    inst.b = b;
+    emit(std::move(inst));
+  }
+
+  void emit_mov(int dst, int src) {
+    VInst inst;
+    inst.op = Opcode::mov;
+    inst.dst = dst;
+    inst.a = src;
+    emit(std::move(inst));
+  }
+
+  void emit_jmp(int label) {
+    VInst inst;
+    inst.op = Opcode::jmp;
+    inst.label = label;
+    emit(std::move(inst));
+  }
+
+  void emit_branch(Opcode op, int cond_vreg, int label) {
+    VInst inst;
+    inst.op = op;
+    inst.a = cond_vreg;
+    inst.label = label;
+    emit(std::move(inst));
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  int lower_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::int_const: {
+        const int v = code_.new_vreg();
+        emit_ldi(v, expr.int_value);
+        return v;
+      }
+      case Expr::Kind::fp_const: {
+        const int v = code_.new_vreg();
+        emit_ldi(v, std::bit_cast<std::int64_t>(expr.fp_value));
+        return v;
+      }
+      case Expr::Kind::param_ref:
+        return code_.param_vregs.at(
+            static_cast<std::size_t>(expr.int_value));
+      case Expr::Kind::local_ref:
+        return local_vregs_.at(static_cast<std::size_t>(expr.int_value));
+      case Expr::Kind::binop:
+        return lower_binop(expr);
+      case Expr::Kind::unop:
+        return lower_unop(expr);
+      case Expr::Kind::index_load: {
+        const int addr = lower_address(*expr.args[0], *expr.args[1],
+                                       expr.byte_access);
+        const int v = code_.new_vreg();
+        VInst inst;
+        inst.op = expr.byte_access ? Opcode::loadb : Opcode::load;
+        inst.dst = v;
+        inst.a = addr;
+        inst.imm = 0;
+        emit(std::move(inst));
+        return v;
+      }
+      case Expr::Kind::libcall: {
+        std::vector<int> args;
+        args.reserve(expr.args.size());
+        for (const auto& arg : expr.args) args.push_back(lower_expr(*arg));
+        const int v = code_.new_vreg();
+        VInst inst;
+        inst.op = Opcode::libcall;
+        inst.dst = v;
+        inst.imm = static_cast<std::int64_t>(expr.lib_fn);
+        inst.call_args = std::move(args);
+        emit(std::move(inst));
+        return v;
+      }
+      case Expr::Kind::strref: {
+        const int v = code_.new_vreg();
+        VInst inst;
+        inst.op = Opcode::ldstr;
+        inst.dst = v;
+        inst.imm = expr.int_value;
+        emit(std::move(inst));
+        return v;
+      }
+      case Expr::Kind::fn_call: {
+        std::vector<int> args;
+        args.reserve(expr.args.size());
+        for (const auto& arg : expr.args) args.push_back(lower_expr(*arg));
+        const int v = code_.new_vreg();
+        VInst inst;
+        inst.op = Opcode::call;
+        inst.dst = v;
+        inst.imm = expr.callee;
+        inst.call_args = std::move(args);
+        emit(std::move(inst));
+        return v;
+      }
+      case Expr::Kind::ptr_offset: {
+        const int base = lower_expr(*expr.args[0]);
+        const int disp = lower_expr(*expr.args[1]);
+        const int v = code_.new_vreg();
+        emit3(Opcode::add, v, base, disp);
+        return v;
+      }
+      case Expr::Kind::indirect_call: {
+        // target = even + (selector & 1) * (odd - even), then callr.
+        const int selector = lower_expr(*expr.args[0]);
+        const int one = code_.new_vreg();
+        emit_ldi(one, 1);
+        const int bit = code_.new_vreg();
+        emit3(Opcode::andi, bit, selector, one);
+        const int delta = code_.new_vreg();
+        emit_ldi(delta, expr.int_value - expr.callee);
+        const int scaled = code_.new_vreg();
+        emit3(Opcode::mul, scaled, bit, delta);
+        const int base = code_.new_vreg();
+        emit_ldi(base, expr.callee);
+        const int target = code_.new_vreg();
+        emit3(Opcode::add, target, scaled, base);
+
+        std::vector<int> args;
+        for (std::size_t a = 1; a < expr.args.size(); ++a)
+          args.push_back(lower_expr(*expr.args[a]));
+        const int v = code_.new_vreg();
+        VInst inst;
+        inst.op = Opcode::callr;
+        inst.dst = v;
+        inst.a = target;
+        inst.call_args = std::move(args);
+        emit(std::move(inst));
+        return v;
+      }
+    }
+    throw std::logic_error("lower_expr: unhandled expression kind");
+  }
+
+  /// base + index (byte) or base + index*8 (word).
+  int lower_address(const Expr& base, const Expr& index, bool byte_access) {
+    const int base_v = lower_expr(base);
+    int index_v = lower_expr(index);
+    if (!byte_access) {
+      const int scaled = code_.new_vreg();
+      const int three = code_.new_vreg();
+      emit_ldi(three, 3);
+      emit3(Opcode::shl, scaled, index_v, three);
+      index_v = scaled;
+    }
+    const int addr = code_.new_vreg();
+    emit3(Opcode::add, addr, base_v, index_v);
+    return addr;
+  }
+
+  int lower_binop(const Expr& expr) {
+    const BinOp op = expr.bin_op;
+    if (op == BinOp::land || op == BinOp::lor || binop_is_comparison(op))
+      return materialize_condition(expr);
+
+    const int a = lower_expr(*expr.args[0]);
+    const int b = lower_expr(*expr.args[1]);
+    const int v = code_.new_vreg();
+    Opcode machine_op;
+    switch (op) {
+      case BinOp::add: machine_op = Opcode::add; break;
+      case BinOp::sub: machine_op = Opcode::sub; break;
+      case BinOp::mul: machine_op = Opcode::mul; break;
+      case BinOp::divi: machine_op = Opcode::divi; break;
+      case BinOp::modi: machine_op = Opcode::modi; break;
+      case BinOp::band: machine_op = Opcode::andi; break;
+      case BinOp::bor: machine_op = Opcode::ori; break;
+      case BinOp::bxor: machine_op = Opcode::xori; break;
+      case BinOp::shl: machine_op = Opcode::shl; break;
+      case BinOp::shr: machine_op = Opcode::shr; break;
+      case BinOp::fadd: machine_op = Opcode::fadd; break;
+      case BinOp::fsub: machine_op = Opcode::fsub; break;
+      case BinOp::fmul: machine_op = Opcode::fmul; break;
+      case BinOp::fdiv: machine_op = Opcode::fdiv; break;
+      default:
+        throw std::logic_error("lower_binop: unhandled operator");
+    }
+    emit3(machine_op, v, a, b);
+    return v;
+  }
+
+  int lower_unop(const Expr& expr) {
+    if (expr.un_op == UnOp::lnot) return materialize_condition(expr);
+    const int a = lower_expr(*expr.args[0]);
+    const int v = code_.new_vreg();
+    Opcode machine_op;
+    switch (expr.un_op) {
+      case UnOp::neg: machine_op = Opcode::neg; break;
+      case UnOp::fneg: machine_op = Opcode::fneg; break;
+      case UnOp::to_f64: machine_op = Opcode::cvtif; break;
+      case UnOp::to_i64: machine_op = Opcode::cvtfi; break;
+      default:
+        throw std::logic_error("lower_unop: unhandled operator");
+    }
+    VInst inst;
+    inst.op = machine_op;
+    inst.dst = v;
+    inst.a = a;
+    emit(std::move(inst));
+    return v;
+  }
+
+  /// Evaluates a boolean expression into a 0/1 vreg using branches.
+  int materialize_condition(const Expr& expr) {
+    const int v = code_.new_vreg();
+    const int false_label = code_.new_label();
+    const int end_label = code_.new_label();
+    emit_ldi(v, 1);
+    lower_cond(expr, end_label, false_label);
+    bind_label(false_label);
+    emit_ldi(v, 0);
+    bind_label(end_label);
+    // Both labels resolve to whatever is emitted next; the epilogue
+    // guarantees at least one trailing instruction.
+    return v;
+  }
+
+  /// Emits branches so control reaches `true_label` when expr is truthy and
+  /// `false_label` otherwise. Logical operators short-circuit.
+  void lower_cond(const Expr& expr, int true_label, int false_label) {
+    if (expr.kind == Expr::Kind::binop && expr.bin_op == BinOp::land) {
+      const int mid = code_.new_label();
+      lower_cond(*expr.args[0], mid, false_label);
+      bind_label(mid);
+      lower_cond(*expr.args[1], true_label, false_label);
+      return;
+    }
+    if (expr.kind == Expr::Kind::binop && expr.bin_op == BinOp::lor) {
+      const int mid = code_.new_label();
+      lower_cond(*expr.args[0], true_label, mid);
+      bind_label(mid);
+      lower_cond(*expr.args[1], true_label, false_label);
+      return;
+    }
+    if (expr.kind == Expr::Kind::unop && expr.un_op == UnOp::lnot) {
+      lower_cond(*expr.args[0], false_label, true_label);
+      return;
+    }
+    if (expr.kind == Expr::Kind::binop && binop_is_comparison(expr.bin_op)) {
+      const bool fp = binop_is_fp(expr.bin_op);
+      const int a = lower_expr(*expr.args[0]);
+      const int b = lower_expr(*expr.args[1]);
+      const int c = code_.new_vreg();
+      // fcmp shares the cmp opcode encoding on fp operands: the compiler
+      // knows operand types statically, so it emits cmp for both and relies
+      // on typed comparison below.
+      if (fp) {
+        // Compare doubles via (a < b) etc. Lower as: cvt-free fcmp modelled
+        // with cmp on raw bits would be wrong; use dedicated sequence:
+        // t = fsub(a,b); branch on sign via cmp with zero is also wrong for
+        // NaN. Instead emit cmp after converting: the VM's cmp inspects
+        // operand bit patterns as integers, so we need a true fp compare.
+        // We encode it as fsub + cvtfi(sign): simpler and exact for our
+        // generated value ranges is to reuse Opcode::cmp with the fcmp
+        // flag via imm=1, which the VM interprets as an fp compare.
+        VInst inst;
+        inst.op = Opcode::cmp;
+        inst.dst = c;
+        inst.a = a;
+        inst.b = b;
+        inst.imm = 1;  // fp-compare flag
+        emit(std::move(inst));
+      } else {
+        emit3(Opcode::cmp, c, a, b);
+      }
+      Opcode branch;
+      switch (expr.bin_op) {
+        case BinOp::lt: case BinOp::flt: branch = Opcode::blt; break;
+        case BinOp::le: branch = Opcode::ble; break;
+        case BinOp::gt: case BinOp::fgt: branch = Opcode::bgt; break;
+        case BinOp::ge: branch = Opcode::bge; break;
+        case BinOp::eq: branch = Opcode::beq; break;
+        case BinOp::ne: branch = Opcode::bne; break;
+        default:
+          throw std::logic_error("lower_cond: unhandled comparison");
+      }
+      emit_branch(branch, c, true_label);
+      emit_jmp(false_label);
+      return;
+    }
+    // Generic truthiness: value != 0.
+    const int v = lower_expr(expr);
+    emit_branch(Opcode::bne, v, true_label);
+    emit_jmp(false_label);
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  void lower_body(const std::vector<StmtPtr>& body) {
+    for (const auto& stmt : body) lower_stmt(*stmt);
+  }
+
+  void lower_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::assign: {
+        const int v = lower_expr(*stmt.expr);
+        emit_mov(local_vregs_.at(static_cast<std::size_t>(stmt.local_index)),
+                 v);
+        break;
+      }
+      case Stmt::Kind::index_store: {
+        const int addr =
+            lower_address(*stmt.base, *stmt.index, stmt.byte_access);
+        const int v = lower_expr(*stmt.value);
+        VInst inst;
+        inst.op = stmt.byte_access ? Opcode::storeb : Opcode::store;
+        inst.a = addr;
+        inst.b = v;
+        inst.imm = 0;
+        emit(std::move(inst));
+        break;
+      }
+      case Stmt::Kind::if_else: {
+        const int then_label = code_.new_label();
+        const int else_label = code_.new_label();
+        const int end_label = code_.new_label();
+        lower_cond(*stmt.expr, then_label, else_label);
+        bind_label(then_label);
+        lower_body(stmt.then_body);
+        if (!stmt.else_body.empty()) {
+          emit_jmp(end_label);
+          bind_label(else_label);
+          lower_body(stmt.else_body);
+          bind_label(end_label);
+        } else {
+          bind_label(else_label);
+        }
+        break;
+      }
+      case Stmt::Kind::for_loop: {
+        const int counter =
+            local_vregs_.at(static_cast<std::size_t>(stmt.local_index));
+        const int init_v = lower_expr(*stmt.init);
+        emit_mov(counter, init_v);
+        const int bound_v = lower_expr(*stmt.bound);  // evaluated once
+        const int head = code_.new_label();
+        const int body_label = code_.new_label();
+        const int end = code_.new_label();
+        bind_label(head);
+        const int c = code_.new_vreg();
+        emit3(Opcode::cmp, c, counter, bound_v);
+        emit_branch(Opcode::bge, c, end);
+        bind_label(body_label);
+        lower_body(stmt.then_body);
+        const int step = code_.new_vreg();
+        emit_ldi(step, stmt.step_value);
+        emit3(Opcode::add, counter, counter, step);
+        emit_jmp(head);
+        bind_label(end);
+        break;
+      }
+      case Stmt::Kind::ret: {
+        const int v =
+            stmt.expr ? lower_expr(*stmt.expr) : [&] {
+              const int zero = code_.new_vreg();
+              emit_ldi(zero, 0);
+              return zero;
+            }();
+        VInst inst;
+        inst.op = Opcode::ret;
+        inst.a = v;
+        emit(std::move(inst));
+        break;
+      }
+      case Stmt::Kind::expr_stmt:
+        (void)lower_expr(*stmt.expr);
+        break;
+      case Stmt::Kind::syscall_stmt: {
+        const int v = lower_expr(*stmt.expr);
+        VInst inst;
+        inst.op = Opcode::syscall;
+        inst.dst = code_.new_vreg();
+        inst.imm = static_cast<std::int64_t>(stmt.sys);
+        inst.call_args = {v};
+        emit(std::move(inst));
+        break;
+      }
+      case Stmt::Kind::switch_stmt: {
+        if (stmt.cases.empty()) {
+          (void)lower_expr(*stmt.expr);
+          break;
+        }
+        const int selector = lower_expr(*stmt.expr);
+        const auto n = static_cast<std::int64_t>(stmt.cases.size());
+        const int vn = code_.new_vreg();
+        emit_ldi(vn, n);
+        const int t0 = code_.new_vreg();
+        emit3(Opcode::modi, t0, selector, vn);
+        const int t1 = code_.new_vreg();
+        emit3(Opcode::add, t1, t0, vn);
+        const int idx = code_.new_vreg();
+        emit3(Opcode::modi, idx, t1, vn);
+
+        std::vector<std::int32_t> table;
+        for (std::size_t k = 0; k < stmt.cases.size(); ++k)
+          table.push_back(code_.new_label());
+        const int end_label = code_.new_label();
+        const auto table_id =
+            static_cast<std::int64_t>(code_.jump_tables.size());
+        code_.jump_tables.push_back(table);
+
+        VInst dispatch;
+        dispatch.op = Opcode::jmpi;
+        dispatch.a = idx;
+        dispatch.imm = table_id;
+        emit(std::move(dispatch));
+
+        for (std::size_t k = 0; k < stmt.cases.size(); ++k) {
+          bind_label(table[k]);
+          lower_body(stmt.cases[k]);
+          emit_jmp(end_label);
+        }
+        bind_label(end_label);
+        break;
+      }
+    }
+  }
+
+  const SourceFunction& fn_;
+  VCode code_;
+  std::vector<int> local_vregs_;
+  std::vector<int> pending_labels_;
+};
+
+// --- AST-level unrolling ----------------------------------------------------
+
+void unroll_in_body(std::vector<StmtPtr>& body, std::int64_t max_trip);
+
+void unroll_stmt(StmtPtr& stmt, std::int64_t max_trip) {
+  unroll_in_body(stmt->then_body, max_trip);
+  unroll_in_body(stmt->else_body, max_trip);
+  for (auto& c : stmt->cases) unroll_in_body(c, max_trip);
+}
+
+void unroll_in_body(std::vector<StmtPtr>& body, std::int64_t max_trip) {
+  std::vector<StmtPtr> out;
+  for (auto& stmt : body) {
+    unroll_stmt(stmt, max_trip);
+    const bool unrollable =
+        stmt->kind == Stmt::Kind::for_loop && stmt->init &&
+        stmt->init->kind == Expr::Kind::int_const && stmt->bound &&
+        stmt->bound->kind == Expr::Kind::int_const && stmt->step_value > 0;
+    if (unrollable) {
+      const std::int64_t init = stmt->init->int_value;
+      const std::int64_t bound = stmt->bound->int_value;
+      const std::int64_t trips =
+          bound > init ? (bound - init + stmt->step_value - 1) /
+                             stmt->step_value
+                       : 0;
+      if (trips <= max_trip) {
+        for (std::int64_t i = init; i < bound; i += stmt->step_value) {
+          out.push_back(make_assign(stmt->local_index, make_int(i)));
+          for (const auto& inner : stmt->then_body)
+            out.push_back(inner->clone());
+        }
+        // Loop leaves the counter at its final value.
+        out.push_back(make_assign(
+            stmt->local_index,
+            make_int(init + trips * stmt->step_value)));
+        continue;
+      }
+    }
+    out.push_back(std::move(stmt));
+  }
+  body = std::move(out);
+}
+
+}  // namespace
+
+VCode lower_function(const SourceFunction& fn) {
+  Lowerer lowerer(fn);
+  return lowerer.run();
+}
+
+void unroll_constant_loops(SourceFunction& fn, std::int64_t max_trip) {
+  unroll_in_body(fn.body, max_trip);
+}
+
+}  // namespace patchecko

@@ -1,0 +1,19 @@
+// AST -> VCode lowering (internal to the compiler).
+#pragma once
+
+#include "compiler/vcode.h"
+#include "source/ast.h"
+
+namespace patchecko {
+
+/// Lowers `fn` to virtual-register code. Conditions compile to compare+branch
+/// with short-circuit logical operators; for-loops evaluate their bound once;
+/// switches lower to normalized modulo + jump table. A terminating `ret` is
+/// always present.
+VCode lower_function(const SourceFunction& fn);
+
+/// AST-level full unrolling of constant-trip inner loops (trip count <=
+/// `max_trip`). Applied before lowering at O3/Ofast.
+void unroll_constant_loops(SourceFunction& fn, std::int64_t max_trip);
+
+}  // namespace patchecko

@@ -1,0 +1,416 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/runtime_scalar.h"
+#include "util/rng.h"
+
+namespace patchecko {
+
+namespace {
+
+// Removes insts[idx], transferring any bound labels to the next instruction.
+// The trailing `ret` is never removable, so a successor always exists.
+void remove_at(VCode& code, std::size_t idx) {
+  auto& insts = code.insts;
+  if (!insts[idx].labels.empty() && idx + 1 < insts.size()) {
+    auto& next = insts[idx + 1].labels;
+    next.insert(next.begin(), insts[idx].labels.begin(),
+                insts[idx].labels.end());
+  }
+  insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+struct DefInfo {
+  int def_count = 0;
+  std::size_t def_index = 0;
+};
+
+std::unordered_map<int, DefInfo> build_defs(const VCode& code) {
+  std::unordered_map<int, DefInfo> defs;
+  for (std::size_t i = 0; i < code.insts.size(); ++i) {
+    const VInst& inst = code.insts[i];
+    if (inst.dst >= 0) {
+      auto& info = defs[inst.dst];
+      ++info.def_count;
+      info.def_index = i;
+    }
+  }
+  // Parameters are defined by the prologue.
+  for (int p : code.param_vregs) ++defs[p].def_count;
+  return defs;
+}
+
+std::unordered_map<int, int> build_uses(const VCode& code) {
+  std::unordered_map<int, int> uses;
+  for (const VInst& inst : code.insts) {
+    if (inst.a >= 0) ++uses[inst.a];
+    if (inst.b >= 0) ++uses[inst.b];
+    for (int arg : inst.call_args) ++uses[arg];
+  }
+  return uses;
+}
+
+// Map from vreg to its constant value, for vregs defined exactly once by ldi.
+std::unordered_map<int, std::int64_t> constant_map(const VCode& code) {
+  const auto defs = build_defs(code);
+  std::unordered_map<int, std::int64_t> constants;
+  for (const VInst& inst : code.insts) {
+    if (inst.op != Opcode::ldi || inst.dst < 0) continue;
+    const auto it = defs.find(inst.dst);
+    if (it != defs.end() && it->second.def_count == 1)
+      constants[inst.dst] = inst.imm;
+  }
+  return constants;
+}
+
+std::optional<std::int64_t> fold_int_op(Opcode op, std::int64_t a,
+                                        std::int64_t b) {
+  switch (op) {
+    case Opcode::add: return rt::wrap_add(a, b);
+    case Opcode::sub: return rt::wrap_sub(a, b);
+    case Opcode::mul: return rt::wrap_mul(a, b);
+    case Opcode::andi: return a & b;
+    case Opcode::ori: return a | b;
+    case Opcode::xori: return a ^ b;
+    case Opcode::shl: return rt::wrap_shl(a, b);
+    case Opcode::shr: return rt::wrap_shr(a, b);
+    case Opcode::cmp: return a < b ? -1 : (a > b ? 1 : 0);
+    case Opcode::divi:
+      if (b == 0) return std::nullopt;
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
+      return a / b;
+    case Opcode::modi:
+      if (b == 0) return std::nullopt;
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+        return std::int64_t{0};
+      return a % b;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void pass_constant_fold(VCode& code) {
+  for (bool changed = true; changed;) {
+    changed = false;
+    const auto constants = constant_map(code);
+    const auto defs = build_defs(code);
+    for (VInst& inst : code.insts) {
+      if (inst.dst < 0) continue;
+      const auto dst_info = defs.find(inst.dst);
+      if (dst_info == defs.end() || dst_info->second.def_count != 1)
+        continue;
+
+      auto const_of = [&](int vreg) -> std::optional<std::int64_t> {
+        const auto it = constants.find(vreg);
+        if (it == constants.end()) return std::nullopt;
+        return it->second;
+      };
+
+      std::optional<std::int64_t> folded;
+      if (inst.op == Opcode::mov) {
+        folded = const_of(inst.a);
+      } else if (inst.op == Opcode::neg) {
+        if (const auto a = const_of(inst.a)) folded = rt::wrap_sub(0, *a);
+      } else if (inst.op == Opcode::cvtif) {
+        if (const auto a = const_of(inst.a))
+          folded = std::bit_cast<std::int64_t>(static_cast<double>(*a));
+      } else if (inst.op == Opcode::cmp && inst.imm != 0) {
+        // fp compare: fold on the bit-cast doubles
+        const auto a = const_of(inst.a);
+        const auto b = const_of(inst.b);
+        if (a && b) {
+          const double fa = std::bit_cast<double>(*a);
+          const double fb = std::bit_cast<double>(*b);
+          folded = fa < fb ? -1 : (fa > fb ? 1 : 0);
+        }
+      } else if (inst.a >= 0 && inst.b >= 0) {
+        const auto a = const_of(inst.a);
+        const auto b = const_of(inst.b);
+        if (a && b) {
+          switch (inst.op) {
+            case Opcode::fadd: case Opcode::fsub: case Opcode::fmul: {
+              const double fa = std::bit_cast<double>(*a);
+              const double fb = std::bit_cast<double>(*b);
+              const double r = inst.op == Opcode::fadd   ? fa + fb
+                               : inst.op == Opcode::fsub ? fa - fb
+                                                         : fa * fb;
+              folded = std::bit_cast<std::int64_t>(r);
+              break;
+            }
+            case Opcode::fdiv: {
+              const double fa = std::bit_cast<double>(*a);
+              const double fb = std::bit_cast<double>(*b);
+              folded = std::bit_cast<std::int64_t>(fb == 0.0 ? 0.0 : fa / fb);
+              break;
+            }
+            default:
+              folded = fold_int_op(inst.op, *a, *b);
+              break;
+          }
+        }
+      }
+
+      if (folded) {
+        inst.op = Opcode::ldi;
+        inst.imm = *folded;
+        inst.a = -1;
+        inst.b = -1;
+        inst.call_args.clear();
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+void pass_dead_code(VCode& code) {
+  for (bool changed = true; changed;) {
+    changed = false;
+    const auto uses = build_uses(code);
+    for (std::size_t i = code.insts.size(); i-- > 0;) {
+      const VInst& inst = code.insts[i];
+      if (!is_pure(inst) || inst.dst < 0) continue;
+      const auto it = uses.find(inst.dst);
+      if (it == uses.end() || it->second == 0) {
+        remove_at(code, i);
+        changed = true;
+      }
+    }
+  }
+}
+
+void pass_copy_propagate(VCode& code) {
+  std::unordered_map<int, int> copies;  // dst -> source vreg
+  auto invalidate = [&](int vreg) {
+    copies.erase(vreg);
+    for (auto it = copies.begin(); it != copies.end();) {
+      if (it->second == vreg)
+        it = copies.erase(it);
+      else
+        ++it;
+    }
+  };
+  auto resolve = [&](int vreg) {
+    const auto it = copies.find(vreg);
+    return it == copies.end() ? vreg : it->second;
+  };
+
+  for (VInst& inst : code.insts) {
+    // A bound label starts a new basic block: kill all local knowledge.
+    if (!inst.labels.empty()) copies.clear();
+
+    if (inst.a >= 0) inst.a = resolve(inst.a);
+    if (inst.b >= 0) inst.b = resolve(inst.b);
+    for (int& arg : inst.call_args) arg = resolve(arg);
+
+    if (inst.dst >= 0) invalidate(inst.dst);
+    if (inst.op == Opcode::mov && inst.dst >= 0 && inst.a >= 0 &&
+        inst.dst != inst.a)
+      copies[inst.dst] = inst.a;
+
+    if (is_control(inst)) copies.clear();
+  }
+
+  // Self-moves produced by propagation (mov x, x) are removed here rather
+  // than at emission: a spilled self-move would otherwise still cost a
+  // load+store on register-poor targets, perturbing cross-arch CFG shape.
+  for (std::size_t i = code.insts.size(); i-- > 0;) {
+    const VInst& inst = code.insts[i];
+    if (inst.op == Opcode::mov && inst.dst == inst.a) remove_at(code, i);
+  }
+}
+
+void pass_address_fold(VCode& code) {
+  const auto constants = constant_map(code);
+  const auto defs = build_defs(code);
+  const auto uses = build_uses(code);
+
+  for (VInst& add : code.insts) {
+    if (add.op != Opcode::add || add.dst < 0) continue;
+    // Normalize the constant operand to `b`.
+    int base = add.a;
+    int offset = add.b;
+    if (constants.count(base) != 0 && constants.count(offset) == 0)
+      std::swap(base, offset);
+    const auto k = constants.find(offset);
+    if (k == constants.end()) continue;
+    const auto dst_info = defs.find(add.dst);
+    const auto base_info = defs.find(base);
+    if (dst_info == defs.end() || dst_info->second.def_count != 1) continue;
+    if (base_info == defs.end() || base_info->second.def_count != 1) continue;
+
+    // Every use of the address must be a zero-offset memory op's address.
+    bool foldable = true;
+    std::vector<VInst*> memory_ops;
+    for (VInst& use : code.insts) {
+      const bool uses_here = use.a == add.dst || use.b == add.dst ||
+                             [&] {
+                               for (int arg : use.call_args)
+                                 if (arg == add.dst) return true;
+                               return false;
+                             }();
+      if (!uses_here || &use == &add) continue;
+      const bool is_mem = use.op == Opcode::load || use.op == Opcode::loadb ||
+                          use.op == Opcode::store ||
+                          use.op == Opcode::storeb;
+      if (!is_mem || use.a != add.dst || use.imm != 0 ||
+          use.b == add.dst) {
+        foldable = false;
+        break;
+      }
+      memory_ops.push_back(&use);
+    }
+    if (!foldable || memory_ops.empty()) continue;
+    (void)uses;
+    for (VInst* mem : memory_ops) {
+      mem->a = base;
+      mem->imm = k->second;
+    }
+    // The add becomes dead; DCE removes it (and the ldi).
+  }
+  pass_dead_code(code);
+}
+
+void pass_branch_thread(VCode& code) {
+  // label id -> index of the instruction it binds to
+  std::unordered_map<int, std::size_t> label_pos;
+  auto rebuild = [&] {
+    label_pos.clear();
+    for (std::size_t i = 0; i < code.insts.size(); ++i)
+      for (int l : code.insts[i].labels) label_pos.emplace(l, i);
+  };
+  rebuild();
+
+  // Thread chains of unconditional jumps.
+  for (VInst& inst : code.insts) {
+    if (inst.label < 0) continue;
+    std::unordered_set<int> visited;
+    int label = inst.label;
+    while (visited.insert(label).second) {
+      const auto it = label_pos.find(label);
+      if (it == label_pos.end()) break;
+      const VInst& target = code.insts[it->second];
+      if (target.op == Opcode::jmp && target.label >= 0)
+        label = target.label;
+      else
+        break;
+    }
+    inst.label = label;
+  }
+
+  // Drop jumps to the immediately-following instruction.
+  for (bool changed = true; changed;) {
+    changed = false;
+    rebuild();
+    for (std::size_t i = 0; i < code.insts.size(); ++i) {
+      const VInst& inst = code.insts[i];
+      if (inst.op != Opcode::jmp || inst.label < 0) continue;
+      const auto it = label_pos.find(inst.label);
+      if (it != label_pos.end() && it->second == i + 1) {
+        remove_at(code, i);
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+void pass_remove_unreachable(VCode& code) {
+  // An instruction directly after an unconditional control transfer with no
+  // label bound to it can never execute (e.g. the `jmp join` emitted after a
+  // switch case whose body already returned).
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 1; i < code.insts.size(); ++i) {
+      const VInst& prev = code.insts[i - 1];
+      const bool prev_terminates = prev.op == Opcode::ret ||
+                                   prev.op == Opcode::jmp ||
+                                   prev.op == Opcode::jmpi;
+      if (prev_terminates && code.insts[i].labels.empty()) {
+        remove_at(code, i);
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+void pass_align_loops(VCode& code) {
+  // Loop heads = label positions targeted by a backward branch. Insert nop
+  // padding in front (classic fetch alignment), leaving the labels on the
+  // head itself so only the fall-through path executes the padding.
+  std::unordered_map<int, std::size_t> label_pos;
+  for (std::size_t i = 0; i < code.insts.size(); ++i)
+    for (int l : code.insts[i].labels) label_pos.emplace(l, i);
+
+  std::unordered_set<std::size_t> heads;
+  for (std::size_t i = 0; i < code.insts.size(); ++i) {
+    const VInst& inst = code.insts[i];
+    if (inst.label < 0) continue;
+    const auto it = label_pos.find(inst.label);
+    if (it != label_pos.end() && it->second <= i) heads.insert(it->second);
+  }
+  // Insert back-to-front so earlier indices stay valid.
+  std::vector<std::size_t> sorted(heads.begin(), heads.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  for (std::size_t head : sorted) {
+    VInst nop;
+    nop.op = Opcode::nop;
+    code.insts.insert(code.insts.begin() + static_cast<std::ptrdiff_t>(head),
+                      nop);
+    // The padding must execute before the labels: move the head's labels...
+    // they are already on the original head, which shifted one slot right.
+  }
+}
+
+void pass_schedule_shuffle(VCode& code, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i + 1 < code.insts.size(); ++i) {
+    VInst& x = code.insts[i];
+    VInst& y = code.insts[i + 1];
+    if (!is_pure(x) || !is_pure(y)) continue;
+    if (!x.labels.empty() || !y.labels.empty()) continue;
+    const bool independent =
+        x.dst != y.a && x.dst != y.b && x.dst != y.dst && y.dst != x.a &&
+        y.dst != x.b;
+    if (independent && rng.chance(0.5)) std::swap(x, y);
+  }
+}
+
+void run_passes(VCode& code, Arch arch, OptLevel opt,
+                std::uint64_t schedule_seed) {
+  if (opt == OptLevel::O0) return;
+
+  // O1 core pipeline.
+  pass_constant_fold(code);
+  pass_copy_propagate(code);
+  pass_constant_fold(code);
+  pass_dead_code(code);
+  pass_remove_unreachable(code);
+  if (opt == OptLevel::O1) return;
+
+  // O2 / O3 / Oz / Ofast.
+  pass_address_fold(code);
+  pass_branch_thread(code);
+  pass_dead_code(code);
+  pass_remove_unreachable(code);
+
+  const bool x86_family = arch == Arch::x86 || arch == Arch::amd64;
+  const bool wants_alignment =
+      x86_family && (opt == OptLevel::O2 || opt == OptLevel::O3 ||
+                     opt == OptLevel::Ofast);
+  if (wants_alignment) pass_align_loops(code);
+  if (opt == OptLevel::Ofast) pass_schedule_shuffle(code, schedule_seed);
+}
+
+}  // namespace patchecko

@@ -1,0 +1,25 @@
+// Mid-end optimization passes over VCode (internal to the compiler).
+#pragma once
+
+#include <cstdint>
+
+#include "compiler/vcode.h"
+
+namespace patchecko {
+
+/// Runs the pass pipeline selected by `opt` for `arch`. `schedule_seed`
+/// drives the deterministic Ofast scheduling shuffle.
+void run_passes(VCode& code, Arch arch, OptLevel opt,
+                std::uint64_t schedule_seed);
+
+// Individual passes, exposed for unit testing.
+void pass_constant_fold(VCode& code);
+void pass_dead_code(VCode& code);
+void pass_copy_propagate(VCode& code);
+void pass_address_fold(VCode& code);
+void pass_branch_thread(VCode& code);
+void pass_remove_unreachable(VCode& code);
+void pass_align_loops(VCode& code);
+void pass_schedule_shuffle(VCode& code, std::uint64_t seed);
+
+}  // namespace patchecko

@@ -1,0 +1,479 @@
+#include "compiler/regalloc.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace patchecko {
+
+namespace {
+
+constexpr int max_call_args = 4;
+
+struct Interval {
+  int vreg = -1;
+  int start = 0;
+  int end = 0;
+  bool crosses_call = false;
+};
+
+bool is_call_like(Opcode op) {
+  return op == Opcode::call || op == Opcode::callr ||
+         op == Opcode::libcall || op == Opcode::syscall;
+}
+
+// --- liveness approximation -------------------------------------------------
+
+std::vector<Interval> compute_intervals(const VCode& code) {
+  std::unordered_map<int, Interval> by_vreg;
+  auto touch = [&](int vreg, int pos) {
+    if (vreg < 0) return;
+    auto [it, inserted] = by_vreg.try_emplace(vreg);
+    Interval& iv = it->second;
+    if (inserted) {
+      iv.vreg = vreg;
+      iv.start = pos;
+      iv.end = pos;
+    } else {
+      iv.start = std::min(iv.start, pos);
+      iv.end = std::max(iv.end, pos);
+    }
+  };
+
+  // Parameters are defined at entry and must stay pairwise-disjoint through
+  // the prologue pops, so they all overlap position -1..0.
+  for (int p : code.param_vregs) {
+    touch(p, -1);
+    touch(p, 0);
+  }
+  for (std::size_t i = 0; i < code.insts.size(); ++i) {
+    const VInst& inst = code.insts[i];
+    const int pos = static_cast<int>(i);
+    touch(inst.dst, pos);
+    touch(inst.a, pos);
+    touch(inst.b, pos);
+    for (int arg : inst.call_args) touch(arg, pos);
+  }
+
+  // Extend intervals over loop bodies: anything mentioned inside a backward
+  // branch's range is conservatively live across the whole range.
+  std::unordered_map<int, int> label_pos;
+  for (std::size_t i = 0; i < code.insts.size(); ++i)
+    for (int l : code.insts[i].labels) label_pos.emplace(l, static_cast<int>(i));
+
+  std::vector<std::pair<int, int>> loop_ranges;
+  for (std::size_t i = 0; i < code.insts.size(); ++i) {
+    const VInst& inst = code.insts[i];
+    if (inst.label < 0) continue;
+    const auto it = label_pos.find(inst.label);
+    if (it != label_pos.end() && it->second <= static_cast<int>(i))
+      loop_ranges.emplace_back(it->second, static_cast<int>(i));
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto& [vreg, iv] : by_vreg) {
+      for (const auto& [lo, hi] : loop_ranges) {
+        const bool intersects = iv.start <= hi && iv.end >= lo;
+        if (!intersects) continue;
+        if (iv.start > lo || iv.end < hi) {
+          iv.start = std::min(iv.start, lo);
+          iv.end = std::max(iv.end, hi);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Mark intervals crossing a call-like instruction strictly inside.
+  std::vector<int> call_positions;
+  for (std::size_t i = 0; i < code.insts.size(); ++i)
+    if (is_call_like(code.insts[i].op))
+      call_positions.push_back(static_cast<int>(i));
+  std::vector<Interval> out;
+  out.reserve(by_vreg.size());
+  for (auto& [vreg, iv] : by_vreg) {
+    for (int p : call_positions)
+      if (iv.start < p && p < iv.end) {
+        iv.crosses_call = true;
+        break;
+      }
+    out.push_back(iv);
+  }
+  std::sort(out.begin(), out.end(), [](const Interval& x, const Interval& y) {
+    if (x.start != y.start) return x.start < y.start;
+    return x.vreg < y.vreg;
+  });
+  return out;
+}
+
+// --- linear scan --------------------------------------------------------------
+
+struct Allocation {
+  std::unordered_map<int, int> phys;     // vreg -> physical register
+  std::unordered_map<int, int> slot;     // vreg -> spill slot index
+  int slot_count = 0;
+};
+
+Allocation linear_scan(const std::vector<Interval>& intervals,
+                       int pool_size) {
+  Allocation alloc;
+  auto spill = [&](int vreg) {
+    alloc.slot[vreg] = alloc.slot_count++;
+  };
+
+  struct Active {
+    Interval iv;
+    int reg;
+  };
+  std::vector<Active> active;  // kept sorted by iv.end ascending
+
+  for (const Interval& iv : intervals) {
+    // Expire.
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](const Active& a) {
+                                  return a.iv.end < iv.start;
+                                }),
+                 active.end());
+    // Free register search.
+    std::vector<bool> used(static_cast<std::size_t>(pool_size), false);
+    for (const Active& a : active) used[static_cast<std::size_t>(a.reg)] = true;
+    int chosen = -1;
+    for (int r = 0; r < pool_size; ++r) {
+      if (used[static_cast<std::size_t>(r)]) continue;
+      if (r == 0 && iv.crosses_call) continue;  // r0 holds return values
+      chosen = r;
+      break;
+    }
+    if (chosen >= 0) {
+      alloc.phys[iv.vreg] = chosen;
+      active.push_back({iv, chosen});
+      std::sort(active.begin(), active.end(),
+                [](const Active& x, const Active& y) {
+                  return x.iv.end < y.iv.end;
+                });
+      continue;
+    }
+    // Spill: evict the active interval ending last if it outlives us and its
+    // register is acceptable; otherwise spill the new interval.
+    Active* victim = nullptr;
+    for (auto it = active.rbegin(); it != active.rend(); ++it) {
+      if (it->iv.end <= iv.end) break;
+      if (iv.crosses_call && it->reg == 0) continue;
+      victim = &*it;
+      break;
+    }
+    if (victim != nullptr) {
+      alloc.phys[iv.vreg] = victim->reg;
+      spill(victim->iv.vreg);
+      alloc.phys.erase(victim->iv.vreg);
+      victim->iv = iv;
+      std::sort(active.begin(), active.end(),
+                [](const Active& x, const Active& y) {
+                  return x.iv.end < y.iv.end;
+                });
+    } else {
+      spill(iv.vreg);
+    }
+  }
+  return alloc;
+}
+
+// --- emission ----------------------------------------------------------------
+
+class Emitter {
+ public:
+  Emitter(const VCode& code, Arch arch, bool spill_all)
+      : code_(code), arch_(arch) {
+    const int regs = register_count(arch);
+    scratch0_ = static_cast<std::uint8_t>(regs - 3);
+    scratch1_ = static_cast<std::uint8_t>(regs - 2);
+    scratch2_ = static_cast<std::uint8_t>(regs - 1);
+    const int pool = spill_all ? 0 : regs - 3;
+    alloc_ = linear_scan(compute_intervals(code), pool);
+    two_operand_ = arch == Arch::x86 || arch == Arch::amd64;
+  }
+
+  FunctionBinary run() {
+    FunctionBinary fn;
+    fn.arch = arch_;
+    fn.frame_size = static_cast<std::int64_t>(alloc_.slot_count) * 8;
+
+    emit_prologue(fn);
+    for (const VInst& inst : code_.insts) {
+      for (int l : inst.labels)
+        label_final_[l] = static_cast<std::int32_t>(out_.size());
+      emit_inst(inst);
+    }
+    patch_branches();
+    fn.code = std::move(out_);
+    fn.jump_tables.reserve(code_.jump_tables.size());
+    for (const auto& table : code_.jump_tables) {
+      std::vector<std::int32_t> resolved;
+      resolved.reserve(table.size());
+      for (std::int32_t label : table) resolved.push_back(final_of(label));
+      fn.jump_tables.push_back(std::move(resolved));
+    }
+    return fn;
+  }
+
+ private:
+  std::int32_t final_of(int label) const {
+    const auto it = label_final_.find(label);
+    if (it == label_final_.end())
+      throw std::logic_error("regalloc: unbound label");
+    return it->second;
+  }
+
+  void out(Instruction inst) { out_.push_back(inst); }
+
+  void out_simple(Opcode op, std::uint8_t dst = reg::none,
+                  std::uint8_t a = reg::none, std::uint8_t b = reg::none,
+                  std::int64_t imm = 0) {
+    Instruction inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.src1 = a;
+    inst.src2 = b;
+    inst.imm = imm;
+    out(inst);
+  }
+
+  bool spilled(int vreg) const { return alloc_.slot.count(vreg) != 0; }
+
+  std::int64_t slot_offset(int vreg) const {
+    return static_cast<std::int64_t>(alloc_.slot.at(vreg)) * 8;
+  }
+
+  std::uint8_t phys(int vreg) const {
+    return static_cast<std::uint8_t>(alloc_.phys.at(vreg));
+  }
+
+  /// Materializes vreg's value in a register (its home register, or loaded
+  /// into `scratch`).
+  std::uint8_t read_reg(int vreg, std::uint8_t scratch) {
+    if (!spilled(vreg)) return phys(vreg);
+    out_simple(Opcode::load, scratch, reg::fp, reg::none, slot_offset(vreg));
+    return scratch;
+  }
+
+  /// Register the result of an op should be computed into.
+  std::uint8_t dst_reg(int vreg) {
+    return spilled(vreg) ? scratch2_ : phys(vreg);
+  }
+
+  void write_back(int vreg, std::uint8_t computed) {
+    if (spilled(vreg))
+      out_simple(Opcode::store, reg::none, reg::fp, computed,
+                 slot_offset(vreg));
+  }
+
+  void emit_prologue(FunctionBinary& fn) {
+    out_simple(Opcode::frame, reg::none, reg::none, reg::none, fn.frame_size);
+    const int k = static_cast<int>(code_.param_vregs.size());
+    if (k > max_call_args)
+      throw std::logic_error("regalloc: too many parameters");
+    for (int j = 0; j < k; ++j)
+      out_simple(Opcode::push, reg::none, static_cast<std::uint8_t>(j));
+    for (int j = k - 1; j >= 0; --j) {
+      const int vreg = code_.param_vregs[static_cast<std::size_t>(j)];
+      if (spilled(vreg)) {
+        out_simple(Opcode::pop, scratch0_);
+        write_back(vreg, scratch0_);
+      } else {
+        out_simple(Opcode::pop, phys(vreg));
+      }
+    }
+  }
+
+  // Branch targets are label ids encoded as negative placeholders until all
+  // labels have final positions.
+  static std::int32_t placeholder(int label) { return -(label + 2); }
+
+  void patch_branches() {
+    for (Instruction& inst : out_) {
+      if (inst.target <= -2) {
+        const int label = -(inst.target + 2);
+        inst.target = final_of(label);
+      }
+    }
+  }
+
+  void emit_binary_op(const VInst& inst) {
+    const std::uint8_t ra = read_reg(inst.a, scratch0_);
+    const std::uint8_t rb = read_reg(inst.b, scratch1_);
+    const std::uint8_t rd = dst_reg(inst.dst);
+    if (two_operand_ && inst.op != Opcode::cmp) {
+      // x86 destructive two-operand form: dst must alias the left operand.
+      if (rd == ra) {
+        out_simple(inst.op, rd, rd, rb, inst.imm);
+      } else if (rd == rb) {
+        out_simple(Opcode::mov, scratch2_, rb);
+        out_simple(Opcode::mov, rd, ra);
+        out_simple(inst.op, rd, rd, scratch2_, inst.imm);
+      } else {
+        out_simple(Opcode::mov, rd, ra);
+        out_simple(inst.op, rd, rd, rb, inst.imm);
+      }
+    } else {
+      out_simple(inst.op, rd, ra, rb, inst.imm);
+    }
+    write_back(inst.dst, rd);
+  }
+
+  void emit_unary_op(const VInst& inst) {
+    const std::uint8_t ra = read_reg(inst.a, scratch0_);
+    const std::uint8_t rd = dst_reg(inst.dst);
+    if (two_operand_ && rd != ra) {
+      out_simple(Opcode::mov, rd, ra);
+      out_simple(inst.op, rd, rd);
+    } else {
+      out_simple(inst.op, rd, ra);
+    }
+    write_back(inst.dst, rd);
+  }
+
+  void emit_call_like(const VInst& inst) {
+    const int k = static_cast<int>(inst.call_args.size());
+    if (k > max_call_args)
+      throw std::logic_error("regalloc: too many call arguments");
+    // Save caller-held r1..r(k-1); r0 is excluded from live-across vregs.
+    for (int j = 1; j < k; ++j)
+      out_simple(Opcode::push, reg::none, static_cast<std::uint8_t>(j));
+    // An indirect callee id travels via the stack too: the argument pops
+    // below clobber r0..r(k-1), which could hold the id's register.
+    if (inst.op == Opcode::callr) {
+      const std::uint8_t id = read_reg(inst.a, scratch0_);
+      out_simple(Opcode::push, reg::none, id);
+    }
+    // Pass arguments through the stack to avoid shuffle hazards.
+    for (int arg : inst.call_args) {
+      const std::uint8_t r = read_reg(arg, scratch0_);
+      out_simple(Opcode::push, reg::none, r);
+    }
+    for (int j = k - 1; j >= 0; --j)
+      out_simple(Opcode::pop, static_cast<std::uint8_t>(j));
+    if (inst.op == Opcode::callr) {
+      out_simple(Opcode::pop, scratch2_);
+      out_simple(Opcode::callr, reg::none, scratch2_, reg::none);
+    } else {
+      out_simple(inst.op, reg::none, reg::none, reg::none, inst.imm);
+    }
+    for (int j = k - 1; j >= 1; --j)
+      out_simple(Opcode::pop, static_cast<std::uint8_t>(j));
+    if (inst.dst >= 0) {
+      if (spilled(inst.dst)) {
+        write_back(inst.dst, 0);
+      } else if (phys(inst.dst) != 0) {
+        out_simple(Opcode::mov, phys(inst.dst), 0);
+      }
+    }
+  }
+
+  void emit_inst(const VInst& inst) {
+    switch (inst.op) {
+      case Opcode::ldi:
+      case Opcode::ldstr: {
+        const std::uint8_t rd = dst_reg(inst.dst);
+        out_simple(inst.op, rd, reg::none, reg::none, inst.imm);
+        write_back(inst.dst, rd);
+        break;
+      }
+      case Opcode::mov: {
+        const std::uint8_t ra = read_reg(inst.a, scratch0_);
+        if (spilled(inst.dst)) {
+          write_back(inst.dst, ra);
+        } else if (phys(inst.dst) != ra) {
+          out_simple(Opcode::mov, phys(inst.dst), ra);
+        }
+        break;
+      }
+      case Opcode::add: case Opcode::sub: case Opcode::mul:
+      case Opcode::divi: case Opcode::modi: case Opcode::andi:
+      case Opcode::ori: case Opcode::xori: case Opcode::shl:
+      case Opcode::shr: case Opcode::cmp: case Opcode::fadd:
+      case Opcode::fsub: case Opcode::fmul: case Opcode::fdiv:
+        emit_binary_op(inst);
+        break;
+      case Opcode::neg: case Opcode::fneg: case Opcode::cvtif:
+      case Opcode::cvtfi:
+        emit_unary_op(inst);
+        break;
+      case Opcode::load:
+      case Opcode::loadb: {
+        const std::uint8_t ra = read_reg(inst.a, scratch0_);
+        const std::uint8_t rd = dst_reg(inst.dst);
+        out_simple(inst.op, rd, ra, reg::none, inst.imm);
+        write_back(inst.dst, rd);
+        break;
+      }
+      case Opcode::store:
+      case Opcode::storeb: {
+        const std::uint8_t ra = read_reg(inst.a, scratch0_);
+        const std::uint8_t rb = read_reg(inst.b, scratch1_);
+        out_simple(inst.op, reg::none, ra, rb, inst.imm);
+        break;
+      }
+      case Opcode::jmp: {
+        Instruction jump;
+        jump.op = Opcode::jmp;
+        jump.target = placeholder(inst.label);
+        out(jump);
+        break;
+      }
+      case Opcode::beq: case Opcode::bne: case Opcode::blt:
+      case Opcode::bge: case Opcode::bgt: case Opcode::ble: {
+        const std::uint8_t ra = read_reg(inst.a, scratch0_);
+        Instruction branch;
+        branch.op = inst.op;
+        branch.src1 = ra;
+        branch.target = placeholder(inst.label);
+        out(branch);
+        break;
+      }
+      case Opcode::jmpi: {
+        const std::uint8_t ra = read_reg(inst.a, scratch0_);
+        out_simple(Opcode::jmpi, reg::none, ra, reg::none, inst.imm);
+        break;
+      }
+      case Opcode::call:
+      case Opcode::callr:
+      case Opcode::libcall:
+      case Opcode::syscall:
+        emit_call_like(inst);
+        break;
+      case Opcode::ret: {
+        const std::uint8_t ra = read_reg(inst.a, scratch0_);
+        if (ra != 0) out_simple(Opcode::mov, 0, ra);
+        out_simple(Opcode::ret);
+        break;
+      }
+      case Opcode::nop:
+        out_simple(Opcode::nop);
+        break;
+      default:
+        throw std::logic_error("regalloc: unexpected vcode opcode");
+    }
+  }
+
+  const VCode& code_;
+  Arch arch_;
+  bool two_operand_ = false;
+  std::uint8_t scratch0_ = 0, scratch1_ = 0, scratch2_ = 0;
+  Allocation alloc_;
+  std::vector<Instruction> out_;
+  std::unordered_map<int, std::int32_t> label_final_;
+};
+
+}  // namespace
+
+FunctionBinary allocate_and_emit(const VCode& code, Arch arch, OptLevel opt,
+                                 bool spill_all) {
+  Emitter emitter(code, arch, spill_all);
+  FunctionBinary fn = emitter.run();
+  fn.opt = opt;
+  return fn;
+}
+
+}  // namespace patchecko

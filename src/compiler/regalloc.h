@@ -1,0 +1,29 @@
+// Register allocation + final code emission (internal to the compiler).
+//
+// Linear-scan over conservatively extended live intervals. Three registers
+// per architecture are reserved as scratch for spill traffic and x86
+// two-operand fixups; O0 compiles with an empty allocatable pool, which
+// reproduces the classic "-O0 keeps everything in the stack frame" shape.
+//
+// Calling convention (shared with the VM):
+//   * up to 4 arguments are read by the callee from the caller's r0..r3 at
+//     the call instant; the callee runs on a fresh register frame
+//   * the return value arrives in the caller's r0; all other caller
+//     registers are preserved across the call
+//   * the emitter saves/restores r1..r3 around calls with pushes and passes
+//     arguments through the stack (push all, pop into r(k-1)..r0), which is
+//     shuffle-hazard free
+#pragma once
+
+#include "binary/binary.h"
+#include "compiler/vcode.h"
+
+namespace patchecko {
+
+/// Assigns physical registers, expands prologue/calls, resolves labels and
+/// jump tables, and produces executable code. `spill_all` selects the O0
+/// everything-in-memory mode.
+FunctionBinary allocate_and_emit(const VCode& code, Arch arch, OptLevel opt,
+                                 bool spill_all);
+
+}  // namespace patchecko

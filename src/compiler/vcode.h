@@ -1,0 +1,53 @@
+// Virtual-register intermediate code.
+//
+// The compiler lowers MiniC into VCode (unbounded virtual registers, labels,
+// call pseudo-instructions), runs the optimization passes at this level, and
+// only then assigns physical registers and expands calling conventions per
+// architecture (regalloc.h). This mirrors a classic mid-end/back-end split
+// and is what makes one source function genuinely yield 24 distinct binaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace patchecko {
+
+/// One virtual instruction. Registers are virtual ids (>= 0); `label` is a
+/// branch target label id; `labels` lists label ids bound to this
+/// instruction's position; call-like ops carry their argument vregs in
+/// `call_args`.
+struct VInst {
+  Opcode op = Opcode::nop;
+  int dst = -1;
+  int a = -1;
+  int b = -1;
+  std::int64_t imm = 0;
+  int label = -1;
+  std::vector<int> labels;
+  std::vector<int> call_args;
+};
+
+struct VCode {
+  std::vector<VInst> insts;
+  int next_vreg = 0;
+  int next_label = 0;
+  /// Jump tables hold label ids until regalloc resolves them to indices.
+  std::vector<std::vector<std::int32_t>> jump_tables;
+  /// One vreg per parameter, defined by the prologue.
+  std::vector<int> param_vregs;
+
+  int new_vreg() { return next_vreg++; }
+  int new_label() { return next_label++; }
+};
+
+/// True for instructions with no side effect beyond writing `dst` (safely
+/// removable when dst is dead). Loads and div/mod are excluded: they can
+/// trap, and removing a trap changes observable behaviour.
+bool is_pure(const VInst& inst);
+
+/// True when the instruction can transfer control (branches, jumps, ret).
+bool is_control(const VInst& inst);
+
+}  // namespace patchecko

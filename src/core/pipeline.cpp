@@ -1,0 +1,205 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace patchecko {
+
+AnalyzedLibrary analyze_library(const LibraryBinary& library,
+                                unsigned worker_threads) {
+  AnalyzedLibrary analyzed;
+  analyzed.binary = &library;
+  analyzed.features.resize(library.functions.size());
+  parallel_for(library.functions.size(), worker_threads, [&](std::size_t i) {
+    analyzed.features[i] = extract_static_features(library.functions[i]);
+  });
+  return analyzed;
+}
+
+Patchecko::Patchecko(const SimilarityModel* model, PipelineConfig config)
+    : model_(model), config_(config) {}
+
+DetectionOutcome Patchecko::detect(const CveEntry& entry,
+                                   const AnalyzedLibrary& target,
+                                   bool query_is_patched) const {
+  DetectionOutcome outcome;
+  outcome.cve_id = entry.spec.cve_id;
+  outcome.query_is_patched = query_is_patched;
+  outcome.total = target.features.size();
+
+  // Stage 1 matches the cross-platform (db-arch) reference features; Stage 2
+  // compares against the reference profile collected on the target's own
+  // architecture (the paper runs the injected reference binary on-device).
+  const StaticFeatureVector& query_features =
+      query_is_patched ? entry.patched_features : entry.vulnerable_features;
+  const ArchRefs* refs = entry.refs_for(target.binary->arch);
+  const DynamicProfile& query_profile =
+      refs != nullptr
+          ? (query_is_patched ? refs->patched_profile
+                              : refs->vulnerable_profile)
+          : (query_is_patched ? entry.patched_profile
+                              : entry.vulnerable_profile);
+
+  // --- Stage 1: deep-learning classification --------------------------------
+  Stopwatch dl_watch;
+  std::vector<float> candidate_scores;
+  for (std::size_t i = 0; i < target.features.size(); ++i) {
+    const float score = model_->score(query_features, target.features[i]);
+    const bool is_target =
+        target.binary->functions[i].source_uid == entry.target_uid;
+    if (score >= config_.detection_threshold) {
+      outcome.candidates.push_back(i);
+      candidate_scores.push_back(score);
+      if (is_target)
+        ++outcome.true_positives;
+      else
+        ++outcome.false_positives;
+    } else {
+      if (is_target)
+        ++outcome.false_negatives;
+      else
+        ++outcome.true_negatives;
+    }
+  }
+  outcome.dl_seconds = dl_watch.elapsed_seconds();
+
+  // --- Stage 2: execution validation + dynamic ranking ----------------------
+  // Candidates validate and profile independently, so this fans out over
+  // worker threads (Machine::run is stateless per call).
+  Stopwatch da_watch;
+  const Machine machine(*target.binary, config_.machine);
+  std::vector<std::optional<CandidateProfile>> slots(
+      outcome.candidates.size());
+  parallel_for(outcome.candidates.size(), config_.worker_threads,
+               [&](std::size_t c) {
+                 const std::size_t index = outcome.candidates[c];
+                 if (!validate_candidate(machine, index, entry.environments))
+                   return;
+                 slots[c] = CandidateProfile{
+                     index,
+                     profile_function(machine, index, entry.environments),
+                     candidate_scores[c]};
+               });
+  std::vector<CandidateProfile> profiles;
+  profiles.reserve(slots.size());
+  for (auto& slot : slots)
+    if (slot.has_value()) profiles.push_back(std::move(*slot));
+  outcome.executed = profiles.size();
+  outcome.ranking =
+      rank_by_similarity(query_profile, profiles, config_.minkowski_p);
+  for (std::size_t r = 0; r < outcome.ranking.size(); ++r) {
+    const std::size_t index = outcome.ranking[r].function_index;
+    if (target.binary->functions[index].source_uid == entry.target_uid) {
+      outcome.rank_of_target = static_cast<int>(r) + 1;
+      break;
+    }
+  }
+  outcome.da_seconds = da_watch.elapsed_seconds();
+  return outcome;
+}
+
+PatchDecision Patchecko::analyze_patch(const CveEntry& entry,
+                                       const AnalyzedLibrary& target,
+                                       std::size_t target_function) const {
+  const FunctionBinary& fn = target.binary->functions[target_function];
+  const StaticFeatureVector target_features = target.features[target_function];
+  const DiffSignature target_signature = make_signature(fn);
+
+  const Machine machine(*target.binary, config_.machine);
+  const DynamicProfile target_profile =
+      profile_function(machine, target_function, entry.environments);
+
+  // Prefer the architecture-matched references: comparing an ARM target to
+  // x86 references would drown patch-sized deltas in codegen noise.
+  const ArchRefs* refs = entry.refs_for(target.binary->arch);
+  const StaticFeatureVector& ref_vuln_features =
+      refs != nullptr ? refs->vulnerable_features : entry.vulnerable_features;
+  const StaticFeatureVector& ref_patch_features =
+      refs != nullptr ? refs->patched_features : entry.patched_features;
+  const DiffSignature& ref_vuln_signature =
+      refs != nullptr ? refs->vulnerable_signature
+                      : entry.vulnerable_signature;
+  const DiffSignature& ref_patch_signature =
+      refs != nullptr ? refs->patched_signature : entry.patched_signature;
+  const DynamicProfile& ref_vuln_profile =
+      refs != nullptr ? refs->vulnerable_profile : entry.vulnerable_profile;
+  const DynamicProfile& ref_patch_profile =
+      refs != nullptr ? refs->patched_profile : entry.patched_profile;
+
+  const double dist_vulnerable = profile_distance(
+      ref_vuln_profile, target_profile, config_.minkowski_p);
+  const double dist_patched = profile_distance(
+      ref_patch_profile, target_profile, config_.minkowski_p);
+
+  return detect_patch(ref_vuln_features, ref_patch_features, target_features,
+                      ref_vuln_signature, ref_patch_signature,
+                      target_signature, dist_vulnerable, dist_patched);
+}
+
+PatchReport Patchecko::full_report(const CveEntry& entry,
+                                   const AnalyzedLibrary& target) const {
+  PatchReport report;
+  report.cve_id = entry.spec.cve_id;
+
+  // Section II-B: "PATCHECKO will ... restart the whole process based on the
+  // patched version of the vulnerable function" — both references always
+  // drive a search, because either one alone can miss (the vulnerable query
+  // misses heavily-patched targets, the paper's CVE-2017-13209 case).
+  const DetectionOutcome from_vulnerable =
+      detect(entry, target, /*query_is_patched=*/false);
+  const DetectionOutcome from_patched =
+      detect(entry, target, /*query_is_patched=*/true);
+
+  // Pool the top candidates of both rankings; the differential subject is
+  // the one nearest to *either* reference profile (a false positive is far
+  // from both). No ground-truth knowledge is involved.
+  std::vector<std::size_t> pool;
+  for (const DetectionOutcome* outcome : {&from_vulnerable, &from_patched}) {
+    const std::size_t considered =
+        std::min(config_.patch_candidates, outcome->ranking.size());
+    for (std::size_t r = 0; r < considered; ++r) {
+      const std::size_t index = outcome->ranking[r].function_index;
+      if (std::find(pool.begin(), pool.end(), index) == pool.end())
+        pool.push_back(index);
+    }
+  }
+  if (pool.empty()) return report;
+
+  const Machine machine(*target.binary, config_.machine);
+  const ArchRefs* refs = entry.refs_for(target.binary->arch);
+  const DynamicProfile& ref_vuln_profile =
+      refs != nullptr ? refs->vulnerable_profile : entry.vulnerable_profile;
+  const DynamicProfile& ref_patch_profile =
+      refs != nullptr ? refs->patched_profile : entry.patched_profile;
+  std::size_t best = pool.front();
+  double best_distance = std::numeric_limits<double>::infinity();
+  std::size_t best_effects = 0;
+  for (std::size_t index : pool) {
+    const DynamicProfile profile =
+        profile_function(machine, index, entry.environments);
+    const double distance = std::min(
+        profile_distance(ref_vuln_profile, profile, config_.minkowski_p),
+        profile_distance(ref_patch_profile, profile, config_.minkowski_p));
+    // Trace-distance ties (count-identical lookalikes) break on memory-
+    // effect agreement with either reference: only the true match computes
+    // the same values, not just the same instruction counts.
+    const std::size_t effects =
+        std::max(effect_matches(ref_vuln_profile, profile),
+                 effect_matches(ref_patch_profile, profile));
+    if (distance < best_distance ||
+        (distance == best_distance && effects > best_effects)) {
+      best_distance = distance;
+      best_effects = effects;
+      best = index;
+    }
+  }
+  report.matched_function = best;
+  report.decision = analyze_patch(entry, target, best);
+  return report;
+}
+
+}  // namespace patchecko

@@ -1,0 +1,106 @@
+// The PATCHECKO pipeline (Figure 1): deep-learning candidate detection,
+// execution validation, dynamic similarity ranking, and patch-presence
+// analysis over a stripped target library.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cve_database.h"
+#include "dl/similarity_model.h"
+
+namespace patchecko {
+
+struct PipelineConfig {
+  /// DL similarity cut for candidates. Slightly below 0.5 so a true match
+  /// behind a small patch still enters the (dynamically pruned) candidate
+  /// set; the dynamic stage eliminates the extra false positives.
+  float detection_threshold = 0.4f;
+  double minkowski_p = 3.0;  ///< Eq. (1) order
+  /// The differential stage examines this many top-ranked candidates and
+  /// picks the one nearest to either reference profile.
+  std::size_t patch_candidates = 3;
+  /// Worker threads for Stage 2 (candidate validation + profiling). The
+  /// paper parallelizes environment execution and lists per-candidate
+  /// parallelism as future work; this implements both. 1 = sequential.
+  unsigned worker_threads = 1;
+  MachineConfig machine;
+};
+
+/// A target library with its static features precomputed (shared across all
+/// CVE queries against the same library).
+struct AnalyzedLibrary {
+  const LibraryBinary* binary = nullptr;
+  std::vector<StaticFeatureVector> features;
+};
+
+/// Extracts the 48 static features of every function, optionally across
+/// worker threads.
+AnalyzedLibrary analyze_library(const LibraryBinary& library,
+                                unsigned worker_threads = 1);
+
+/// Everything Tables VI/VII report for one (CVE, query-version, target).
+struct DetectionOutcome {
+  std::string cve_id;
+  bool query_is_patched = false;
+
+  // Stage 1: deep-learning classification over all target functions.
+  std::size_t total = 0;
+  int true_positives = 0;
+  int true_negatives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+  std::vector<std::size_t> candidates;
+  double dl_seconds = 0.0;
+
+  // Stage 2: execution validation + dynamic similarity ranking.
+  std::size_t executed = 0;  ///< candidates surviving input validation
+  std::vector<RankedCandidate> ranking;
+  int rank_of_target = -1;   ///< 1-based; -1 when the target was missed
+  double da_seconds = 0.0;
+
+  double false_positive_rate() const {
+    const int negatives = true_negatives + false_positives;
+    return negatives == 0 ? 0.0
+                          : static_cast<double>(false_positives) /
+                                static_cast<double>(negatives);
+  }
+};
+
+/// Result of the differential stage plus the target it was applied to.
+struct PatchReport {
+  std::string cve_id;
+  std::optional<std::size_t> matched_function;  ///< top-ranked candidate
+  std::optional<PatchDecision> decision;        ///< absent if nothing matched
+};
+
+class Patchecko {
+ public:
+  Patchecko(const SimilarityModel* model, PipelineConfig config = {});
+
+  /// Stages 1+2 for one CVE against an analyzed target library.
+  /// `query_is_patched` selects which reference drives the search
+  /// (Table VI = vulnerable, Table VII = patched).
+  DetectionOutcome detect(const CveEntry& entry,
+                          const AnalyzedLibrary& target,
+                          bool query_is_patched) const;
+
+  /// Differential stage on one matched target function.
+  PatchDecision analyze_patch(const CveEntry& entry,
+                              const AnalyzedLibrary& target,
+                              std::size_t target_function) const;
+
+  /// Full workflow: detect with the vulnerable query, take the top-ranked
+  /// candidate, and decide patch presence.
+  PatchReport full_report(const CveEntry& entry,
+                          const AnalyzedLibrary& target) const;
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  const SimilarityModel* model_;
+  PipelineConfig config_;
+};
+
+}  // namespace patchecko

@@ -1,0 +1,139 @@
+#include "diff/differential.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "binary/cfg.h"
+
+namespace patchecko {
+
+DiffSignature make_signature(const FunctionBinary& function) {
+  DiffSignature sig;
+  for (const Instruction& inst : function.code) {
+    if (inst.op == Opcode::libcall) {
+      const auto fn = static_cast<std::size_t>(inst.imm);
+      if (fn < libfn_count) ++sig.libcall_counts[fn];
+    }
+    if (inst.op == Opcode::ldstr) ++sig.string_refs;
+    if (is_conditional_branch(inst.op)) ++sig.conditional_branches;
+  }
+  const Cfg cfg = build_cfg(function);
+  sig.basic_blocks = static_cast<int>(cfg.block_count());
+  sig.edges = static_cast<int>(cfg.graph.edge_count());
+  sig.cyclomatic = cfg.graph.cyclomatic_complexity();
+  sig.params = static_cast<int>(function.param_types.size());
+  sig.frame_size = function.frame_size;
+  sig.jump_tables = static_cast<int>(function.jump_tables.size());
+  return sig;
+}
+
+double signature_distance(const DiffSignature& a, const DiffSignature& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < libfn_count; ++i)
+    d += std::abs(a.libcall_counts[i] - b.libcall_counts[i]);
+  d += std::abs(a.basic_blocks - b.basic_blocks);
+  d += std::abs(a.edges - b.edges);
+  d += std::abs(static_cast<double>(a.cyclomatic - b.cyclomatic));
+  d += std::abs(a.params - b.params);
+  d += std::abs(static_cast<double>(a.frame_size - b.frame_size)) / 8.0;
+  d += std::abs(a.jump_tables - b.jump_tables);
+  d += std::abs(a.string_refs - b.string_refs);
+  d += std::abs(a.conditional_branches - b.conditional_branches);
+  return d;
+}
+
+namespace {
+
+// Votes for whichever reference the target value sits closer to.
+void vote_closer(double target, double vulnerable, double patched,
+                 double weight, PatchDecision& decision) {
+  if (vulnerable == patched) return;  // the patch did not move this metric
+  const double dv = std::abs(target - vulnerable);
+  const double dp = std::abs(target - patched);
+  if (dv < dp)
+    decision.votes_vulnerable += weight;
+  else if (dp < dv)
+    decision.votes_patched += weight;
+}
+
+}  // namespace
+
+PatchDecision detect_patch(const StaticFeatureVector& vulnerable_features,
+                           const StaticFeatureVector& patched_features,
+                           const StaticFeatureVector& target_features,
+                           const DiffSignature& vulnerable_signature,
+                           const DiffSignature& patched_signature,
+                           const DiffSignature& target_signature,
+                           double dyn_dist_vulnerable,
+                           double dyn_dist_patched) {
+  PatchDecision decision;
+  decision.dynamic_distance_vulnerable = dyn_dist_vulnerable;
+  decision.dynamic_distance_patched = dyn_dist_patched;
+
+  // 1. Static feature votes: only features the patch itself moved count.
+  for (std::size_t i = 0; i < static_feature_count; ++i)
+    vote_closer(target_features[i], vulnerable_features[i],
+                patched_features[i], 1.0, decision);
+
+  // 2. Signature markers. Library-call differences are the strongest
+  //    indicator (e.g. the memmove that CVE-2018-9412's patch removed).
+  for (std::size_t fn = 0; fn < libfn_count; ++fn) {
+    const int cv = vulnerable_signature.libcall_counts[fn];
+    const int cp = patched_signature.libcall_counts[fn];
+    if (cv == cp) continue;
+    const int ct = target_signature.libcall_counts[fn];
+    const bool towards_vulnerable =
+        std::abs(ct - cv) < std::abs(ct - cp);
+    if (towards_vulnerable)
+      decision.votes_vulnerable += 3.0;
+    else
+      decision.votes_patched += 3.0;
+    std::ostringstream note;
+    note << libfn_name(static_cast<LibFn>(fn)) << " count " << ct
+         << " (vulnerable=" << cv << ", patched=" << cp << ") -> "
+         << (towards_vulnerable ? "vulnerable" : "patched");
+    decision.evidence.push_back(note.str());
+  }
+  vote_closer(target_signature.basic_blocks, vulnerable_signature.basic_blocks,
+              patched_signature.basic_blocks, 2.0, decision);
+  vote_closer(target_signature.edges, vulnerable_signature.edges,
+              patched_signature.edges, 2.0, decision);
+  vote_closer(static_cast<double>(target_signature.cyclomatic),
+              static_cast<double>(vulnerable_signature.cyclomatic),
+              static_cast<double>(patched_signature.cyclomatic), 2.0,
+              decision);
+  vote_closer(target_signature.conditional_branches,
+              vulnerable_signature.conditional_branches,
+              patched_signature.conditional_branches, 1.5, decision);
+
+  // 3. Dynamic semantic similarity (Stage-2 distances).
+  if (std::isfinite(dyn_dist_vulnerable) && std::isfinite(dyn_dist_patched) &&
+      dyn_dist_vulnerable != dyn_dist_patched) {
+    const bool towards_vulnerable = dyn_dist_vulnerable < dyn_dist_patched;
+    if (towards_vulnerable)
+      decision.votes_vulnerable += 4.0;
+    else
+      decision.votes_patched += 4.0;
+    std::ostringstream note;
+    note << "dynamic distance " << dyn_dist_vulnerable << " vs "
+         << dyn_dist_patched << " -> "
+         << (towards_vulnerable ? "vulnerable" : "patched");
+    decision.evidence.push_back(note.str());
+  }
+
+  // Verdict. A tie means the patch left no measurable trace (the
+  // single-constant CVE-2018-9470 shape); like the paper's engine we then
+  // conclude "patched" — and misclassify exactly that case.
+  if (decision.votes_vulnerable > decision.votes_patched) {
+    decision.verdict = PatchVerdict::vulnerable;
+  } else {
+    decision.verdict = PatchVerdict::patched;
+    if (decision.votes_vulnerable == decision.votes_patched)
+      decision.evidence.push_back(
+          "no distinguishing marker between vulnerable and patched "
+          "references; defaulting to patched");
+  }
+  return decision;
+}
+
+}  // namespace patchecko

@@ -1,0 +1,69 @@
+// The differential engine (Section III-D): patch-presence detection.
+//
+// Given the CVE's vulnerable reference f_v, the patched reference f_p, and
+// the matched target f_t, the engine combines three evidence sources:
+//   1. static features — per-feature votes on whether f_t sits closer to
+//      f_v or f_p on every feature the patch actually changed,
+//   2. differential signatures — CFG topology plus semantic markers
+//      (library-call sets, dispatch tables, frame layout); a library call
+//      that the patch removed (e.g. CVE-2018-9412's memmove) is a
+//      high-weight marker,
+//   3. dynamic semantic similarity — sim(f_v, f_t) vs sim(f_p, f_t).
+//
+// A patch that changes only a constant value (the paper's CVE-2018-9470)
+// leaves every evidence source indistinguishable; the engine then defaults
+// to "patched", reproducing the paper's single misclassification.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "binary/binary.h"
+#include "features/static_features.h"
+
+namespace patchecko {
+
+/// Semantic signature used for the differential comparison. Deliberately
+/// excludes immediate *values* (too noisy across compilations) — which is
+/// exactly why a one-integer patch is invisible to it.
+struct DiffSignature {
+  std::array<int, libfn_count> libcall_counts{};
+  int basic_blocks = 0;
+  int edges = 0;
+  long cyclomatic = 0;
+  int params = 0;
+  std::int64_t frame_size = 0;
+  int jump_tables = 0;
+  int string_refs = 0;
+  int conditional_branches = 0;
+};
+
+DiffSignature make_signature(const FunctionBinary& function);
+
+/// L1 distance over the signature fields (libcall counts + topology).
+double signature_distance(const DiffSignature& a, const DiffSignature& b);
+
+enum class PatchVerdict : std::uint8_t { vulnerable, patched };
+
+struct PatchDecision {
+  PatchVerdict verdict = PatchVerdict::vulnerable;
+  double votes_vulnerable = 0.0;
+  double votes_patched = 0.0;
+  double dynamic_distance_vulnerable = 0.0;
+  double dynamic_distance_patched = 0.0;
+  std::vector<std::string> evidence;  ///< human-readable markers
+};
+
+/// Runs the differential analysis. `dyn_dist_*` are the Stage-2 similarity
+/// scores of the target against each reference (lower = more similar).
+PatchDecision detect_patch(const StaticFeatureVector& vulnerable_features,
+                           const StaticFeatureVector& patched_features,
+                           const StaticFeatureVector& target_features,
+                           const DiffSignature& vulnerable_signature,
+                           const DiffSignature& patched_signature,
+                           const DiffSignature& target_signature,
+                           double dyn_dist_vulnerable,
+                           double dyn_dist_patched);
+
+}  // namespace patchecko

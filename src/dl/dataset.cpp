@@ -1,0 +1,181 @@
+#include "dl/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "source/generator.h"
+#include "source/mutate.h"
+#include "util/rng.h"
+
+namespace patchecko {
+
+std::vector<FunctionVariants> build_variant_corpus(
+    const DatasetConfig& config) {
+  Rng rng(config.seed);
+  std::vector<FunctionVariants> corpus;
+  corpus.reserve(config.library_count * config.functions_per_library);
+
+  for (std::size_t lib_index = 0; lib_index < config.library_count;
+       ++lib_index) {
+    const std::uint64_t lib_seed = rng.fork(lib_index + 1)();
+    const SourceLibrary source = generate_library(
+        "trainlib_" + std::to_string(lib_index), lib_seed,
+        config.functions_per_library);
+    const std::uint64_t uid_base =
+        (static_cast<std::uint64_t>(lib_index) + 1) << 20;
+
+    const std::size_t first = corpus.size();
+    for (std::size_t f = 0; f < source.functions.size(); ++f) {
+      FunctionVariants fv;
+      fv.uid = uid_base + f;
+      corpus.push_back(std::move(fv));
+    }
+
+    Rng fail_rng = rng.fork(0x5eed + lib_index);
+    for (Arch arch : all_arches) {
+      for (OptLevel opt : all_opt_levels) {
+        if (fail_rng.chance(config.build_failure_rate)) continue;  // "didn't build"
+        const LibraryBinary binary =
+            compile_library(source, arch, opt, uid_base);
+        for (std::size_t f = 0; f < binary.functions.size(); ++f)
+          corpus[first + f].variants.push_back(
+              extract_static_features(binary.functions[f]));
+      }
+    }
+
+    // Small-edit augmentation: a sample of functions also contributes
+    // variants whose *source* received a one-line patch-shaped edit.
+    for (std::size_t f = 0; f < source.functions.size(); ++f)
+      corpus[first + f].first_mutated = corpus[first + f].variants.size();
+    Rng mut_rng = rng.fork(0x307a7e + lib_index);
+    static const PatchKind small_kinds[] = {
+        PatchKind::off_by_one, PatchKind::constant_tweak,
+        PatchKind::add_skip_condition, PatchKind::add_bounds_guard};
+    for (std::size_t f = 0; f < source.functions.size(); ++f) {
+      if (!mut_rng.chance(config.mutation_positive_fraction)) continue;
+      const PatchKind kind =
+          small_kinds[static_cast<std::size_t>(mut_rng.uniform(0, 3))];
+      const auto mutated = apply_patch(source.functions[f], kind, mut_rng);
+      if (!mutated) continue;
+      SourceLibrary edited = source;
+      edited.functions[f] = *mutated;
+      for (int k = 0; k < 3; ++k) {
+        const Arch arch = all_arches[static_cast<std::size_t>(
+            mut_rng.uniform(0, 3))];
+        const OptLevel opt = all_opt_levels[static_cast<std::size_t>(
+            mut_rng.uniform(0, 5))];
+        corpus[first + f].variants.push_back(extract_static_features(
+            compile_function(edited, f, arch, opt, uid_base)));
+      }
+    }
+  }
+  return corpus;
+}
+
+namespace {
+
+void append_pair(PairDataset& set, const FeatureNormalizer& normalizer,
+                 const StaticFeatureVector& a, const StaticFeatureVector& b,
+                 float label, std::vector<float>& flat) {
+  const StaticFeatureVector na = normalizer.transform(a);
+  const StaticFeatureVector nb = normalizer.transform(b);
+  for (double v : na) flat.push_back(static_cast<float>(v));
+  for (double v : nb) flat.push_back(static_cast<float>(v));
+  set.y.push_back(label);
+}
+
+}  // namespace
+
+DatasetBundle build_pair_dataset(const std::vector<FunctionVariants>& corpus,
+                                 const DatasetConfig& config) {
+  DatasetBundle bundle;
+  Rng rng(config.seed ^ 0xda7a5e7);
+
+  // Usable functions need at least two variants for a positive pair.
+  std::vector<std::size_t> usable;
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    if (corpus[i].variants.size() >= 2) usable.push_back(i);
+  std::shuffle(usable.begin(), usable.end(), rng);
+
+  const auto n = usable.size();
+  const auto train_end =
+      static_cast<std::size_t>(static_cast<double>(n) * config.train_fraction);
+  const auto val_end = train_end + static_cast<std::size_t>(
+                                       static_cast<double>(n) *
+                                       config.val_fraction);
+
+  // Normalizer: fitted on training-split raw vectors only (no leakage).
+  std::vector<StaticFeatureVector> train_vectors;
+  for (std::size_t k = 0; k < train_end; ++k)
+    for (const auto& v : corpus[usable[k]].variants)
+      train_vectors.push_back(v);
+  bundle.normalizer.fit(train_vectors);
+
+  bundle.corpus_functions = corpus.size();
+  for (const auto& fv : corpus) bundle.corpus_variants += fv.variants.size();
+
+  struct SplitRange {
+    std::size_t begin, end;
+    PairDataset* set;
+  };
+
+  std::vector<float> train_flat, val_flat, test_flat;
+  const SplitRange ranges[3] = {
+      {0, train_end, &bundle.train},
+      {train_end, val_end, &bundle.val},
+      {val_end, n, &bundle.test},
+  };
+  std::vector<float>* flats[3] = {&train_flat, &val_flat, &test_flat};
+
+  for (int s = 0; s < 3; ++s) {
+    const SplitRange& range = ranges[s];
+    std::vector<float>& flat = *flats[s];
+    for (std::size_t k = range.begin; k < range.end; ++k) {
+      const FunctionVariants& fn = corpus[usable[k]];
+      const auto vcount = static_cast<std::int64_t>(fn.variants.size());
+      for (std::size_t p = 0; p < config.positives_per_function; ++p) {
+        // Positive: two distinct variants of the same function. Functions
+        // with small-edit variants dedicate half their positives to
+        // (pristine, edited) cross pairs — the patch-tolerance signal.
+        std::size_t i, j;
+        if (fn.has_mutated() && p % 2 == 1 && fn.first_mutated > 0) {
+          i = static_cast<std::size_t>(rng.uniform(
+              0, static_cast<std::int64_t>(fn.first_mutated) - 1));
+          j = fn.first_mutated + static_cast<std::size_t>(rng.uniform(
+              0, static_cast<std::int64_t>(fn.variants.size() -
+                                           fn.first_mutated) - 1));
+        } else {
+          i = static_cast<std::size_t>(rng.uniform(0, vcount - 1));
+          j = static_cast<std::size_t>(rng.uniform(0, vcount - 2));
+          if (j >= i) ++j;
+        }
+        append_pair(*range.set, bundle.normalizer, fn.variants[i],
+                    fn.variants[j], 1.f, flat);
+        // Negative: a variant of a *different* function from the same split
+        // (keeps splits leak-free).
+        const std::size_t other_k = range.begin + static_cast<std::size_t>(
+            rng.uniform(0,
+                        static_cast<std::int64_t>(range.end - range.begin) -
+                            1));
+        if (usable[other_k] == usable[k]) {
+          // Degenerate single-function split: skip the negative.
+          continue;
+        }
+        const FunctionVariants& other = corpus[usable[other_k]];
+        const auto oi = static_cast<std::size_t>(rng.uniform(
+            0, static_cast<std::int64_t>(other.variants.size()) - 1));
+        append_pair(*range.set, bundle.normalizer, fn.variants[i],
+                    other.variants[oi], 0.f, flat);
+      }
+    }
+    range.set->x.rows = range.set->y.size();
+    range.set->x.cols = 2 * static_feature_count;
+    range.set->x.data = std::move(flat);
+  }
+
+  return bundle;
+}
+
+}  // namespace patchecko

@@ -1,0 +1,108 @@
+#include "dl/similarity_model.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace patchecko {
+
+std::vector<float> SimilarityModel::pair_input(
+    const StaticFeatureVector& a, const StaticFeatureVector& b) const {
+  const StaticFeatureVector na = normalizer_.transform(a);
+  const StaticFeatureVector nb = normalizer_.transform(b);
+  std::vector<float> input;
+  input.reserve(2 * static_feature_count);
+  for (double v : na) input.push_back(static_cast<float>(v));
+  for (double v : nb) input.push_back(static_cast<float>(v));
+  return input;
+}
+
+float SimilarityModel::score(const StaticFeatureVector& a,
+                             const StaticFeatureVector& b) const {
+  // The pair input is ordered; symmetrize so score(a,b) == score(b,a) and a
+  // single lopsided prediction cannot drop a true match.
+  const float forward = network_.predict_one(pair_input(a, b));
+  const float backward = network_.predict_one(pair_input(b, a));
+  return 0.5f * (forward + backward);
+}
+
+namespace {
+constexpr std::uint32_t model_magic = 0x504b4d4c;  // "PKML"
+}
+
+bool SimilarityModel::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  auto put_u32 = [&](std::uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put_f64 = [&](double v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u32(model_magic);
+  for (double v : normalizer_.means()) put_f64(v);
+  for (double v : normalizer_.stddevs()) put_f64(v);
+  put_u32(static_cast<std::uint32_t>(network_.layers().size()));
+  for (const DenseLayer& layer : network_.layers()) {
+    put_u32(static_cast<std::uint32_t>(layer.in_dim()));
+    put_u32(static_cast<std::uint32_t>(layer.out_dim()));
+    out.write(reinterpret_cast<const char*>(layer.weights().data()),
+              static_cast<std::streamsize>(layer.weights().size() *
+                                           sizeof(float)));
+    out.write(reinterpret_cast<const char*>(layer.biases().data()),
+              static_cast<std::streamsize>(layer.biases().size() *
+                                           sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<SimilarityModel> SimilarityModel::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  auto get_u32 = [&]() {
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  auto get_f64 = [&]() {
+    double v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  if (get_u32() != model_magic) return std::nullopt;
+  StaticFeatureVector mean{}, stddev{};
+  for (double& v : mean) v = get_f64();
+  for (double& v : stddev) v = get_f64();
+  FeatureNormalizer normalizer;
+  normalizer.set_parameters(mean, stddev);
+
+  const std::uint32_t layer_count = get_u32();
+  if (!in || layer_count == 0 || layer_count > 64) return std::nullopt;
+  std::vector<std::size_t> dims;
+  std::vector<std::pair<std::vector<float>, std::vector<float>>> params;
+  for (std::uint32_t l = 0; l < layer_count; ++l) {
+    const std::uint32_t in_dim = get_u32();
+    const std::uint32_t out_dim = get_u32();
+    if (!in || in_dim == 0 || out_dim == 0 || in_dim > 4096 ||
+        out_dim > 4096)
+      return std::nullopt;
+    if (l == 0) dims.push_back(in_dim);
+    dims.push_back(out_dim);
+    std::vector<float> weights(static_cast<std::size_t>(in_dim) * out_dim);
+    std::vector<float> biases(out_dim);
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(float)));
+    in.read(reinterpret_cast<char*>(biases.data()),
+            static_cast<std::streamsize>(biases.size() * sizeof(float)));
+    params.emplace_back(std::move(weights), std::move(biases));
+  }
+  if (!in) return std::nullopt;
+
+  Network network(dims, /*seed=*/0);
+  for (std::size_t l = 0; l < params.size(); ++l) {
+    network.layers()[l].weights() = std::move(params[l].first);
+    network.layers()[l].biases() = std::move(params[l].second);
+  }
+  return SimilarityModel(std::move(network), std::move(normalizer));
+}
+
+}  // namespace patchecko

@@ -1,0 +1,45 @@
+// The trained similarity classifier bundled with its feature normalizer.
+//
+// score(a, b) is the probability that two binary functions come from the
+// same source code (the paper's Stage-1 detector). The normalizer fitted on
+// the training corpus travels with the network so inference applies the
+// identical transform.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dl/network.h"
+#include "features/static_features.h"
+
+namespace patchecko {
+
+class SimilarityModel {
+ public:
+  SimilarityModel() = default;
+  SimilarityModel(Network network, FeatureNormalizer normalizer)
+      : network_(std::move(network)), normalizer_(std::move(normalizer)) {}
+
+  /// Probability in [0,1] that `a` and `b` are same-source. Raw (untrans-
+  /// formed) feature vectors in.
+  float score(const StaticFeatureVector& a,
+              const StaticFeatureVector& b) const;
+
+  /// Builds the normalized 96-wide pair input (exposed for batch scoring).
+  std::vector<float> pair_input(const StaticFeatureVector& a,
+                                const StaticFeatureVector& b) const;
+
+  const Network& network() const { return network_; }
+  Network& network() { return network_; }
+  const FeatureNormalizer& normalizer() const { return normalizer_; }
+
+  /// Binary serialization (weights + normalizer). Returns false on I/O error.
+  bool save(const std::string& path) const;
+  static std::optional<SimilarityModel> load(const std::string& path);
+
+ private:
+  Network network_;
+  FeatureNormalizer normalizer_;
+};
+
+}  // namespace patchecko

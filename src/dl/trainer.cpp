@@ -1,0 +1,50 @@
+#include "dl/trainer.h"
+
+#include <cstdio>
+
+namespace patchecko {
+
+TrainingRun train_similarity_model(const TrainerConfig& config) {
+  TrainingRun run;
+
+  const auto corpus = build_variant_corpus(config.dataset);
+  DatasetBundle bundle = build_pair_dataset(corpus, config.dataset);
+  run.train_pairs = bundle.train.y.size();
+  run.val_pairs = bundle.val.y.size();
+  run.test_pairs = bundle.test.y.size();
+
+  Network network = Network::make_patchecko_model(config.model_seed);
+  Rng rng(config.model_seed ^ 0x7ea1);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const EpochStats train_stats =
+        network.train_epoch(bundle.train.x, bundle.train.y, config.optimizer,
+                            rng);
+    const EpochStats val_stats = network.evaluate(bundle.val.x, bundle.val.y);
+    run.train_history.push_back(train_stats);
+    run.val_history.push_back(val_stats);
+    if (config.verbose) {
+      std::printf(
+          "epoch %2zu  train_acc=%.4f train_loss=%.4f  val_acc=%.4f "
+          "val_loss=%.4f\n",
+          epoch + 1, train_stats.accuracy, train_stats.loss,
+          val_stats.accuracy, val_stats.loss);
+    }
+  }
+
+  const std::vector<float> test_scores = network.predict(bundle.test.x);
+  run.test_accuracy = accuracy_score(test_scores, bundle.test.y);
+  run.test_auc = auc_score(test_scores, bundle.test.y);
+  run.model = SimilarityModel(std::move(network), bundle.normalizer);
+  return run;
+}
+
+SimilarityModel load_or_train_model(const std::string& cache_path,
+                                    const TrainerConfig& config) {
+  if (auto cached = SimilarityModel::load(cache_path)) return *cached;
+  TrainingRun run = train_similarity_model(config);
+  (void)run.model.save(cache_path);  // best effort; training result is valid
+  return std::move(run.model);
+}
+
+}  // namespace patchecko

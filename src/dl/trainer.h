@@ -1,0 +1,38 @@
+// End-to-end training driver for the similarity classifier (Figure 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dl/dataset.h"
+#include "dl/similarity_model.h"
+
+namespace patchecko {
+
+struct TrainerConfig {
+  DatasetConfig dataset;
+  TrainConfig optimizer;
+  std::size_t epochs = 12;
+  std::uint64_t model_seed = 7;
+  bool verbose = false;  ///< print per-epoch accuracy/loss (Figure 8 series)
+};
+
+struct TrainingRun {
+  SimilarityModel model;
+  std::vector<EpochStats> train_history;
+  std::vector<EpochStats> val_history;
+  double test_accuracy = 0.0;
+  double test_auc = 0.0;
+  std::size_t train_pairs = 0, val_pairs = 0, test_pairs = 0;
+};
+
+/// Builds Dataset I, trains the 6-layer model, reports test accuracy + AUC.
+TrainingRun train_similarity_model(const TrainerConfig& config);
+
+/// Loads a cached model from `cache_path` if present; otherwise trains with
+/// `config` and saves to the cache. Deterministic given the config, so every
+/// benchmark binary shares one model.
+SimilarityModel load_or_train_model(const std::string& cache_path,
+                                    const TrainerConfig& config);
+
+}  // namespace patchecko

@@ -1,0 +1,193 @@
+#include "features/static_features.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/stats.h"
+
+namespace patchecko {
+
+std::string_view static_feature_name(std::size_t index) {
+  static constexpr std::array<std::string_view, static_feature_count> names{
+      "num_constant",        "num_string",          "num_inst",
+      "size_local",          "fun_flag",            "num_import",
+      "num_ox",              "num_cx",              "size_fun",
+      "min_i_b",             "max_i_b",             "avg_i_b",
+      "std_i_b",             "min_s_b",             "max_s_b",
+      "avg_s_b",             "std_s_b",             "num_bb",
+      "num_edge",            "cyclomatic",          "fcb_normal",
+      "fcb_indjump",         "fcb_ret",             "fcb_cndret",
+      "fcb_noret",           "fcb_enoret",          "fcb_extern",
+      "fcb_error",           "min_call_b",          "max_call_b",
+      "avg_call_b",          "std_call_b",          "sum_call_b",
+      "min_arith_b",         "max_arith_b",         "avg_arith_b",
+      "std_arith_b",         "sum_arith_b",         "min_arith_fp_b",
+      "max_arith_fp_b",      "avg_arith_fp_b",      "std_arith_fp_b",
+      "sum_arith_fp_b",      "min_betweeness_cent", "max_betweeness_cent",
+      "avg_betweeness_cent", "std_betweeness_cent", "betweeness_cent_zero"};
+  return index < names.size() ? names[index] : "unknown";
+}
+
+StaticFeatureVector extract_static_features(const FunctionBinary& function) {
+  return extract_static_features(function, build_cfg(function));
+}
+
+StaticFeatureVector extract_static_features(const FunctionBinary& function,
+                                            const Cfg& cfg) {
+  StaticFeatureVector f{};
+  const auto& code = function.code;
+
+  // --- whole-function counters ------------------------------------------------
+  double num_constant = 0, num_string = 0, num_cx = 0;
+  std::set<LibFn> imports;
+  std::set<std::int32_t> code_refs;
+  bool has_fp = false;
+  for (const Instruction& inst : code) {
+    if (inst.op == Opcode::ldi) ++num_constant;
+    if (inst.op == Opcode::ldstr) ++num_string;
+    if (is_call(inst.op)) ++num_cx;
+    if (inst.op == Opcode::libcall)
+      imports.insert(static_cast<LibFn>(inst.imm));
+    if (is_fp_arith(inst.op)) has_fp = true;
+    if (inst.target >= 0) code_refs.insert(inst.target);
+    if (inst.op == Opcode::jmpi) {
+      const auto table_id = static_cast<std::size_t>(inst.imm);
+      if (table_id < function.jump_tables.size())
+        for (std::int32_t entry : function.jump_tables[table_id])
+          code_refs.insert(entry);
+    }
+  }
+
+  // fun_flag: a small bitmask of structural properties (the paper's IDA
+  // FUNC_* flags analog).
+  double fun_flag = 0.0;
+  if (!function.jump_tables.empty()) fun_flag += 1.0;
+  if (num_cx == 0) fun_flag += 2.0;  // leaf function
+  if (has_fp) fun_flag += 4.0;
+  if (function.frame_size > 0) fun_flag += 8.0;
+
+  f[0] = num_constant;
+  f[1] = num_string;
+  f[2] = static_cast<double>(code.size());
+  f[3] = static_cast<double>(function.frame_size);
+  f[4] = fun_flag;
+  f[5] = static_cast<double>(imports.size());
+  f[6] = static_cast<double>(code_refs.size());
+  f[7] = num_cx;
+  f[8] = static_cast<double>(function.byte_size());
+
+  // --- per-basic-block statistics ---------------------------------------------
+  std::vector<double> insts_per_block, bytes_per_block, calls_per_block,
+      arith_per_block, fp_per_block;
+  std::array<double, 8> kind_counts{};
+  for (const BasicBlock& block : cfg.blocks) {
+    double calls = 0, arith = 0, fp = 0, bytes = 0;
+    for (std::size_t i = block.first; i <= block.last; ++i) {
+      const Instruction& inst = code[i];
+      if (is_call(inst.op) || inst.op == Opcode::libcall ||
+          inst.op == Opcode::syscall)
+        ++calls;
+      if (is_int_arith(inst.op)) ++arith;
+      if (is_fp_arith(inst.op)) ++fp;
+      bytes += static_cast<double>(encoded_size(inst, function.arch));
+    }
+    insts_per_block.push_back(
+        static_cast<double>(block.instruction_count()));
+    bytes_per_block.push_back(bytes);
+    calls_per_block.push_back(calls);
+    arith_per_block.push_back(arith);
+    fp_per_block.push_back(fp);
+    kind_counts[static_cast<std::size_t>(block.kind)] += 1.0;
+  }
+
+  const Summary inst_summary = summarize(insts_per_block);
+  const Summary byte_summary = summarize(bytes_per_block);
+  f[9] = inst_summary.min;
+  f[10] = inst_summary.max;
+  f[11] = inst_summary.mean;
+  f[12] = inst_summary.stddev;
+  f[13] = byte_summary.min;
+  f[14] = byte_summary.max;
+  f[15] = byte_summary.mean;
+  f[16] = byte_summary.stddev;
+  f[17] = static_cast<double>(cfg.block_count());
+  f[18] = static_cast<double>(cfg.graph.edge_count());
+  f[19] = static_cast<double>(cfg.graph.cyclomatic_complexity());
+  for (std::size_t k = 0; k < kind_counts.size(); ++k)
+    f[20 + k] = kind_counts[k];
+
+  const Summary call_summary = summarize(calls_per_block);
+  f[28] = call_summary.min;
+  f[29] = call_summary.max;
+  f[30] = call_summary.mean;
+  f[31] = call_summary.stddev;
+  f[32] = call_summary.sum;
+
+  const Summary arith_summary = summarize(arith_per_block);
+  f[33] = arith_summary.min;
+  f[34] = arith_summary.max;
+  f[35] = arith_summary.mean;
+  f[36] = arith_summary.stddev;
+  f[37] = arith_summary.sum;
+
+  const Summary fp_summary = summarize(fp_per_block);
+  f[38] = fp_summary.min;
+  f[39] = fp_summary.max;
+  f[40] = fp_summary.mean;
+  f[41] = fp_summary.stddev;
+  f[42] = fp_summary.sum;
+
+  // --- betweenness centrality over the CFG --------------------------------------
+  const std::vector<double> centrality = betweenness_centrality(cfg.graph);
+  const Summary cent_summary = summarize(centrality);
+  double zero_centrality = 0;
+  for (double c : centrality)
+    if (c == 0.0) ++zero_centrality;
+  f[43] = cent_summary.min;
+  f[44] = cent_summary.max;
+  f[45] = cent_summary.mean;
+  f[46] = cent_summary.stddev;
+  f[47] = zero_centrality;
+
+  return f;
+}
+
+void FeatureNormalizer::fit(const std::vector<StaticFeatureVector>& corpus) {
+  mean_.fill(0.0);
+  std_.fill(1.0);
+  if (corpus.empty()) {
+    fitted_ = true;
+    return;
+  }
+  const double n = static_cast<double>(corpus.size());
+  for (const auto& raw : corpus)
+    for (std::size_t i = 0; i < static_feature_count; ++i)
+      mean_[i] += signed_log1p(raw[i]);
+  for (double& m : mean_) m /= n;
+  StaticFeatureVector var{};
+  for (const auto& raw : corpus)
+    for (std::size_t i = 0; i < static_feature_count; ++i) {
+      const double d = signed_log1p(raw[i]) - mean_[i];
+      var[i] += d * d;
+    }
+  for (std::size_t i = 0; i < static_feature_count; ++i)
+    std_[i] = var[i] > 0.0 ? std::sqrt(var[i] / n) : 1.0;
+  fitted_ = true;
+}
+
+StaticFeatureVector FeatureNormalizer::transform(
+    const StaticFeatureVector& raw) const {
+  StaticFeatureVector out{};
+  for (std::size_t i = 0; i < static_feature_count; ++i)
+    out[i] = (signed_log1p(raw[i]) - mean_[i]) / std_[i];
+  return out;
+}
+
+void FeatureNormalizer::set_parameters(const StaticFeatureVector& mean,
+                                       const StaticFeatureVector& stddev) {
+  mean_ = mean;
+  std_ = stddev;
+  fitted_ = true;
+}
+
+}  // namespace patchecko

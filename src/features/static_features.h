@@ -1,0 +1,54 @@
+// The 48 static function features of Table I.
+//
+// Extracted from a FunctionBinary's instruction stream and recovered CFG —
+// exactly the information the paper's IDA Pro plugin consumes. Two feature
+// vectors concatenate to the 96-wide input of the deep-learning similarity
+// classifier (Figure 3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "binary/binary.h"
+#include "binary/cfg.h"
+
+namespace patchecko {
+
+constexpr std::size_t static_feature_count = 48;
+
+using StaticFeatureVector = std::array<double, static_feature_count>;
+
+/// Table I feature names, in vector order.
+std::string_view static_feature_name(std::size_t index);
+
+/// Extracts all 48 features. Builds the CFG internally.
+StaticFeatureVector extract_static_features(const FunctionBinary& function);
+
+/// Variant for callers that already built the CFG.
+StaticFeatureVector extract_static_features(const FunctionBinary& function,
+                                            const Cfg& cfg);
+
+/// Per-feature affine normalizer fitted on a corpus: features are first
+/// compressed with signed log1p (counts are heavy-tailed), then z-scored.
+/// The same transform must be applied at training and inference time, so the
+/// fitted parameters are serialized with the model.
+class FeatureNormalizer {
+ public:
+  void fit(const std::vector<StaticFeatureVector>& corpus);
+  StaticFeatureVector transform(const StaticFeatureVector& raw) const;
+
+  bool fitted() const { return fitted_; }
+  const StaticFeatureVector& means() const { return mean_; }
+  const StaticFeatureVector& stddevs() const { return std_; }
+  void set_parameters(const StaticFeatureVector& mean,
+                      const StaticFeatureVector& stddev);
+
+ private:
+  StaticFeatureVector mean_{};
+  StaticFeatureVector std_{};
+  bool fitted_ = false;
+};
+
+}  // namespace patchecko

@@ -1,0 +1,106 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace patchecko {
+
+std::size_t Digraph::add_node() {
+  successors_.emplace_back();
+  return successors_.size() - 1;
+}
+
+void Digraph::add_edge(std::size_t from, std::size_t to) {
+  if (from >= node_count() || to >= node_count())
+    throw std::out_of_range("Digraph::add_edge: node out of range");
+  auto& succ = successors_[from];
+  if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
+  succ.push_back(to);
+  ++edge_count_;
+}
+
+bool Digraph::has_edge(std::size_t from, std::size_t to) const {
+  if (from >= node_count()) return false;
+  const auto& succ = successors_[from];
+  return std::find(succ.begin(), succ.end(), to) != succ.end();
+}
+
+std::vector<std::size_t> Digraph::in_degrees() const {
+  std::vector<std::size_t> degrees(node_count(), 0);
+  for (const auto& succ : successors_)
+    for (std::size_t to : succ) ++degrees[to];
+  return degrees;
+}
+
+std::vector<bool> Digraph::reachable_from(std::size_t start) const {
+  std::vector<bool> seen(node_count(), false);
+  if (start >= node_count()) return seen;
+  std::deque<std::size_t> frontier{start};
+  seen[start] = true;
+  while (!frontier.empty()) {
+    const std::size_t node = frontier.front();
+    frontier.pop_front();
+    for (std::size_t next : successors_[node]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return seen;
+}
+
+long Digraph::cyclomatic_complexity() const {
+  if (node_count() == 0) return 0;
+  return static_cast<long>(edge_count_) - static_cast<long>(node_count()) + 2;
+}
+
+std::vector<double> betweenness_centrality(const Digraph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<double> centrality(n, 0.0);
+
+  std::vector<std::vector<std::size_t>> predecessors(n);
+  std::vector<double> sigma(n);
+  std::vector<long> dist(n);
+  std::vector<double> delta(n);
+
+  for (std::size_t source = 0; source < n; ++source) {
+    for (auto& p : predecessors) p.clear();
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(dist.begin(), dist.end(), -1L);
+    std::fill(delta.begin(), delta.end(), 0.0);
+
+    sigma[source] = 1.0;
+    dist[source] = 0;
+
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::deque<std::size_t> queue{source};
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      for (std::size_t w : graph.successors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          predecessors[w].push_back(v);
+        }
+      }
+    }
+
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::size_t w = *it;
+      for (std::size_t v : predecessors[w])
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      if (w != source) centrality[w] += delta[w];
+    }
+  }
+  return centrality;
+}
+
+}  // namespace patchecko

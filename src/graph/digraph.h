@@ -1,0 +1,52 @@
+// Directed graph used for control-flow graphs and their analyses.
+//
+// Nodes are dense indices 0..node_count()-1; parallel edges are collapsed.
+// The feature extractor (Table I) consumes edge counts, cyclomatic
+// complexity, and betweenness centrality computed over this structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace patchecko {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count) : successors_(node_count) {}
+
+  std::size_t add_node();
+
+  /// Adds edge from -> to; duplicate edges are ignored. Both endpoints must
+  /// already exist.
+  void add_edge(std::size_t from, std::size_t to);
+
+  std::size_t node_count() const { return successors_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  const std::vector<std::size_t>& successors(std::size_t node) const {
+    return successors_[node];
+  }
+
+  bool has_edge(std::size_t from, std::size_t to) const;
+
+  /// In-degrees of every node in one pass.
+  std::vector<std::size_t> in_degrees() const;
+
+  /// Nodes reachable from `start` (including `start`).
+  std::vector<bool> reachable_from(std::size_t start) const;
+
+  /// Cyclomatic complexity E - N + 2 (paper's Table I definition). Zero-node
+  /// graphs yield 0.
+  long cyclomatic_complexity() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> successors_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Brandes' algorithm for betweenness centrality on an unweighted digraph.
+/// Returns one score per node.
+std::vector<double> betweenness_centrality(const Digraph& graph);
+
+}  // namespace patchecko

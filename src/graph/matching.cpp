@@ -1,0 +1,84 @@
+#include "graph/matching.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace patchecko {
+
+// Classic O(n^3) Hungarian algorithm with potentials (Jonker-style row
+// augmentation). Internally works on a square padded matrix.
+AssignmentResult solve_assignment(
+    const std::vector<std::vector<double>>& cost) {
+  const std::size_t rows = cost.size();
+  std::size_t cols = 0;
+  for (const auto& row : cost) cols = std::max(cols, row.size());
+  const std::size_t n = std::max(rows, cols);
+
+  AssignmentResult result;
+  result.assignment.assign(rows, AssignmentResult::npos);
+  if (n == 0) return result;
+
+  auto at = [&](std::size_t r, std::size_t c) -> double {
+    if (r < rows && c < cost[r].size()) return cost[r][c];
+    return 0.0;  // dummy padding
+  };
+
+  const double inf = std::numeric_limits<double>::infinity();
+  // 1-indexed potentials per the standard formulation.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> match(n + 1, 0);  // match[col] = row
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, inf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      double delta = inf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  for (std::size_t j = 1; j <= n; ++j) {
+    const std::size_t r = match[j] - 1;
+    const std::size_t c = j - 1;
+    if (r < rows && c < cols) {
+      result.assignment[r] = c < cost[r].size() ? c : AssignmentResult::npos;
+      if (result.assignment[r] != AssignmentResult::npos)
+        result.total_cost += cost[r][c];
+    }
+  }
+  return result;
+}
+
+}  // namespace patchecko

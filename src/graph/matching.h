@@ -1,0 +1,28 @@
+// Minimum-cost bipartite assignment (Hungarian algorithm).
+//
+// Used by the BinDiff-style baseline (related work, Section VI): basic blocks
+// of two functions are matched pairwise and the resulting cost is the
+// function-level dissimilarity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace patchecko {
+
+struct AssignmentResult {
+  /// assignment[row] = matched column, or npos when rows > cols left some
+  /// rows unmatched.
+  std::vector<std::size_t> assignment;
+  double total_cost = 0.0;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Solves min-cost perfect matching on a rows x cols cost matrix
+/// (cost[r][c]); rectangular inputs are padded internally with zero-cost
+/// dummy entries. All costs must be finite.
+AssignmentResult solve_assignment(
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace patchecko

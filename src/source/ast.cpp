@@ -1,0 +1,303 @@
+#include "source/ast.h"
+
+namespace patchecko {
+
+bool binop_is_fp(BinOp op) {
+  switch (op) {
+    case BinOp::fadd: case BinOp::fsub: case BinOp::fmul:
+    case BinOp::fdiv: case BinOp::flt: case BinOp::fgt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool binop_is_comparison(BinOp op) {
+  switch (op) {
+    case BinOp::lt: case BinOp::le: case BinOp::gt: case BinOp::ge:
+    case BinOp::eq: case BinOp::ne: case BinOp::flt: case BinOp::fgt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPtr Expr::clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->type = type;
+  copy->int_value = int_value;
+  copy->fp_value = fp_value;
+  copy->bin_op = bin_op;
+  copy->un_op = un_op;
+  copy->lib_fn = lib_fn;
+  copy->callee = callee;
+  copy->byte_access = byte_access;
+  copy->args.reserve(args.size());
+  for (const auto& arg : args) copy->args.push_back(arg->clone());
+  return copy;
+}
+
+StmtPtr Stmt::clone() const {
+  auto copy = std::make_unique<Stmt>();
+  copy->kind = kind;
+  copy->local_index = local_index;
+  if (expr) copy->expr = expr->clone();
+  if (base) copy->base = base->clone();
+  if (index) copy->index = index->clone();
+  if (value) copy->value = value->clone();
+  if (init) copy->init = init->clone();
+  if (bound) copy->bound = bound->clone();
+  copy->step_value = step_value;
+  copy->byte_access = byte_access;
+  copy->sys = sys;
+  copy->then_body = clone_body(then_body);
+  copy->else_body = clone_body(else_body);
+  copy->cases.reserve(cases.size());
+  for (const auto& c : cases) copy->cases.push_back(clone_body(c));
+  return copy;
+}
+
+std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body) {
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (const auto& stmt : body) out.push_back(stmt->clone());
+  return out;
+}
+
+SourceFunction::SourceFunction(const SourceFunction& other)
+    : name(other.name),
+      param_types(other.param_types),
+      local_types(other.local_types),
+      body(clone_body(other.body)) {}
+
+SourceFunction& SourceFunction::operator=(const SourceFunction& other) {
+  if (this == &other) return *this;
+  name = other.name;
+  param_types = other.param_types;
+  local_types = other.local_types;
+  body = clone_body(other.body);
+  return *this;
+}
+
+namespace {
+
+std::size_t count_expr(const Expr& expr) {
+  std::size_t total = 1;
+  for (const auto& arg : expr.args) total += count_expr(*arg);
+  return total;
+}
+
+std::size_t count_body(const std::vector<StmtPtr>& body);
+
+std::size_t count_stmt(const Stmt& stmt) {
+  std::size_t total = 1;
+  for (const Expr* e : {stmt.expr.get(), stmt.base.get(), stmt.index.get(),
+                        stmt.value.get(), stmt.init.get(), stmt.bound.get()})
+    if (e != nullptr) total += count_expr(*e);
+  total += count_body(stmt.then_body);
+  total += count_body(stmt.else_body);
+  for (const auto& c : stmt.cases) total += count_body(c);
+  return total;
+}
+
+std::size_t count_body(const std::vector<StmtPtr>& body) {
+  std::size_t total = 0;
+  for (const auto& stmt : body) total += count_stmt(*stmt);
+  return total;
+}
+
+}  // namespace
+
+std::size_t SourceFunction::node_count() const { return count_body(body); }
+
+ExprPtr make_int(std::int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::int_const;
+  e->type = ValueType::i64;
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr make_fp(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::fp_const;
+  e->type = ValueType::f64;
+  e->fp_value = v;
+  return e;
+}
+
+ExprPtr make_param(int index, ValueType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::param_ref;
+  e->type = type;
+  e->int_value = index;
+  return e;
+}
+
+ExprPtr make_local(int index, ValueType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::local_ref;
+  e->type = type;
+  e->int_value = index;
+  return e;
+}
+
+ExprPtr make_bin(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::binop;
+  e->bin_op = op;
+  e->type = (binop_is_fp(op) && !binop_is_comparison(op)) ? ValueType::f64
+                                                          : ValueType::i64;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr make_un(UnOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::unop;
+  e->un_op = op;
+  switch (op) {
+    case UnOp::fneg:
+    case UnOp::to_f64:
+      e->type = ValueType::f64;
+      break;
+    default:
+      e->type = ValueType::i64;
+      break;
+  }
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr make_load(ExprPtr base, ExprPtr index, bool byte_access) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::index_load;
+  e->type = ValueType::i64;
+  e->byte_access = byte_access;
+  e->args.push_back(std::move(base));
+  e->args.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr make_libcall(LibFn fn, std::vector<ExprPtr> args, ValueType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::libcall;
+  e->lib_fn = fn;
+  e->type = type;
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr make_strref(int string_id) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::strref;
+  e->type = ValueType::ptr;
+  e->int_value = string_id;
+  return e;
+}
+
+ExprPtr make_call(int callee, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::fn_call;
+  e->type = ValueType::i64;
+  e->callee = callee;
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr make_indirect_call(ExprPtr selector, int even_callee, int odd_callee,
+                           std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::indirect_call;
+  e->type = ValueType::i64;
+  e->callee = even_callee;
+  e->int_value = odd_callee;
+  e->args.push_back(std::move(selector));
+  for (auto& arg : args) e->args.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr make_ptr_offset(ExprPtr base, ExprPtr offset) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::ptr_offset;
+  e->type = ValueType::ptr;
+  e->args.push_back(std::move(base));
+  e->args.push_back(std::move(offset));
+  return e;
+}
+
+StmtPtr make_assign(int local_index, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::assign;
+  s->local_index = local_index;
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr make_store(ExprPtr base, ExprPtr index, ExprPtr value,
+                   bool byte_access) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::index_store;
+  s->base = std::move(base);
+  s->index = std::move(index);
+  s->value = std::move(value);
+  s->byte_access = byte_access;
+  return s;
+}
+
+StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::if_else;
+  s->expr = std::move(cond);
+  s->then_body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr make_for(int local_index, ExprPtr init, ExprPtr bound,
+                 std::vector<StmtPtr> body, std::int64_t step) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::for_loop;
+  s->local_index = local_index;
+  s->init = std::move(init);
+  s->bound = std::move(bound);
+  s->then_body = std::move(body);
+  s->step_value = step;
+  return s;
+}
+
+StmtPtr make_ret(ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::ret;
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr make_expr_stmt(ExprPtr expr) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::expr_stmt;
+  s->expr = std::move(expr);
+  return s;
+}
+
+StmtPtr make_syscall(Sys sys, ExprPtr arg) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::syscall_stmt;
+  s->sys = sys;
+  s->expr = std::move(arg);
+  return s;
+}
+
+StmtPtr make_switch(ExprPtr selector,
+                    std::vector<std::vector<StmtPtr>> cases) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::switch_stmt;
+  s->expr = std::move(selector);
+  s->cases = std::move(cases);
+  return s;
+}
+
+}  // namespace patchecko

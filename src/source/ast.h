@@ -1,0 +1,169 @@
+// MiniC: the source language of the synthetic corpus.
+//
+// The paper compiles 100 real Android libraries from C/C++ sources into 24
+// binary variants each (4 architectures x 6 optimization levels). We replace
+// the C/C++ sources with MiniC, a small procedural language that is rich
+// enough to exercise every feature both extractors measure: integer and
+// floating-point arithmetic, byte/word memory traffic over caller-provided
+// buffers, loops, branches, switches (indirect jumps), constants, strings,
+// intra-library calls, library calls and system calls.
+//
+// Semantics shared by the reference interpreter (interp.h) and compiled code
+// (vm/machine.h):
+//   * integers are 64-bit two's complement with wrap-around
+//   * division/modulo by zero traps
+//   * byte loads zero-extend; word accesses are 8-byte little-endian
+//   * out-of-bounds buffer access traps
+//   * logical and/or are non-short-circuit over normalized 0/1 operands
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace patchecko {
+
+enum class ValueType : std::uint8_t { i64, f64, ptr };
+
+enum class BinOp : std::uint8_t {
+  add, sub, mul, divi, modi,
+  band, bor, bxor, shl, shr,
+  lt, le, gt, ge, eq, ne,
+  land, lor,
+  // floating-point arithmetic / comparison (operands f64)
+  fadd, fsub, fmul, fdiv, flt, fgt,
+};
+
+enum class UnOp : std::uint8_t { neg, lnot, fneg, to_f64, to_i64 };
+
+bool binop_is_fp(BinOp op);
+/// True when the operator yields i64 even for f64 operands (fp comparisons).
+bool binop_is_comparison(BinOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    int_const,   ///< int_value
+    fp_const,    ///< fp_value
+    param_ref,   ///< index = int_value
+    local_ref,   ///< index = int_value
+    binop,       ///< args[0] op args[1]
+    unop,        ///< op args[0]
+    index_load,  ///< args[0][args[1]]; byte_access selects width
+    libcall,     ///< lib_fn(args...)
+    strref,      ///< address of string-pool entry int_value
+    fn_call,     ///< library-internal callee(args...)
+    ptr_offset,  ///< args[0] (ptr) displaced by args[1] bytes
+    indirect_call,  ///< (args[0] odd ? int_value : callee)(args[1..]);
+                    ///< a two-way function-pointer dispatch (callr)
+  };
+
+  Kind kind = Kind::int_const;
+  ValueType type = ValueType::i64;
+  std::int64_t int_value = 0;
+  double fp_value = 0.0;
+  BinOp bin_op = BinOp::add;
+  UnOp un_op = UnOp::neg;
+  LibFn lib_fn = LibFn::memcpy;
+  int callee = -1;
+  bool byte_access = true;
+  std::vector<ExprPtr> args;
+
+  ExprPtr clone() const;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    assign,       ///< locals[local_index] = expr
+    index_store,  ///< base[index] = value; byte_access selects width
+    if_else,      ///< if (expr) then_body else else_body
+    for_loop,     ///< for (local = init; local < bound; local += step_value)
+    ret,          ///< return expr
+    expr_stmt,    ///< evaluate expr for side effects (libcall / fn_call)
+    syscall_stmt, ///< syscall sys(expr)
+    switch_stmt,  ///< switch (expr) dispatching into cases by value 0..n-1
+  };
+
+  Kind kind = Stmt::Kind::ret;
+  int local_index = -1;
+  ExprPtr expr;                 // value / condition / selector
+  ExprPtr base, index, value;   // index_store operands
+  ExprPtr init, bound;          // for_loop bounds
+  std::int64_t step_value = 1;  // for_loop increment (> 0)
+  bool byte_access = true;
+  Sys sys = Sys::sys_log;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+  std::vector<std::vector<StmtPtr>> cases;
+
+  StmtPtr clone() const;
+};
+
+std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body);
+
+/// One MiniC function: typed parameters, typed locals, a statement body.
+/// Pointer parameters reference caller-provided byte buffers; by convention
+/// the generator pairs each ptr parameter with an i64 length parameter.
+struct SourceFunction {
+  std::string name;
+  std::vector<ValueType> param_types;
+  std::vector<ValueType> local_types;
+  std::vector<StmtPtr> body;
+
+  SourceFunction() = default;
+  SourceFunction(const SourceFunction& other);
+  SourceFunction& operator=(const SourceFunction& other);
+  SourceFunction(SourceFunction&&) = default;
+  SourceFunction& operator=(SourceFunction&&) = default;
+
+  /// Total number of AST nodes; used to keep generated sizes realistic.
+  std::size_t node_count() const;
+};
+
+/// A library of MiniC functions plus its string pool. fn_call callees index
+/// into `functions` and, to keep call graphs acyclic, always call downward
+/// (callee index < caller index).
+struct SourceLibrary {
+  std::string name;
+  std::vector<SourceFunction> functions;
+  std::vector<std::string> strings;
+};
+
+// --- Convenience constructors used by the generator, mutators and tests ---
+ExprPtr make_int(std::int64_t v);
+ExprPtr make_fp(double v);
+ExprPtr make_param(int index, ValueType type);
+ExprPtr make_local(int index, ValueType type);
+ExprPtr make_bin(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr make_un(UnOp op, ExprPtr operand);
+ExprPtr make_load(ExprPtr base, ExprPtr index, bool byte_access);
+ExprPtr make_libcall(LibFn fn, std::vector<ExprPtr> args, ValueType type);
+ExprPtr make_strref(int string_id);
+ExprPtr make_call(int callee, std::vector<ExprPtr> args);
+ExprPtr make_ptr_offset(ExprPtr base, ExprPtr offset);
+/// Two-way indirect call: selector's low bit picks `odd_callee` (odd) or
+/// `even_callee` (even); both callees must share the argument arity.
+ExprPtr make_indirect_call(ExprPtr selector, int even_callee, int odd_callee,
+                           std::vector<ExprPtr> args);
+
+StmtPtr make_assign(int local_index, ExprPtr value);
+StmtPtr make_store(ExprPtr base, ExprPtr index, ExprPtr value,
+                   bool byte_access);
+StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body = {});
+StmtPtr make_for(int local_index, ExprPtr init, ExprPtr bound,
+                 std::vector<StmtPtr> body, std::int64_t step = 1);
+StmtPtr make_ret(ExprPtr value);
+StmtPtr make_expr_stmt(ExprPtr expr);
+StmtPtr make_syscall(Sys sys, ExprPtr arg);
+StmtPtr make_switch(ExprPtr selector, std::vector<std::vector<StmtPtr>> cases);
+
+}  // namespace patchecko

@@ -1,0 +1,90 @@
+// Seeded MiniC corpus generation.
+//
+// The paper's Dataset I is "100 Android libraries compiled from source".
+// Our stand-in generates libraries of MiniC functions drawn from a small set
+// of *archetypes* (buffer transforms, checksums, scanners, copy/shift
+// kernels, dispatchers, scalar and floating-point math, string handling,
+// validators). Functions sharing an archetype are structurally similar, which
+// reproduces the paper's central difficulty: a vulnerable function has many
+// plausible lookalikes inside a big library, so the static stage alone
+// produces copious false positives (Section II-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "source/ast.h"
+#include "util/rng.h"
+
+namespace patchecko {
+
+/// Structural archetypes; generate_function picks one (weighted) unless the
+/// caller pins a specific one (the CVE builders do, to control patch shape).
+enum class Archetype : std::uint8_t {
+  byte_transform = 0,  ///< per-byte arithmetic over a buffer
+  checksum,            ///< read/accumulate/return
+  scanner,             ///< search loop with early return
+  copy_shift,          ///< two-offset compaction; memmove flavour available
+  dispatcher,          ///< switch over a mode flag, calls helpers
+  scalar_math,         ///< branchy integer arithmetic
+  fp_kernel,           ///< floating-point reduction loop
+  string_op,           ///< strlen/strcmp over buffer + string pool
+  validator,           ///< nested bounds checks returning 0/1
+  mixed,               ///< nested loop + guard + library call
+  count,
+};
+
+constexpr std::size_t archetype_count = static_cast<std::size_t>(
+    Archetype::count);
+
+std::string_view archetype_name(Archetype a);
+
+struct GeneratorConfig {
+  /// Upper bound for generated loop trip counts (keeps dynamic traces short).
+  std::int64_t loop_cap = 48;
+  /// Number of string-pool entries the library carries.
+  int string_count = 12;
+  /// Probability that byte_transform/checksum style loops gain a nested
+  /// data-dependent guard. High by default: value-dependent branches are
+  /// what make two structurally identical siblings produce different traces
+  /// (low values leave exact trace collisions between same-archetype
+  /// functions, which real code rarely exhibits).
+  double embellish_prob = 0.8;
+};
+
+/// A function earlier in the library that dispatchers may call. Only
+/// all-i64 signatures are callable, so every generated call site is type-
+/// and arity-correct (the compiled calling convention and the reference
+/// interpreter then agree by construction).
+struct CallableFn {
+  int index = 0;
+  int param_count = 0;
+};
+
+/// Generates one function. `function_index` is the function's position in
+/// the library (fn_call may only target indices < function_index, keeping
+/// the call graph acyclic); `archetype` pins the structure; `callables`
+/// lists earlier functions a dispatcher may call.
+SourceFunction generate_function(Rng& rng, Archetype archetype,
+                                 int function_index,
+                                 const GeneratorConfig& config = {},
+                                 const std::vector<CallableFn>& callables = {});
+
+/// Generates a library of `function_count` functions with a fresh string
+/// pool. Deterministic in (name, seed, count, config).
+SourceLibrary generate_library(const std::string& name,
+                               std::uint64_t seed,
+                               std::size_t function_count,
+                               const GeneratorConfig& config = {});
+
+/// Weighted archetype choice used by generate_library.
+Archetype pick_archetype(Rng& rng);
+
+/// Pinned-shape generator for the CVE builders: a compaction kernel in the
+/// vulnerable (memmove-based, Figure 6 left) or patched (two-offset,
+/// Figure 6 right) form.
+SourceFunction generate_copy_shift(Rng& rng, int function_index,
+                                   bool with_memmove,
+                                   const GeneratorConfig& config = {});
+
+}  // namespace patchecko

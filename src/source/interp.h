@@ -1,0 +1,76 @@
+// Reference interpreter for MiniC.
+//
+// This is the semantic ground truth of the reproduction: the property tests
+// assert that for every architecture and optimization level, compiling a
+// function and executing it on the VM produces exactly the results of this
+// interpreter. The interpreter also powers corpus validation (rejecting
+// generated functions that trap on all inputs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "source/ast.h"
+
+namespace patchecko {
+
+/// A runtime value. Pointers are (buffer id, byte offset) pairs; buffer ids
+/// index CallEnv::buffers, and negative ids <= -2 denote read-only
+/// string-pool entries (id -2-s is string s).
+struct Value {
+  ValueType type = ValueType::i64;
+  std::int64_t i = 0;
+  double f = 0.0;
+  int buffer = -1;
+  std::int64_t offset = 0;
+
+  static Value from_int(std::int64_t v) {
+    Value out;
+    out.type = ValueType::i64;
+    out.i = v;
+    return out;
+  }
+  static Value from_fp(double v) {
+    Value out;
+    out.type = ValueType::f64;
+    out.f = v;
+    return out;
+  }
+  static Value from_ptr(int buffer, std::int64_t offset = 0) {
+    Value out;
+    out.type = ValueType::ptr;
+    out.buffer = buffer;
+    out.offset = offset;
+    return out;
+  }
+};
+
+/// Concrete inputs for one function execution: one value per parameter plus
+/// the byte buffers that ptr parameters reference. Mutated in place by the
+/// execution (buffer writes persist), mirroring the paper's fixed execution
+/// environments.
+struct CallEnv {
+  std::vector<Value> args;
+  std::vector<std::vector<std::uint8_t>> buffers;
+};
+
+enum class ExecStatus : std::uint8_t {
+  ok = 0,
+  trap_oob,        ///< out-of-bounds buffer access
+  trap_div_zero,   ///< integer division or modulo by zero
+  trap_step_limit, ///< exceeded the step budget ("infinite loop")
+  trap_type,       ///< ill-typed operation (e.g. indexing a non-pointer)
+};
+
+struct ExecResult {
+  ExecStatus status = ExecStatus::ok;
+  Value ret;        ///< defined when status == ok
+  std::uint64_t steps = 0;
+};
+
+/// Interprets `library.functions[function_index]` under `env`.
+/// `step_limit` bounds AST evaluation steps.
+ExecResult interpret(const SourceLibrary& library, std::size_t function_index,
+                     CallEnv& env, std::uint64_t step_limit = 1u << 20);
+
+}  // namespace patchecko

@@ -1,0 +1,380 @@
+#include "source/mutate.h"
+
+#include <functional>
+#include <stdexcept>
+
+namespace patchecko {
+
+std::string_view patch_kind_name(PatchKind kind) {
+  switch (kind) {
+    case PatchKind::add_bounds_guard: return "add_bounds_guard";
+    case PatchKind::remove_memmove_loop: return "remove_memmove_loop";
+    case PatchKind::off_by_one: return "off_by_one";
+    case PatchKind::constant_tweak: return "constant_tweak";
+    case PatchKind::add_skip_condition: return "add_skip_condition";
+    case PatchKind::count: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Depth-first search for the first for_loop statement in a body.
+Stmt* find_first_loop(std::vector<StmtPtr>& body) {
+  for (auto& stmt : body) {
+    if (stmt->kind == Stmt::Kind::for_loop) return stmt.get();
+    for (auto* nested : {&stmt->then_body, &stmt->else_body}) {
+      if (Stmt* found = find_first_loop(*nested)) return found;
+    }
+    for (auto& c : stmt->cases)
+      if (Stmt* found = find_first_loop(c)) return found;
+  }
+  return nullptr;
+}
+
+void collect_int_consts(Expr& expr, std::vector<Expr*>& out) {
+  // Comparison operands steer control flow; a constant embedded there is a
+  // *guard threshold*, not a pure data constant. constant_tweak deliberately
+  // avoids those: the CVE-2018-9470 shape is a one-integer data change that
+  // leaves every trace and CFG metric untouched.
+  if (expr.kind == Expr::Kind::int_const) out.push_back(&expr);
+  if (expr.kind == Expr::Kind::binop &&
+      (binop_is_comparison(expr.bin_op) || expr.bin_op == BinOp::land ||
+       expr.bin_op == BinOp::lor))
+    return;
+  // Divisors stay untouched: a tweak could introduce a divide-by-zero.
+  if (expr.kind == Expr::Kind::binop &&
+      (expr.bin_op == BinOp::divi || expr.bin_op == BinOp::modi)) {
+    collect_int_consts(*expr.args[0], out);
+    return;
+  }
+  for (auto& arg : expr.args) collect_int_consts(*arg, out);
+}
+
+void collect_int_consts(std::vector<StmtPtr>& body, std::vector<Expr*>& out) {
+  for (auto& stmt : body) {
+    // Value contexts only: conditions and loop bounds are skipped because a
+    // changed threshold alters the execution trace (detectable), while the
+    // paper's CVE-2018-9470 patch is trace-invisible.
+    switch (stmt->kind) {
+      case Stmt::Kind::assign:
+      case Stmt::Kind::ret:
+        if (stmt->expr) collect_int_consts(*stmt->expr, out);
+        break;
+      case Stmt::Kind::index_store:
+        if (stmt->value) collect_int_consts(*stmt->value, out);
+        break;
+      default:
+        break;
+    }
+    collect_int_consts(stmt->then_body, out);
+    collect_int_consts(stmt->else_body, out);
+    for (auto& c : stmt->cases) collect_int_consts(c, out);
+  }
+}
+
+bool contains_libcall(const std::vector<StmtPtr>& body, LibFn fn);
+
+bool contains_libcall(const Expr& expr, LibFn fn) {
+  if (expr.kind == Expr::Kind::libcall && expr.lib_fn == fn) return true;
+  for (const auto& arg : expr.args)
+    if (contains_libcall(*arg, fn)) return true;
+  return false;
+}
+
+bool contains_libcall(const std::vector<StmtPtr>& body, LibFn fn) {
+  for (const auto& stmt : body) {
+    for (const Expr* e :
+         {stmt->expr.get(), stmt->base.get(), stmt->index.get(),
+          stmt->value.get(), stmt->init.get(), stmt->bound.get()})
+      if (e != nullptr && contains_libcall(*e, fn)) return true;
+    if (contains_libcall(stmt->then_body, fn)) return true;
+    if (contains_libcall(stmt->else_body, fn)) return true;
+    for (const auto& c : stmt->cases)
+      if (contains_libcall(c, fn)) return true;
+  }
+  return false;
+}
+
+// Recognizes the canonical vulnerable compaction shape produced by
+// generate_copy_shift(with_memmove=true) and extracts its parameters.
+struct CompactionShape {
+  int n_local = -1;
+  std::int64_t marker1 = 0;
+  std::int64_t marker2 = 0;
+  ExprPtr bound;  // the original `size & mask` expression
+};
+
+std::optional<CompactionShape> match_compaction(
+    const SourceFunction& fn) {
+  if (fn.body.size() != 3) return std::nullopt;
+  const Stmt& assign = *fn.body[0];
+  const Stmt& loop = *fn.body[1];
+  if (assign.kind != Stmt::Kind::assign ||
+      loop.kind != Stmt::Kind::for_loop)
+    return std::nullopt;
+  if (loop.then_body.size() != 1) return std::nullopt;
+  const Stmt& guard = *loop.then_body[0];
+  if (guard.kind != Stmt::Kind::if_else || guard.expr == nullptr)
+    return std::nullopt;
+  if (!contains_libcall(guard.then_body, LibFn::memmove))
+    return std::nullopt;
+  const Expr& cond = *guard.expr;
+  if (cond.kind != Expr::Kind::binop || cond.bin_op != BinOp::land)
+    return std::nullopt;
+  auto marker_of = [](const Expr& eq) -> std::optional<std::int64_t> {
+    if (eq.kind != Expr::Kind::binop || eq.bin_op != BinOp::eq)
+      return std::nullopt;
+    if (eq.args[1]->kind != Expr::Kind::int_const) return std::nullopt;
+    return eq.args[1]->int_value;
+  };
+  const auto m1 = marker_of(*cond.args[0]);
+  const auto m2 = marker_of(*cond.args[1]);
+  if (!m1 || !m2) return std::nullopt;
+  CompactionShape shape;
+  shape.n_local = assign.local_index;
+  shape.marker1 = *m1;
+  shape.marker2 = *m2;
+  shape.bound = assign.expr->clone();
+  return shape;
+}
+
+// Builds the patched compaction body (Figure 6 right) in place of the
+// vulnerable one, given the extracted shape. Appends two fresh locals.
+SourceFunction rewrite_compaction(const SourceFunction& vulnerable,
+                                  const CompactionShape& shape) {
+  SourceFunction patched = vulnerable;
+  patched.body.clear();
+  const int n = shape.n_local;
+  patched.local_types.push_back(ValueType::i64);
+  const int w = static_cast<int>(patched.local_types.size()) - 1;
+  patched.local_types.push_back(ValueType::i64);
+  const int r = static_cast<int>(patched.local_types.size()) - 1;
+
+  auto data = [] { return make_param(0, ValueType::ptr); };
+  auto load_at = [&](ExprPtr idx) {
+    return make_load(data(), std::move(idx), true);
+  };
+
+  patched.body.push_back(make_assign(n, shape.bound->clone()));
+  patched.body.push_back(make_assign(w, make_int(1)));
+
+  ExprPtr match = make_bin(
+      BinOp::land,
+      make_bin(BinOp::eq,
+               load_at(make_bin(BinOp::sub, make_local(r, ValueType::i64),
+                                make_int(1))),
+               make_int(shape.marker1)),
+      make_bin(BinOp::eq, load_at(make_local(r, ValueType::i64)),
+               make_int(shape.marker2)));
+
+  std::vector<StmtPtr> copy_body;
+  copy_body.push_back(make_store(data(), make_local(w, ValueType::i64),
+                                 load_at(make_local(r, ValueType::i64)),
+                                 true));
+  copy_body.push_back(make_assign(
+      w, make_bin(BinOp::add, make_local(w, ValueType::i64), make_int(1))));
+  std::vector<StmtPtr> loop_body;
+  loop_body.push_back(
+      make_if(make_un(UnOp::lnot, std::move(match)), std::move(copy_body)));
+  patched.body.push_back(make_for(r, make_int(1),
+                                  make_local(n, ValueType::i64),
+                                  std::move(loop_body)));
+
+  std::vector<StmtPtr> shrink;
+  shrink.push_back(make_assign(n, make_local(w, ValueType::i64)));
+  patched.body.push_back(make_if(
+      make_bin(BinOp::lt, make_local(w, ValueType::i64),
+               make_local(n, ValueType::i64)),
+      std::move(shrink)));
+  patched.body.push_back(make_ret(make_local(n, ValueType::i64)));
+  return patched;
+}
+
+// First i64 parameter index, or -1.
+int first_int_param(const SourceFunction& fn) {
+  for (std::size_t i = 0; i < fn.param_types.size(); ++i)
+    if (fn.param_types[i] == ValueType::i64) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace
+
+std::optional<SourceFunction> apply_patch(const SourceFunction& vulnerable,
+                                          PatchKind kind, Rng& rng) {
+  switch (kind) {
+    case PatchKind::add_bounds_guard: {
+      const int param = first_int_param(vulnerable);
+      if (param < 0) return std::nullopt;
+      SourceFunction patched = vulnerable;
+      std::vector<StmtPtr> reject;
+      reject.push_back(make_ret(make_int(-1)));
+      auto guard = make_if(
+          make_bin(BinOp::gt, make_param(param, ValueType::i64),
+                   make_int(rng.uniform(512, 4096))),
+          std::move(reject));
+      patched.body.insert(patched.body.begin(), std::move(guard));
+      return patched;
+    }
+    case PatchKind::remove_memmove_loop: {
+      const auto shape = match_compaction(vulnerable);
+      if (!shape) return std::nullopt;
+      return rewrite_compaction(vulnerable, *shape);
+    }
+    case PatchKind::off_by_one: {
+      SourceFunction patched = vulnerable;
+      Stmt* loop = find_first_loop(patched.body);
+      if (loop == nullptr || loop->bound == nullptr) return std::nullopt;
+      loop->bound =
+          make_bin(BinOp::sub, std::move(loop->bound), make_int(1));
+      return patched;
+    }
+    case PatchKind::constant_tweak: {
+      SourceFunction patched = vulnerable;
+      std::vector<Expr*> consts;
+      collect_int_consts(patched.body, consts);
+      if (consts.empty()) return std::nullopt;
+      Expr* victim = consts[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(consts.size()) - 1))];
+      std::int64_t delta = rng.uniform(1, 3);
+      if (rng.chance(0.5)) delta = -delta;
+      if (victim->int_value + delta == 0) delta = -delta;  // keep nonzero
+      victim->int_value += delta;
+      return patched;
+    }
+    case PatchKind::add_skip_condition: {
+      // Real skip-guards fire on rare inputs; on benign data the patched
+      // trace differs by a single extra compare per call. The mutator wraps
+      // the first loop in a guard that is (almost) always satisfied.
+      SourceFunction patched = vulnerable;
+      // Locate the statement holding the first loop at its body level.
+      std::vector<StmtPtr>* body = nullptr;
+      std::size_t loop_pos = 0;
+      std::function<bool(std::vector<StmtPtr>&)> locate =
+          [&](std::vector<StmtPtr>& stmts) {
+            for (std::size_t s = 0; s < stmts.size(); ++s) {
+              if (stmts[s]->kind == Stmt::Kind::for_loop) {
+                body = &stmts;
+                loop_pos = s;
+                return true;
+              }
+              for (auto* nested :
+                   {&stmts[s]->then_body, &stmts[s]->else_body})
+                if (locate(*nested)) return true;
+              for (auto& c : stmts[s]->cases)
+                if (locate(c)) return true;
+            }
+            return false;
+          };
+      if (!locate(patched.body)) return std::nullopt;
+
+      const int param = first_int_param(patched);
+      ExprPtr guard =
+          param >= 0
+              ? make_bin(BinOp::ne, make_param(param, ValueType::i64),
+                         make_int(rng.uniform(500, 4000)))
+              : make_bin(BinOp::ge, make_int(1), make_int(0));
+      std::vector<StmtPtr> guarded;
+      guarded.push_back(std::move((*body)[loop_pos]));
+      (*body)[loop_pos] = make_if(std::move(guard), std::move(guarded));
+      return patched;
+    }
+    case PatchKind::count:
+      break;
+  }
+  return std::nullopt;
+}
+
+VulnPatchPair generate_vuln_patch_pair(PatchKind kind, Rng& rng,
+                                       int function_index,
+                                       const GeneratorConfig& config) {
+  VulnPatchPair pair;
+  pair.kind = kind;
+  pair.description = std::string(patch_kind_name(kind));
+
+  // A loop with a data-dependent guard inside: such functions have few
+  // exact trace clones in a big library, which keeps the dynamic ranking
+  // sharp even when the query and the target differ by the patch itself.
+  auto has_guarded_loop = [](const SourceFunction& fn) {
+    std::function<bool(const std::vector<StmtPtr>&, bool)> walk =
+        [&](const std::vector<StmtPtr>& body, bool inside_loop) {
+          for (const auto& stmt : body) {
+            if (stmt->kind == Stmt::Kind::if_else && inside_loop) return true;
+            const bool nested_loop =
+                inside_loop || stmt->kind == Stmt::Kind::for_loop;
+            if (walk(stmt->then_body, nested_loop)) return true;
+            if (walk(stmt->else_body, nested_loop)) return true;
+            for (const auto& c : stmt->cases)
+              if (walk(c, nested_loop)) return true;
+          }
+          return false;
+        };
+    return walk(fn.body, false);
+  };
+
+  auto base_for = [&](std::initializer_list<Archetype> choices,
+                      bool require_guarded_loop = false) {
+    const std::vector<Archetype> pool(choices);
+    // Retry with fresh draws until the mutator applies (bounded attempts).
+    for (int attempt = 0; attempt < 48; ++attempt) {
+      Rng fn_rng = rng.fork(static_cast<std::uint64_t>(attempt) + 11);
+      SourceFunction candidate = generate_function(
+          fn_rng, pool[static_cast<std::size_t>(rng.uniform(
+                      0, static_cast<std::int64_t>(pool.size()) - 1))],
+          function_index, config);
+      if (require_guarded_loop && attempt < 40 &&
+          !has_guarded_loop(candidate))
+        continue;
+      auto patched = apply_patch(candidate, kind, rng);
+      if (patched) {
+        pair.vulnerable = std::move(candidate);
+        pair.patched = std::move(*patched);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool ok = false;
+  switch (kind) {
+    case PatchKind::add_bounds_guard:
+      ok = base_for({Archetype::byte_transform, Archetype::checksum,
+                     Archetype::mixed});
+      break;
+    case PatchKind::remove_memmove_loop: {
+      Rng fn_rng = rng.fork(17);
+      pair.vulnerable = generate_copy_shift(fn_rng, function_index,
+                                            /*with_memmove=*/true, config);
+      auto patched = apply_patch(pair.vulnerable, kind, rng);
+      if (!patched)
+        throw std::logic_error(
+            "generated compaction kernel did not match its own shape");
+      pair.patched = std::move(*patched);
+      ok = true;
+      break;
+    }
+    case PatchKind::off_by_one:
+      ok = base_for({Archetype::byte_transform, Archetype::checksum,
+                     Archetype::scanner, Archetype::mixed},
+                    /*require_guarded_loop=*/true);
+      break;
+    case PatchKind::constant_tweak:
+      // scalar_math only: loop-free, so the tweaked constant changes
+      // computed values but not the execution trace.
+      ok = base_for({Archetype::scalar_math});
+      break;
+    case PatchKind::add_skip_condition:
+      ok = base_for({Archetype::byte_transform, Archetype::mixed});
+      break;
+    case PatchKind::count:
+      break;
+  }
+  if (!ok)
+    throw std::logic_error("could not generate a vuln/patch pair for kind " +
+                           std::string(patch_kind_name(kind)));
+  pair.vulnerable.name += "_vuln";
+  pair.patched.name += "_patched";
+  return pair;
+}
+
+}  // namespace patchecko

@@ -1,0 +1,59 @@
+// Patch mutators: derive a "patched" MiniC function from a "vulnerable" one.
+//
+// The paper's vulnerability database pairs each CVE's vulnerable function
+// with its patched version. Real security patches are small, targeted edits
+// (Section III-D: "a patch typically introduces few changes"), so we model
+// the recurring shapes observed in Android Security Bulletin patches:
+//
+//   * add_bounds_guard    — prepend an early-return input-validation check
+//   * remove_memmove_loop — rewrite a shifted-memmove compaction loop into
+//                           the two-offset form (the CVE-2018-9412 patch,
+//                           Figure 6)
+//   * off_by_one          — tighten a loop bound by one
+//   * constant_tweak      — change a single integer constant (the
+//                           CVE-2018-9470 shape whose binary diff is one
+//                           immediate; the paper's differential engine
+//                           misclassifies exactly this case)
+//   * add_skip_condition  — add a `continue`-style skip guard inside a loop
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "source/ast.h"
+#include "source/generator.h"
+#include "util/rng.h"
+
+namespace patchecko {
+
+enum class PatchKind : std::uint8_t {
+  add_bounds_guard = 0,
+  remove_memmove_loop,
+  off_by_one,
+  constant_tweak,
+  add_skip_condition,
+  count,
+};
+
+std::string_view patch_kind_name(PatchKind kind);
+
+struct VulnPatchPair {
+  SourceFunction vulnerable;
+  SourceFunction patched;
+  PatchKind kind;
+  std::string description;
+};
+
+/// Applies `kind` to a copy of `vulnerable`; returns nullopt when the
+/// function has no applicable site (e.g. no loop for off_by_one).
+std::optional<SourceFunction> apply_patch(const SourceFunction& vulnerable,
+                                          PatchKind kind, Rng& rng);
+
+/// Generates a (vulnerable, patched) pair for `kind`: synthesizes a function
+/// of a shape guaranteed to accept the patch, then applies it.
+/// `function_index` is the slot the pair will occupy inside its library.
+VulnPatchPair generate_vuln_patch_pair(PatchKind kind, Rng& rng,
+                                       int function_index,
+                                       const GeneratorConfig& config = {});
+
+}  // namespace patchecko

@@ -1,0 +1,10 @@
+#include "util/parallel.h"
+
+namespace patchecko {
+
+unsigned default_worker_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace patchecko

@@ -1,0 +1,52 @@
+// Minimal data-parallel helper.
+//
+// The paper runs candidate executions for all environments in parallel and
+// names per-candidate parallelism as future work (Section V-E); the pipeline
+// uses this helper to do exactly that. Plain std::thread chunking — no
+// work stealing needed for our embarrassingly parallel loops.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace patchecko {
+
+/// Invokes fn(i) for every i in [0, n), distributed over `threads` OS
+/// threads (<= 1 means inline execution). fn must be safe to call
+/// concurrently for distinct i. The first exception thrown by any worker is
+/// rethrown on the calling thread after all workers join.
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const unsigned worker_count =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  std::vector<std::exception_ptr> errors(worker_count);
+  for (unsigned w = 0; w < worker_count; ++w) {
+    workers.emplace_back([&, w] {
+      try {
+        // Strided assignment keeps neighbouring (often similarly sized)
+        // work items spread across workers.
+        for (std::size_t i = w; i < n; i += worker_count) fn(i);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+/// Default worker count: the machine's concurrency, at least 1.
+unsigned default_worker_threads();
+
+}  // namespace patchecko

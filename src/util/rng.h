@@ -1,0 +1,115 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component of the reproduction (corpus generation, dataset
+// sampling, network initialization, fuzzing) derives its randomness from a
+// Rng seeded explicitly by the caller, so each experiment is reproducible
+// bit-for-bit from a single top-level seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace patchecko {
+
+/// splitmix64: used to expand a single 64-bit seed into a full xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Small, fast, and good enough statistical quality
+/// for workload synthesis; satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed0fDeadBeefULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Approximately normal draw (sum of uniforms; adequate for init noise).
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform01();
+    return mean + stddev * (acc - 6.0);
+  }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_pick(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double draw = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      draw -= weights[i];
+      if (draw <= 0.0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Pick a random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(uniform(
+        0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Derive an independent child generator; used to give every generated
+  /// artifact (library, function, input set) its own stable stream.
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t mix = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+    return Rng(mix);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace patchecko

@@ -1,0 +1,40 @@
+// Small numeric helpers shared by the feature extractors and the similarity
+// engine: summary statistics over feature samples and the Minkowski distance
+// family used by the paper's Eq. (1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace patchecko {
+
+/// min / max / mean / standard deviation of a sample, computed in one pass.
+/// An empty sample yields all-zero summary (the extractors rely on this for
+/// functions with no basic blocks of a given kind).
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double sum = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Minkowski distance of order p between two equally sized vectors (paper
+/// Eq. 1; p=3 in PATCHECKO, p=2 Euclidean, p=1 Manhattan).
+double minkowski_distance(std::span<const double> x, std::span<const double> y,
+                          double p);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
+double cosine_similarity(std::span<const double> x, std::span<const double> y);
+
+/// Natural log of (1 + |v|) with the sign preserved; compresses the heavy
+/// tail of count-valued features before normalization.
+double signed_log1p(double v);
+
+/// Mean of a vector (0 for empty input).
+double mean_of(std::span<const double> values);
+
+}  // namespace patchecko

@@ -1,0 +1,33 @@
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables in a shape directly comparable with the published ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace patchecko {
+
+/// Accumulates rows of strings and renders a column-aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule; missing trailing cells render empty.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("12.34").
+std::string fmt_double(double v, int precision = 2);
+
+/// Percentage formatting ("12.34%").
+std::string fmt_percent(double fraction, int precision = 2);
+
+}  // namespace patchecko

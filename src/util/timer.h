@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for the processing-time columns of Tables VI/VII.
+#pragma once
+
+#include <chrono>
+
+namespace patchecko {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace patchecko

@@ -1,0 +1,51 @@
+// The 21 dynamic features of Table II, collected per function execution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace patchecko {
+
+struct DynamicFeatures {
+  // F1  number of binary-defined function calls during execution
+  std::uint64_t binary_fun_calls = 0;
+  // F2..F5 stack depth statistics, sampled at every executed instruction
+  double min_stack_depth = 0.0;
+  double max_stack_depth = 0.0;
+  double avg_stack_depth = 0.0;
+  double std_stack_depth = 0.0;
+  // F6/F7 executed instructions: total / unique sites
+  std::uint64_t instructions = 0;
+  std::uint64_t unique_instructions = 0;
+  // F8..F12 executed instruction classes
+  std::uint64_t call_instructions = 0;
+  std::uint64_t arith_instructions = 0;
+  std::uint64_t branch_instructions = 0;
+  std::uint64_t load_instructions = 0;
+  std::uint64_t store_instructions = 0;
+  // F13/F14 hottest single branch / arithmetic site
+  std::uint64_t max_branch_frequency = 0;
+  std::uint64_t max_arith_frequency = 0;
+  // F15..F19 memory accesses by region
+  std::uint64_t mem_heap = 0;
+  std::uint64_t mem_stack = 0;
+  std::uint64_t mem_lib = 0;
+  std::uint64_t mem_anon = 0;
+  std::uint64_t mem_others = 0;
+  // F20/F21 runtime interface
+  std::uint64_t library_calls = 0;
+  std::uint64_t syscalls = 0;
+
+  static constexpr std::size_t count = 21;
+
+  /// Features in Table II order, as doubles (the similarity engine's input).
+  std::array<double, count> to_array() const;
+  std::vector<double> to_vector() const;
+
+  /// Short feature names ("F1".."F21" descriptions) in the same order.
+  static std::string_view name(std::size_t index);
+};
+
+}  // namespace patchecko

@@ -1,0 +1,153 @@
+// Tests for the related-work baselines and the Dataset-I pair builder.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.h"
+#include "compiler/compiler.h"
+#include "dl/dataset.h"
+#include "source/generator.h"
+
+namespace patchecko {
+namespace {
+
+TEST(Bindiff, SelfDistanceZero) {
+  const SourceLibrary src = generate_library("bd", 0xBD, 8);
+  const FunctionBinary fn =
+      compile_function(src, 0, Arch::amd64, OptLevel::O2);
+  EXPECT_DOUBLE_EQ(bindiff_distance(fn, fn), 0.0);
+}
+
+TEST(Bindiff, DifferentFunctionsPositive) {
+  const SourceLibrary src = generate_library("bd2", 0xBD2, 8);
+  const FunctionBinary a =
+      compile_function(src, 0, Arch::amd64, OptLevel::O2);
+  const FunctionBinary b =
+      compile_function(src, 5, Arch::amd64, OptLevel::O2);
+  EXPECT_GT(bindiff_distance(a, b), 0.0);
+}
+
+TEST(Bindiff, Symmetric) {
+  const SourceLibrary src = generate_library("bd3", 0xBD3, 8);
+  const FunctionBinary a =
+      compile_function(src, 1, Arch::amd64, OptLevel::O2);
+  const FunctionBinary b =
+      compile_function(src, 2, Arch::amd64, OptLevel::O2);
+  EXPECT_NEAR(bindiff_distance(a, b), bindiff_distance(b, a), 1e-9);
+}
+
+TEST(Bindiff, SameSourceCrossOptCloserThanDifferentSource) {
+  const SourceLibrary src = generate_library("bd4", 0xBD4, 12);
+  int wins = 0, total = 0;
+  for (std::size_t f = 0; f + 1 < 8; ++f) {
+    const FunctionBinary base =
+        compile_function(src, f, Arch::amd64, OptLevel::O1);
+    const FunctionBinary same =
+        compile_function(src, f, Arch::amd64, OptLevel::Oz);
+    const FunctionBinary other =
+        compile_function(src, f + 1, Arch::amd64, OptLevel::O1);
+    ++total;
+    if (bindiff_distance(base, same) < bindiff_distance(base, other)) ++wins;
+  }
+  EXPECT_GE(wins * 2, total);
+}
+
+TEST(StaticRanking, OrdersByDistanceAscending) {
+  const SourceLibrary src = generate_library("sr", 0x5A, 20);
+  const LibraryBinary lib = compile_library(src, Arch::amd64, OptLevel::O2);
+  std::vector<StaticFeatureVector> features;
+  for (const auto& fn : lib.functions)
+    features.push_back(extract_static_features(fn));
+  const auto ranking = static_distance_ranking(features[4], features);
+  // Self at distance 0 first.
+  EXPECT_EQ(ranking.front().function_index, 4u);
+  EXPECT_DOUBLE_EQ(ranking.front().distance, 0.0);
+  for (std::size_t i = 1; i < ranking.size(); ++i)
+    EXPECT_GE(ranking[i].distance, ranking[i - 1].distance);
+}
+
+// --- dataset -------------------------------------------------------------------
+
+DatasetConfig tiny_dataset_config() {
+  DatasetConfig config;
+  config.library_count = 4;
+  config.functions_per_library = 8;
+  config.positives_per_function = 2;
+  return config;
+}
+
+TEST(Dataset, VariantCorpusShape) {
+  const DatasetConfig config = tiny_dataset_config();
+  const auto corpus = build_variant_corpus(config);
+  EXPECT_EQ(corpus.size(),
+            config.library_count * config.functions_per_library);
+  // Most functions have close to 24 variants (modulo simulated build
+  // failures and small-edit augmentation).
+  for (const auto& fv : corpus) {
+    EXPECT_GE(fv.variants.size(), 10u);
+    EXPECT_LE(fv.variants.size(), 24u + 6u);
+  }
+}
+
+TEST(Dataset, MutatedVariantsMarked) {
+  const DatasetConfig config = tiny_dataset_config();
+  const auto corpus = build_variant_corpus(config);
+  std::size_t with_mutations = 0;
+  for (const auto& fv : corpus) {
+    EXPECT_LE(fv.first_mutated, fv.variants.size());
+    if (fv.has_mutated()) ++with_mutations;
+  }
+  EXPECT_GT(with_mutations, 0u);
+}
+
+TEST(Dataset, PairBundleShapes) {
+  const DatasetConfig config = tiny_dataset_config();
+  const auto corpus = build_variant_corpus(config);
+  const DatasetBundle bundle = build_pair_dataset(corpus, config);
+
+  for (const PairDataset* set :
+       {&bundle.train, &bundle.val, &bundle.test}) {
+    EXPECT_EQ(set->x.cols, 2 * static_feature_count);
+    EXPECT_EQ(set->x.rows, set->y.size());
+    EXPECT_EQ(set->x.data.size(), set->x.rows * set->x.cols);
+  }
+  EXPECT_GT(bundle.train.y.size(), bundle.val.y.size());
+  EXPECT_TRUE(bundle.normalizer.fitted());
+}
+
+TEST(Dataset, LabelsRoughlyBalanced) {
+  const DatasetConfig config = tiny_dataset_config();
+  const auto corpus = build_variant_corpus(config);
+  const DatasetBundle bundle = build_pair_dataset(corpus, config);
+  std::size_t positives = 0;
+  for (float y : bundle.train.y)
+    if (y >= 0.5f) ++positives;
+  const double frac =
+      static_cast<double>(positives) / bundle.train.y.size();
+  EXPECT_GT(frac, 0.35);
+  EXPECT_LT(frac, 0.65);
+}
+
+TEST(Dataset, DeterministicFromSeed) {
+  const DatasetConfig config = tiny_dataset_config();
+  const DatasetBundle a =
+      build_pair_dataset(build_variant_corpus(config), config);
+  const DatasetBundle b =
+      build_pair_dataset(build_variant_corpus(config), config);
+  EXPECT_EQ(a.train.y, b.train.y);
+  EXPECT_EQ(a.train.x.data, b.train.x.data);
+}
+
+TEST(Dataset, BuildFailureRateShrinksVariants) {
+  DatasetConfig all = tiny_dataset_config();
+  all.build_failure_rate = 0.0;
+  DatasetConfig flaky = tiny_dataset_config();
+  flaky.build_failure_rate = 0.5;
+  const auto corpus_all = build_variant_corpus(all);
+  const auto corpus_flaky = build_variant_corpus(flaky);
+  std::size_t variants_all = 0, variants_flaky = 0;
+  for (const auto& fv : corpus_all) variants_all += fv.variants.size();
+  for (const auto& fv : corpus_flaky) variants_flaky += fv.variants.size();
+  EXPECT_GT(variants_all, variants_flaky);
+}
+
+}  // namespace
+}  // namespace patchecko

@@ -1,0 +1,166 @@
+// Tests for the differential engine: signature extraction, distance, and
+// the patch-presence decision logic including the deliberate tie->patched
+// default that reproduces the paper's CVE-2018-9470 miss.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "diff/differential.h"
+#include "source/generator.h"
+#include "source/mutate.h"
+
+namespace patchecko {
+namespace {
+
+FunctionBinary compile_one(const SourceFunction& fn) {
+  SourceLibrary lib;
+  lib.name = "d";
+  lib.strings.assign(12, "s");
+  lib.functions.push_back(fn);
+  return compile_function(lib, 0, Arch::amd64, OptLevel::O2);
+}
+
+TEST(DiffSignature, CountsLibcallsByKind) {
+  Rng rng(1);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::remove_memmove_loop, rng, 0);
+  const DiffSignature vuln = make_signature(compile_one(pair.vulnerable));
+  const DiffSignature patched = make_signature(compile_one(pair.patched));
+  EXPECT_EQ(vuln.libcall_counts[static_cast<std::size_t>(LibFn::memmove)], 1);
+  EXPECT_EQ(
+      patched.libcall_counts[static_cast<std::size_t>(LibFn::memmove)], 0);
+}
+
+TEST(DiffSignature, TopologyFieldsPopulated) {
+  Rng rng(2);
+  const SourceFunction fn = generate_function(rng, Archetype::validator, 0);
+  const DiffSignature sig = make_signature(compile_one(fn));
+  EXPECT_GT(sig.basic_blocks, 1);
+  EXPECT_GT(sig.conditional_branches, 0);
+  EXPECT_EQ(sig.params, 3);
+}
+
+TEST(DiffSignature, DistanceZeroOnSelf) {
+  Rng rng(3);
+  const SourceFunction fn = generate_function(rng, Archetype::checksum, 0);
+  const DiffSignature sig = make_signature(compile_one(fn));
+  EXPECT_DOUBLE_EQ(signature_distance(sig, sig), 0.0);
+}
+
+TEST(DiffSignature, DistancePositiveAcrossPatch) {
+  Rng rng(4);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::add_bounds_guard, rng, 0);
+  const DiffSignature v = make_signature(compile_one(pair.vulnerable));
+  const DiffSignature p = make_signature(compile_one(pair.patched));
+  EXPECT_GT(signature_distance(v, p), 0.0);
+}
+
+TEST(DiffSignature, ConstantTweakInvisible) {
+  Rng rng(5);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::constant_tweak, rng, 0);
+  const DiffSignature v = make_signature(compile_one(pair.vulnerable));
+  const DiffSignature p = make_signature(compile_one(pair.patched));
+  EXPECT_DOUBLE_EQ(signature_distance(v, p), 0.0);
+}
+
+// --- decision logic -------------------------------------------------------------
+
+struct Triple {
+  StaticFeatureVector vuln{}, patched{}, target{};
+  DiffSignature sig_vuln, sig_patched, sig_target;
+};
+
+Triple triple_for(PatchKind kind, bool target_is_patched,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  const VulnPatchPair pair = generate_vuln_patch_pair(kind, rng, 0);
+  Triple t;
+  const FunctionBinary bv = compile_one(pair.vulnerable);
+  const FunctionBinary bp = compile_one(pair.patched);
+  t.vuln = extract_static_features(bv);
+  t.patched = extract_static_features(bp);
+  t.sig_vuln = make_signature(bv);
+  t.sig_patched = make_signature(bp);
+  t.target = target_is_patched ? t.patched : t.vuln;
+  t.sig_target = target_is_patched ? t.sig_patched : t.sig_vuln;
+  return t;
+}
+
+TEST(DetectPatch, VulnerableTargetDetected) {
+  const Triple t =
+      triple_for(PatchKind::add_bounds_guard, /*target_is_patched=*/false, 6);
+  const PatchDecision d =
+      detect_patch(t.vuln, t.patched, t.target, t.sig_vuln, t.sig_patched,
+                   t.sig_target, /*dyn_v=*/0.0, /*dyn_p=*/12.0);
+  EXPECT_EQ(d.verdict, PatchVerdict::vulnerable);
+  EXPECT_GT(d.votes_vulnerable, d.votes_patched);
+}
+
+TEST(DetectPatch, PatchedTargetDetected) {
+  const Triple t =
+      triple_for(PatchKind::add_bounds_guard, /*target_is_patched=*/true, 7);
+  const PatchDecision d =
+      detect_patch(t.vuln, t.patched, t.target, t.sig_vuln, t.sig_patched,
+                   t.sig_target, /*dyn_v=*/12.0, /*dyn_p=*/0.0);
+  EXPECT_EQ(d.verdict, PatchVerdict::patched);
+}
+
+TEST(DetectPatch, MemmoveMarkerDrivesEvidence) {
+  const Triple t = triple_for(PatchKind::remove_memmove_loop,
+                              /*target_is_patched=*/false, 8);
+  const PatchDecision d =
+      detect_patch(t.vuln, t.patched, t.target, t.sig_vuln, t.sig_patched,
+                   t.sig_target, 0.0, 50.0);
+  EXPECT_EQ(d.verdict, PatchVerdict::vulnerable);
+  bool memmove_mentioned = false;
+  for (const std::string& note : d.evidence)
+    if (note.find("memmove") != std::string::npos) memmove_mentioned = true;
+  EXPECT_TRUE(memmove_mentioned);
+}
+
+TEST(DetectPatch, TieDefaultsToPatched) {
+  // The CVE-2018-9470 failure mode: every metric identical.
+  const Triple t =
+      triple_for(PatchKind::constant_tweak, /*target_is_patched=*/false, 9);
+  const PatchDecision d =
+      detect_patch(t.vuln, t.patched, t.target, t.sig_vuln, t.sig_patched,
+                   t.sig_target, /*dyn_v=*/3.0, /*dyn_p=*/3.0);
+  EXPECT_EQ(d.verdict, PatchVerdict::patched);  // the engineered miss
+  EXPECT_DOUBLE_EQ(d.votes_vulnerable, d.votes_patched);
+}
+
+TEST(DetectPatch, DynamicDistanceAloneCanDecide) {
+  // Identical statics, but the trace distance discriminates.
+  StaticFeatureVector same{};
+  same.fill(4.0);
+  DiffSignature sig;
+  const PatchDecision d = detect_patch(same, same, same, sig, sig, sig,
+                                       /*dyn_v=*/1.0, /*dyn_p=*/9.0);
+  EXPECT_EQ(d.verdict, PatchVerdict::vulnerable);
+}
+
+TEST(DetectPatch, InfiniteDynamicDistancesIgnored) {
+  StaticFeatureVector same{};
+  DiffSignature sig;
+  const double inf = std::numeric_limits<double>::infinity();
+  const PatchDecision d =
+      detect_patch(same, same, same, sig, sig, sig, inf, inf);
+  // No usable evidence at all -> tie -> patched default.
+  EXPECT_EQ(d.verdict, PatchVerdict::patched);
+}
+
+TEST(DetectPatch, UnmovedMetricsCastNoVotes) {
+  StaticFeatureVector v{}, p{}, t{};
+  v.fill(2.0);
+  p = v;
+  p[5] = 9.0;  // patch moved exactly one feature
+  t = v;
+  DiffSignature sig;
+  const PatchDecision d = detect_patch(v, p, t, sig, sig, sig, 5.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.votes_vulnerable, 1.0);
+  EXPECT_DOUBLE_EQ(d.votes_patched, 0.0);
+}
+
+}  // namespace
+}  // namespace patchecko

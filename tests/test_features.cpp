@@ -1,0 +1,202 @@
+// Tests for the 48-feature static extractor (Table I) and the normalizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "compiler/compiler.h"
+#include "features/static_features.h"
+#include "source/generator.h"
+
+namespace patchecko {
+namespace {
+
+Instruction I(Opcode op, std::uint8_t dst = reg::none,
+              std::uint8_t a = reg::none, std::uint8_t b = reg::none,
+              std::int64_t imm = 0, std::int32_t target = -1) {
+  Instruction inst;
+  inst.op = op;
+  inst.dst = dst;
+  inst.src1 = a;
+  inst.src2 = b;
+  inst.imm = imm;
+  inst.target = target;
+  return inst;
+}
+
+// Feature indices from Table I ordering.
+constexpr std::size_t f_num_constant = 0;
+constexpr std::size_t f_num_string = 1;
+constexpr std::size_t f_num_inst = 2;
+constexpr std::size_t f_size_local = 3;
+constexpr std::size_t f_num_import = 5;
+constexpr std::size_t f_num_cx = 7;
+constexpr std::size_t f_num_bb = 17;
+constexpr std::size_t f_num_edge = 18;
+constexpr std::size_t f_cyclomatic = 19;
+constexpr std::size_t f_fcb_ret = 22;
+constexpr std::size_t f_sum_arith = 37;
+
+TEST(StaticFeatures, NamesDistinctAndComplete) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < static_feature_count; ++i)
+    names.insert(static_feature_name(i));
+  EXPECT_EQ(names.size(), static_feature_count);
+}
+
+TEST(StaticFeatures, StraightLineFunctionCounts) {
+  FunctionBinary fn;
+  fn.arch = Arch::amd64;
+  fn.frame_size = 16;
+  fn.code = {I(Opcode::ldi, 0, reg::none, reg::none, 5),
+             I(Opcode::ldi, 1, reg::none, reg::none, 6),
+             I(Opcode::add, 2, 0, 1),
+             I(Opcode::ret)};
+  const StaticFeatureVector f = extract_static_features(fn);
+  EXPECT_DOUBLE_EQ(f[f_num_constant], 2.0);
+  EXPECT_DOUBLE_EQ(f[f_num_inst], 4.0);
+  EXPECT_DOUBLE_EQ(f[f_size_local], 16.0);
+  EXPECT_DOUBLE_EQ(f[f_num_bb], 1.0);
+  EXPECT_DOUBLE_EQ(f[f_num_edge], 0.0);
+  EXPECT_DOUBLE_EQ(f[f_fcb_ret], 1.0);
+  EXPECT_DOUBLE_EQ(f[f_sum_arith], 1.0);  // one add
+  // Cyclomatic complexity of a single-block function: 0 - 1 + 2 = 1.
+  EXPECT_DOUBLE_EQ(f[f_cyclomatic], 1.0);
+}
+
+TEST(StaticFeatures, DiamondRaisesCyclomatic) {
+  FunctionBinary fn;
+  fn.arch = Arch::amd64;
+  fn.code = {I(Opcode::cmp, 0, 0, 1),
+             I(Opcode::beq, reg::none, 0, reg::none, 0, 4),
+             I(Opcode::ldi, 0, reg::none, reg::none, 1),
+             I(Opcode::jmp, reg::none, reg::none, reg::none, 0, 5),
+             I(Opcode::ldi, 0, reg::none, reg::none, 2),
+             I(Opcode::ret)};
+  const StaticFeatureVector f = extract_static_features(fn);
+  EXPECT_DOUBLE_EQ(f[f_num_bb], 4.0);
+  EXPECT_DOUBLE_EQ(f[f_num_edge], 4.0);
+  EXPECT_DOUBLE_EQ(f[f_cyclomatic], 2.0);
+}
+
+TEST(StaticFeatures, ImportsCountDistinctLibFns) {
+  FunctionBinary fn;
+  fn.arch = Arch::amd64;
+  fn.code = {I(Opcode::libcall, reg::none, reg::none, reg::none,
+               static_cast<std::int64_t>(LibFn::memmove)),
+             I(Opcode::libcall, reg::none, reg::none, reg::none,
+               static_cast<std::int64_t>(LibFn::memmove)),
+             I(Opcode::libcall, reg::none, reg::none, reg::none,
+               static_cast<std::int64_t>(LibFn::strlen)),
+             I(Opcode::ret)};
+  const StaticFeatureVector f = extract_static_features(fn);
+  EXPECT_DOUBLE_EQ(f[f_num_import], 2.0);  // distinct imports
+  EXPECT_DOUBLE_EQ(f[f_num_cx], 0.0);      // libcall is not a binary call
+}
+
+TEST(StaticFeatures, StringRefsCounted) {
+  FunctionBinary fn;
+  fn.arch = Arch::amd64;
+  fn.code = {I(Opcode::ldstr, 0, reg::none, reg::none, 0),
+             I(Opcode::ldstr, 1, reg::none, reg::none, 1),
+             I(Opcode::ret)};
+  const StaticFeatureVector f = extract_static_features(fn);
+  EXPECT_DOUBLE_EQ(f[f_num_string], 2.0);
+}
+
+TEST(StaticFeatures, DeterministicExtraction) {
+  const SourceLibrary src = generate_library("sf", 0x5F, 10);
+  const LibraryBinary lib = compile_library(src, Arch::arm64, OptLevel::O2);
+  for (const FunctionBinary& fn : lib.functions) {
+    const auto a = extract_static_features(fn);
+    const auto b = extract_static_features(fn);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(StaticFeatures, TopologyInvariantAcrossArches) {
+  // Basic-block and edge counts come from branch structure, which our
+  // compiler preserves across architectures at a fixed opt level.
+  const SourceLibrary src = generate_library("topo", 0x70, 12);
+  for (std::size_t f = 0; f < src.functions.size(); ++f) {
+    const auto arm = extract_static_features(
+        compile_function(src, f, Arch::arm64, OptLevel::O1));
+    const auto x86 = extract_static_features(
+        compile_function(src, f, Arch::x86, OptLevel::O1));
+    EXPECT_DOUBLE_EQ(arm[f_num_bb], x86[f_num_bb]) << f;
+    EXPECT_DOUBLE_EQ(arm[f_num_edge], x86[f_num_edge]) << f;
+  }
+}
+
+TEST(StaticFeatures, InstructionCountVariesAcrossOptLevels) {
+  const SourceLibrary src = generate_library("var", 0x7A, 12);
+  int differing = 0;
+  for (std::size_t f = 0; f < src.functions.size(); ++f) {
+    const auto o0 = extract_static_features(
+        compile_function(src, f, Arch::amd64, OptLevel::O0));
+    const auto o2 = extract_static_features(
+        compile_function(src, f, Arch::amd64, OptLevel::O2));
+    if (o0[f_num_inst] != o2[f_num_inst]) ++differing;
+  }
+  EXPECT_GT(differing, 8);
+}
+
+TEST(Normalizer, ZeroMeanUnitVarianceOnFit) {
+  std::vector<StaticFeatureVector> corpus;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    StaticFeatureVector v{};
+    for (double& x : v) x = rng.uniform_real(0, 100);
+    corpus.push_back(v);
+  }
+  FeatureNormalizer normalizer;
+  normalizer.fit(corpus);
+  ASSERT_TRUE(normalizer.fitted());
+
+  StaticFeatureVector mean{}, sq{};
+  for (const auto& raw : corpus) {
+    const auto t = normalizer.transform(raw);
+    for (std::size_t i = 0; i < static_feature_count; ++i) {
+      mean[i] += t[i];
+      sq[i] += t[i] * t[i];
+    }
+  }
+  for (std::size_t i = 0; i < static_feature_count; ++i) {
+    mean[i] /= 200.0;
+    EXPECT_NEAR(mean[i], 0.0, 1e-9);
+    EXPECT_NEAR(sq[i] / 200.0, 1.0, 1e-6);
+  }
+}
+
+TEST(Normalizer, ConstantFeatureDoesNotBlowUp) {
+  std::vector<StaticFeatureVector> corpus(10);
+  for (auto& v : corpus) v.fill(5.0);
+  FeatureNormalizer normalizer;
+  normalizer.fit(corpus);
+  const auto t = normalizer.transform(corpus[0]);
+  for (double x : t) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(Normalizer, ParameterRoundTrip) {
+  FeatureNormalizer a;
+  std::vector<StaticFeatureVector> corpus(20);
+  Rng rng(4);
+  for (auto& v : corpus)
+    for (double& x : v) x = rng.uniform_real(0, 50);
+  a.fit(corpus);
+  FeatureNormalizer b;
+  b.set_parameters(a.means(), a.stddevs());
+  EXPECT_EQ(a.transform(corpus[3]), b.transform(corpus[3]));
+}
+
+TEST(Normalizer, EmptyCorpusIsIdentityish) {
+  FeatureNormalizer normalizer;
+  normalizer.fit({});
+  StaticFeatureVector raw{};
+  raw.fill(0.0);
+  const auto t = normalizer.transform(raw);
+  for (double x : t) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+}  // namespace
+}  // namespace patchecko

@@ -1,0 +1,427 @@
+// Unit tests for MiniC semantics via the reference interpreter: arithmetic
+// edge cases, traps, control flow, memory, the runtime library, and the
+// exact loop-counter behaviour the compiler mirrors.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "source/ast.h"
+#include "source/interp.h"
+
+namespace patchecko {
+namespace {
+
+// Builds a single-function library around `body`.
+SourceLibrary lib_of(std::vector<StmtPtr> body,
+                     std::vector<ValueType> params = {},
+                     std::vector<ValueType> locals = {}) {
+  SourceLibrary library;
+  library.name = "t";
+  library.strings = {"hello", "x"};
+  SourceFunction fn;
+  fn.name = "f";
+  fn.param_types = std::move(params);
+  fn.local_types = std::move(locals);
+  fn.body = std::move(body);
+  library.functions.push_back(std::move(fn));
+  return library;
+}
+
+ExecResult run(const SourceLibrary& lib, CallEnv env = {}) {
+  return interpret(lib, 0, env);
+}
+
+std::vector<StmtPtr> ret_expr(ExprPtr e) {
+  std::vector<StmtPtr> body;
+  body.push_back(make_ret(std::move(e)));
+  return body;
+}
+
+TEST(Interp, IntegerConstant) {
+  const auto lib = lib_of(ret_expr(make_int(42)));
+  const ExecResult r = run(lib);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret.i, 42);
+}
+
+TEST(Interp, FallOffEndReturnsZero) {
+  const auto lib = lib_of({});
+  const ExecResult r = run(lib);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret.i, 0);
+}
+
+TEST(Interp, WrapAroundAddition) {
+  const auto max = std::numeric_limits<std::int64_t>::max();
+  const auto lib =
+      lib_of(ret_expr(make_bin(BinOp::add, make_int(max), make_int(1))));
+  const ExecResult r = run(lib);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret.i, std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Interp, DivisionTruncatesTowardZero) {
+  const auto lib =
+      lib_of(ret_expr(make_bin(BinOp::divi, make_int(-7), make_int(2))));
+  EXPECT_EQ(run(lib).ret.i, -3);
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  const auto lib =
+      lib_of(ret_expr(make_bin(BinOp::divi, make_int(1), make_int(0))));
+  EXPECT_EQ(run(lib).status, ExecStatus::trap_div_zero);
+}
+
+TEST(Interp, ModuloByZeroTraps) {
+  const auto lib =
+      lib_of(ret_expr(make_bin(BinOp::modi, make_int(1), make_int(0))));
+  EXPECT_EQ(run(lib).status, ExecStatus::trap_div_zero);
+}
+
+TEST(Interp, Int64MinDividedByMinusOne) {
+  const auto min = std::numeric_limits<std::int64_t>::min();
+  const auto div =
+      lib_of(ret_expr(make_bin(BinOp::divi, make_int(min), make_int(-1))));
+  EXPECT_EQ(run(div).ret.i, min);  // defined as wrap, not UB
+  const auto mod =
+      lib_of(ret_expr(make_bin(BinOp::modi, make_int(min), make_int(-1))));
+  EXPECT_EQ(run(mod).ret.i, 0);
+}
+
+TEST(Interp, ShiftCountsMasked) {
+  const auto lib =
+      lib_of(ret_expr(make_bin(BinOp::shl, make_int(1), make_int(65))));
+  EXPECT_EQ(run(lib).ret.i, 2);
+}
+
+TEST(Interp, ComparisonsYieldZeroOne) {
+  const auto lt =
+      lib_of(ret_expr(make_bin(BinOp::lt, make_int(1), make_int(2))));
+  EXPECT_EQ(run(lt).ret.i, 1);
+  const auto ge =
+      lib_of(ret_expr(make_bin(BinOp::ge, make_int(1), make_int(2))));
+  EXPECT_EQ(run(ge).ret.i, 0);
+}
+
+TEST(Interp, ShortCircuitAndSkipsRhsTrap) {
+  // false && (1/0) must not trap.
+  ExprPtr trapping = make_bin(BinOp::divi, make_int(1), make_int(0));
+  ExprPtr cond = make_bin(BinOp::land, make_int(0),
+                          make_bin(BinOp::ne, std::move(trapping),
+                                   make_int(5)));
+  const auto lib = lib_of(ret_expr(std::move(cond)));
+  const ExecResult r = run(lib);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret.i, 0);
+}
+
+TEST(Interp, ShortCircuitOrSkipsRhsTrap) {
+  ExprPtr trapping = make_bin(BinOp::divi, make_int(1), make_int(0));
+  ExprPtr cond = make_bin(BinOp::lor, make_int(7),
+                          make_bin(BinOp::ne, std::move(trapping),
+                                   make_int(5)));
+  const auto lib = lib_of(ret_expr(std::move(cond)));
+  const ExecResult r = run(lib);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret.i, 1);
+}
+
+TEST(Interp, FpArithmeticAndConversion) {
+  ExprPtr v = make_bin(BinOp::fmul, make_fp(2.5), make_fp(4.0));
+  const auto lib = lib_of(ret_expr(make_un(UnOp::to_i64, std::move(v))));
+  EXPECT_EQ(run(lib).ret.i, 10);
+}
+
+TEST(Interp, FpDivisionByZeroIsZero) {
+  ExprPtr v = make_bin(BinOp::fdiv, make_fp(1.0), make_fp(0.0));
+  const auto lib = lib_of(ret_expr(make_un(UnOp::to_i64, std::move(v))));
+  const ExecResult r = run(lib);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret.i, 0);
+}
+
+TEST(Interp, ForLoopAccumulates) {
+  // for (i = 0; i < 5; ++i) acc = acc + i; return acc; -> 10
+  std::vector<StmtPtr> loop_body;
+  loop_body.push_back(make_assign(
+      1, make_bin(BinOp::add, make_local(1, ValueType::i64),
+                  make_local(0, ValueType::i64))));
+  std::vector<StmtPtr> body;
+  body.push_back(make_for(0, make_int(0), make_int(5),
+                          std::move(loop_body)));
+  body.push_back(make_ret(make_local(1, ValueType::i64)));
+  const auto lib = lib_of(std::move(body), {}, {ValueType::i64,
+                                                ValueType::i64});
+  EXPECT_EQ(run(lib).ret.i, 10);
+}
+
+TEST(Interp, LoopCounterLandsPastBound) {
+  // After `for (i = 0; i < 5; ++i) {}` the counter local must hold 5 —
+  // exactly what the compiled loop leaves in the register.
+  std::vector<StmtPtr> body;
+  body.push_back(make_for(0, make_int(0), make_int(5), {}));
+  body.push_back(make_ret(make_local(0, ValueType::i64)));
+  const auto lib = lib_of(std::move(body), {}, {ValueType::i64});
+  EXPECT_EQ(run(lib).ret.i, 5);
+}
+
+TEST(Interp, ZeroTripLoopStillInitializesCounter) {
+  std::vector<StmtPtr> body;
+  body.push_back(make_for(0, make_int(9), make_int(3), {}));
+  body.push_back(make_ret(make_local(0, ValueType::i64)));
+  const auto lib = lib_of(std::move(body), {}, {ValueType::i64});
+  EXPECT_EQ(run(lib).ret.i, 9);
+}
+
+TEST(Interp, EarlyReturnInsideLoop) {
+  std::vector<StmtPtr> then_body;
+  then_body.push_back(make_ret(make_local(0, ValueType::i64)));
+  std::vector<StmtPtr> loop_body;
+  loop_body.push_back(make_if(
+      make_bin(BinOp::eq, make_local(0, ValueType::i64), make_int(3)),
+      std::move(then_body)));
+  std::vector<StmtPtr> body;
+  body.push_back(make_for(0, make_int(0), make_int(10),
+                          std::move(loop_body)));
+  body.push_back(make_ret(make_int(-1)));
+  const auto lib = lib_of(std::move(body), {}, {ValueType::i64});
+  EXPECT_EQ(run(lib).ret.i, 3);
+}
+
+TEST(Interp, SwitchDispatchesByModulo) {
+  std::vector<std::vector<StmtPtr>> cases;
+  for (int k = 0; k < 3; ++k) cases.push_back(ret_expr(make_int(100 + k)));
+  std::vector<StmtPtr> body;
+  body.push_back(make_switch(make_param(0, ValueType::i64),
+                             std::move(cases)));
+  body.push_back(make_ret(make_int(-1)));
+  const auto lib = lib_of(std::move(body), {ValueType::i64});
+  CallEnv env;
+  env.args.push_back(Value::from_int(4));  // 4 % 3 == 1
+  EXPECT_EQ(interpret(lib, 0, env).ret.i, 101);
+  CallEnv neg;
+  neg.args.push_back(Value::from_int(-1));  // normalized to 2
+  EXPECT_EQ(interpret(lib, 0, neg).ret.i, 102);
+}
+
+TEST(Interp, BufferByteReadWrite) {
+  // data[1] = data[0] + 1; return data[1];
+  std::vector<StmtPtr> body;
+  body.push_back(make_store(
+      make_param(0, ValueType::ptr), make_int(1),
+      make_bin(BinOp::add,
+               make_load(make_param(0, ValueType::ptr), make_int(0), true),
+               make_int(1)),
+      true));
+  body.push_back(make_ret(
+      make_load(make_param(0, ValueType::ptr), make_int(1), true)));
+  const auto lib = lib_of(std::move(body), {ValueType::ptr});
+  CallEnv env;
+  env.buffers.push_back({10, 0});
+  env.args.push_back(Value::from_ptr(0));
+  const ExecResult r = interpret(lib, 0, env);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret.i, 11);
+  EXPECT_EQ(env.buffers[0][1], 11);
+}
+
+TEST(Interp, OutOfBoundsReadTraps) {
+  const auto lib = lib_of(ret_expr(
+      make_load(make_param(0, ValueType::ptr), make_int(10), true)),
+      {ValueType::ptr});
+  CallEnv env;
+  env.buffers.push_back({1, 2, 3});
+  env.args.push_back(Value::from_ptr(0));
+  EXPECT_EQ(interpret(lib, 0, env).status, ExecStatus::trap_oob);
+}
+
+TEST(Interp, NegativeIndexTraps) {
+  const auto lib = lib_of(ret_expr(
+      make_load(make_param(0, ValueType::ptr), make_int(-1), true)),
+      {ValueType::ptr});
+  CallEnv env;
+  env.buffers.push_back({1});
+  env.args.push_back(Value::from_ptr(0));
+  EXPECT_EQ(interpret(lib, 0, env).status, ExecStatus::trap_oob);
+}
+
+TEST(Interp, WordAccessLittleEndian) {
+  std::vector<StmtPtr> body;
+  body.push_back(make_store(make_param(0, ValueType::ptr), make_int(0),
+                            make_int(0x0102030405060708LL), false));
+  body.push_back(make_ret(
+      make_load(make_param(0, ValueType::ptr), make_int(0), true)));
+  const auto lib = lib_of(std::move(body), {ValueType::ptr});
+  CallEnv env;
+  env.buffers.push_back(std::vector<std::uint8_t>(8, 0));
+  env.args.push_back(Value::from_ptr(0));
+  const ExecResult r = interpret(lib, 0, env);
+  EXPECT_EQ(r.ret.i, 0x08);  // low byte first
+}
+
+TEST(Interp, StringPoolReadable) {
+  std::vector<ExprPtr> args;
+  args.push_back(make_strref(0));  // "hello"
+  const auto lib = lib_of(
+      ret_expr(make_libcall(LibFn::strlen, std::move(args), ValueType::i64)));
+  EXPECT_EQ(run(lib).ret.i, 5);
+}
+
+TEST(Interp, StringPoolWriteTraps) {
+  const auto lib = lib_of([] {
+    std::vector<StmtPtr> body;
+    body.push_back(make_store(make_strref(0), make_int(0), make_int(1),
+                              true));
+    body.push_back(make_ret(make_int(0)));
+    return body;
+  }());
+  EXPECT_EQ(run(lib).status, ExecStatus::trap_oob);
+}
+
+TEST(Interp, MemmoveOverlapForward) {
+  // memmove(&data[1], &data[0], 3) over {1,2,3,4} -> {1,1,2,3}
+  std::vector<ExprPtr> args;
+  args.push_back(make_ptr_offset(make_param(0, ValueType::ptr), make_int(1)));
+  args.push_back(make_param(0, ValueType::ptr));
+  args.push_back(make_int(3));
+  std::vector<StmtPtr> body;
+  body.push_back(make_expr_stmt(
+      make_libcall(LibFn::memmove, std::move(args), ValueType::ptr)));
+  body.push_back(make_ret(make_int(0)));
+  const auto lib = lib_of(std::move(body), {ValueType::ptr});
+  CallEnv env;
+  env.buffers.push_back({1, 2, 3, 4});
+  env.args.push_back(Value::from_ptr(0));
+  ASSERT_EQ(interpret(lib, 0, env).status, ExecStatus::ok);
+  EXPECT_EQ(env.buffers[0], (std::vector<std::uint8_t>{1, 1, 2, 3}));
+}
+
+TEST(Interp, MemmoveNegativeLengthTraps) {
+  std::vector<ExprPtr> args;
+  args.push_back(make_param(0, ValueType::ptr));
+  args.push_back(make_param(0, ValueType::ptr));
+  args.push_back(make_int(-1));
+  const auto lib = lib_of(ret_expr(
+      make_libcall(LibFn::memmove, std::move(args), ValueType::ptr)),
+      {ValueType::ptr});
+  CallEnv env;
+  env.buffers.push_back({1});
+  env.args.push_back(Value::from_ptr(0));
+  EXPECT_EQ(interpret(lib, 0, env).status, ExecStatus::trap_oob);
+}
+
+TEST(Interp, StrlenStopsAtBufferEndWithoutNul) {
+  std::vector<ExprPtr> args;
+  args.push_back(make_param(0, ValueType::ptr));
+  const auto lib = lib_of(ret_expr(
+      make_libcall(LibFn::strlen, std::move(args), ValueType::i64)),
+      {ValueType::ptr});
+  CallEnv env;
+  env.buffers.push_back({'a', 'b', 'c'});  // no NUL
+  env.args.push_back(Value::from_ptr(0));
+  EXPECT_EQ(interpret(lib, 0, env).ret.i, 3);
+}
+
+TEST(Interp, StrcmpAgainstPoolString) {
+  std::vector<ExprPtr> args;
+  args.push_back(make_param(0, ValueType::ptr));
+  args.push_back(make_strref(0));  // "hello"
+  const auto lib = lib_of(ret_expr(
+      make_libcall(LibFn::strcmp, std::move(args), ValueType::i64)),
+      {ValueType::ptr});
+  CallEnv env;
+  env.buffers.push_back({'h', 'e', 'l', 'l', 'o', 0});
+  env.args.push_back(Value::from_ptr(0));
+  EXPECT_EQ(interpret(lib, 0, env).ret.i, 0);
+}
+
+TEST(Interp, MallocReturnsWritableBuffer) {
+  // p = malloc(16); p[3] = 9; return p[3];
+  std::vector<ExprPtr> margs;
+  margs.push_back(make_int(16));
+  std::vector<StmtPtr> body;
+  body.push_back(make_assign(
+      0, make_libcall(LibFn::malloc, std::move(margs), ValueType::ptr)));
+  body.push_back(make_store(make_local(0, ValueType::ptr), make_int(3),
+                            make_int(9), true));
+  body.push_back(make_ret(
+      make_load(make_local(0, ValueType::ptr), make_int(3), true)));
+  const auto lib = lib_of(std::move(body), {}, {ValueType::ptr});
+  const ExecResult r = run(lib);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret.i, 9);
+}
+
+TEST(Interp, StepLimitTrapsRunawayLoop) {
+  // A huge loop against a small step budget.
+  std::vector<StmtPtr> body;
+  body.push_back(make_for(0, make_int(0), make_int(1 << 30), {}));
+  body.push_back(make_ret(make_int(0)));
+  const auto lib = lib_of(std::move(body), {}, {ValueType::i64});
+  CallEnv env;
+  EXPECT_EQ(interpret(lib, 0, env, /*step_limit=*/1000).status,
+            ExecStatus::trap_step_limit);
+}
+
+TEST(Interp, MissingArgsDefaultToZero) {
+  const auto lib = lib_of(ret_expr(make_param(0, ValueType::i64)),
+                          {ValueType::i64});
+  CallEnv env;  // no args supplied
+  const ExecResult r = interpret(lib, 0, env);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret.i, 0);
+}
+
+TEST(Interp, PtrOffsetShiftsView) {
+  // return (*(data+2))[0]
+  const auto lib = lib_of(ret_expr(make_load(
+      make_ptr_offset(make_param(0, ValueType::ptr), make_int(2)),
+      make_int(0), true)), {ValueType::ptr});
+  CallEnv env;
+  env.buffers.push_back({10, 20, 30});
+  env.args.push_back(Value::from_ptr(0));
+  EXPECT_EQ(interpret(lib, 0, env).ret.i, 30);
+}
+
+TEST(Interp, IndexingNonPointerIsTypeTrap) {
+  const auto lib = lib_of(ret_expr(
+      make_load(make_param(0, ValueType::i64), make_int(0), true)),
+      {ValueType::i64});
+  CallEnv env;
+  env.args.push_back(Value::from_int(123));
+  EXPECT_EQ(interpret(lib, 0, env).status, ExecStatus::trap_type);
+}
+
+
+TEST(Interp, IndirectCallSelectsBySelectorParity) {
+  // f0 returns 100, f1 returns 200; dispatcher calls (sel odd ? f1 : f0).
+  SourceLibrary lib;
+  lib.name = "icall";
+  lib.strings = {"s"};
+  SourceFunction even, odd, dispatch;
+  even.name = "even";
+  even.param_types = {ValueType::i64};
+  even.body.push_back(make_ret(make_int(100)));
+  odd.name = "odd";
+  odd.param_types = {ValueType::i64};
+  odd.body.push_back(make_ret(make_int(200)));
+  dispatch.name = "dispatch";
+  dispatch.param_types = {ValueType::i64};
+  std::vector<ExprPtr> args;
+  args.push_back(make_int(7));
+  dispatch.body.push_back(make_ret(make_indirect_call(
+      make_param(0, ValueType::i64), 0, 1, std::move(args))));
+  lib.functions.push_back(std::move(even));
+  lib.functions.push_back(std::move(odd));
+  lib.functions.push_back(std::move(dispatch));
+
+  CallEnv env_even;
+  env_even.args.push_back(Value::from_int(4));
+  EXPECT_EQ(interpret(lib, 2, env_even).ret.i, 100);
+  CallEnv env_odd;
+  env_odd.args.push_back(Value::from_int(5));
+  EXPECT_EQ(interpret(lib, 2, env_odd).ret.i, 200);
+}
+
+}  // namespace
+}  // namespace patchecko

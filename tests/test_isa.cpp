@@ -1,0 +1,194 @@
+// Unit tests for the ISA: opcode classification consistency, per-arch
+// encoding sizes, register files, and the shared scalar runtime semantics.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "isa/isa.h"
+#include "isa/runtime_scalar.h"
+
+namespace patchecko {
+namespace {
+
+std::vector<Opcode> all_opcodes() {
+  std::vector<Opcode> out;
+  for (int op = 0; op <= static_cast<int>(Opcode::nop); ++op)
+    out.push_back(static_cast<Opcode>(op));
+  return out;
+}
+
+TEST(Isa, ArchNamesDistinct) {
+  std::set<std::string_view> names;
+  for (Arch arch : all_arches) names.insert(arch_name(arch));
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(Isa, OptLevelNamesDistinct) {
+  std::set<std::string_view> names;
+  for (OptLevel opt : all_opt_levels) names.insert(opt_level_name(opt));
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Isa, RegisterCountsLeaveScratchRoom) {
+  for (Arch arch : all_arches) {
+    EXPECT_GE(register_count(arch), 8) << arch_name(arch);
+    EXPECT_LT(register_count(arch), static_cast<int>(reg::none));
+  }
+}
+
+TEST(Isa, OpcodeNamesDistinct) {
+  std::set<std::string_view> names;
+  for (Opcode op : all_opcodes()) names.insert(opcode_name(op));
+  EXPECT_EQ(names.size(), all_opcodes().size());
+}
+
+TEST(Isa, ClassificationsAreDisjointWhereExpected) {
+  for (Opcode op : all_opcodes()) {
+    // An opcode cannot be both arithmetic and a branch, etc.
+    EXPECT_FALSE(is_arith(op) && is_branch(op)) << opcode_name(op);
+    EXPECT_FALSE(is_call(op) && is_branch(op)) << opcode_name(op);
+    EXPECT_FALSE(is_int_arith(op) && is_fp_arith(op)) << opcode_name(op);
+  }
+}
+
+TEST(Isa, ArithUnionMatches) {
+  for (Opcode op : all_opcodes())
+    EXPECT_EQ(is_arith(op), is_int_arith(op) || is_fp_arith(op));
+}
+
+TEST(Isa, TerminatorsDoNotFallThrough) {
+  EXPECT_TRUE(is_terminator(Opcode::ret));
+  EXPECT_TRUE(is_terminator(Opcode::jmp));
+  EXPECT_TRUE(is_terminator(Opcode::jmpi));
+  EXPECT_FALSE(is_terminator(Opcode::beq));
+  EXPECT_FALSE(is_terminator(Opcode::call));
+}
+
+TEST(Isa, LoadStoreIncludeStackOps) {
+  EXPECT_TRUE(is_load(Opcode::pop));
+  EXPECT_TRUE(is_store(Opcode::push));
+  EXPECT_TRUE(is_load(Opcode::loadb));
+  EXPECT_TRUE(is_store(Opcode::storeb));
+}
+
+TEST(Isa, EncodedSizeFixedWidthOnArm32Small) {
+  Instruction inst;
+  inst.op = Opcode::add;
+  EXPECT_EQ(encoded_size(inst, Arch::arm32), 4);
+}
+
+TEST(Isa, EncodedSizeWideImmediatesCostMore) {
+  Instruction small;
+  small.op = Opcode::ldi;
+  small.imm = 100;
+  Instruction wide = small;
+  wide.imm = 1LL << 40;
+  for (Arch arch : all_arches)
+    EXPECT_GT(encoded_size(wide, arch), encoded_size(small, arch))
+        << arch_name(arch);
+}
+
+TEST(Isa, Amd64PrefixCostsOverX86) {
+  Instruction inst;
+  inst.op = Opcode::add;
+  EXPECT_EQ(encoded_size(inst, Arch::amd64), encoded_size(inst, Arch::x86) + 1);
+}
+
+TEST(Isa, BranchEncodingCarriesDisplacement) {
+  Instruction branch;
+  branch.op = Opcode::beq;
+  branch.target = 5;
+  Instruction plain;
+  plain.op = Opcode::mov;
+  EXPECT_GT(encoded_size(branch, Arch::x86), encoded_size(plain, Arch::x86));
+}
+
+TEST(Isa, LibFnNamesDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < libfn_count; ++i)
+    names.insert(libfn_name(static_cast<LibFn>(i)));
+  EXPECT_EQ(names.size(), libfn_count);
+}
+
+TEST(Isa, ToStringMentionsOpcodeAndOperands) {
+  Instruction inst;
+  inst.op = Opcode::libcall;
+  inst.imm = static_cast<std::int64_t>(LibFn::memmove);
+  EXPECT_NE(to_string(inst).find("libcall"), std::string::npos);
+  Instruction load;
+  load.op = Opcode::load;
+  load.dst = 2;
+  load.src1 = reg::fp;
+  load.imm = 16;
+  const std::string text = to_string(load);
+  EXPECT_NE(text.find("r2"), std::string::npos);
+  EXPECT_NE(text.find("fp"), std::string::npos);
+  EXPECT_NE(text.find("16"), std::string::npos);
+}
+
+// --- shared scalar runtime ----------------------------------------------------
+
+TEST(RuntimeScalar, Abs64HandlesMin) {
+  EXPECT_EQ(rt::abs64(-5), 5);
+  EXPECT_EQ(rt::abs64(5), 5);
+  // INT64_MIN wraps to itself under two's complement negation.
+  EXPECT_EQ(rt::abs64(std::numeric_limits<std::int64_t>::min()),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(RuntimeScalar, MinMaxClamp) {
+  EXPECT_EQ(rt::imin(2, 3), 2);
+  EXPECT_EQ(rt::imax(2, 3), 3);
+  EXPECT_EQ(rt::clamp64(10, 0, 5), 5);
+  EXPECT_EQ(rt::clamp64(-10, 0, 5), 0);
+  EXPECT_EQ(rt::clamp64(3, 0, 5), 3);
+}
+
+TEST(RuntimeScalar, FsqrtDomainSafe) {
+  EXPECT_DOUBLE_EQ(rt::fsqrt(-4.0), 0.0);
+  EXPECT_DOUBLE_EQ(rt::fsqrt(9.0), 3.0);
+}
+
+TEST(RuntimeScalar, FpowFiniteCollapse) {
+  EXPECT_DOUBLE_EQ(rt::fpow(2.0, 3.0), 8.0);
+  EXPECT_DOUBLE_EQ(rt::fpow(1e308, 5.0), 0.0);  // overflow -> 0
+}
+
+TEST(RuntimeScalar, ByteSwapInvolution) {
+  const std::uint64_t v = 0x0123456789abcdefULL;
+  EXPECT_EQ(rt::byte_swap(rt::byte_swap(v)), v);
+  EXPECT_EQ(rt::byte_swap(0x00000000000000ffULL), 0xff00000000000000ULL);
+}
+
+TEST(RuntimeScalar, CheckedAddSaturates) {
+  const auto max = std::numeric_limits<std::int64_t>::max();
+  const auto min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(rt::checked_add(max, 1), max);
+  EXPECT_EQ(rt::checked_add(min, -1), min);
+  EXPECT_EQ(rt::checked_add(2, 3), 5);
+}
+
+TEST(RuntimeScalar, WrapArithmeticTwosComplement) {
+  const auto max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(rt::wrap_add(max, 1), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(rt::wrap_sub(std::numeric_limits<std::int64_t>::min(), 1), max);
+  EXPECT_EQ(rt::wrap_mul(1LL << 62, 4), 0);
+}
+
+TEST(RuntimeScalar, ShiftsMaskCount) {
+  EXPECT_EQ(rt::wrap_shl(1, 64), 1);   // count & 63 == 0
+  EXPECT_EQ(rt::wrap_shl(1, 65), 2);   // count & 63 == 1
+  EXPECT_EQ(rt::wrap_shr(-1, 1),
+            static_cast<std::int64_t>(0x7fffffffffffffffULL));
+}
+
+TEST(RuntimeScalar, Crc32KnownVector) {
+  // CRC-32("a") == 0xE8B7BE43 with the IEEE polynomial.
+  std::uint32_t crc = 0xffffffffu;
+  crc = rt::crc32_step(crc, 'a');
+  EXPECT_EQ(crc ^ 0xffffffffu, 0xE8B7BE43u);
+}
+
+}  // namespace
+}  // namespace patchecko

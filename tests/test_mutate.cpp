@@ -1,0 +1,250 @@
+// Tests for the patch mutators: every kind applies to its guaranteed base,
+// the structural edit is what it claims to be, and the behavioural contract
+// (small-edit vs structural patch) holds under interpretation.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "fuzz/fuzzer.h"
+#include "source/generator.h"
+#include "source/interp.h"
+#include "source/mutate.h"
+
+namespace patchecko {
+namespace {
+
+int count_kind(const std::vector<StmtPtr>& body, Stmt::Kind kind);
+
+int count_kind_stmt(const Stmt& stmt, Stmt::Kind kind) {
+  int total = stmt.kind == kind ? 1 : 0;
+  total += count_kind(stmt.then_body, kind);
+  total += count_kind(stmt.else_body, kind);
+  for (const auto& c : stmt.cases) total += count_kind(c, kind);
+  return total;
+}
+
+int count_kind(const std::vector<StmtPtr>& body, Stmt::Kind kind) {
+  int total = 0;
+  for (const auto& stmt : body) total += count_kind_stmt(*stmt, kind);
+  return total;
+}
+
+int count_libcall(const std::vector<StmtPtr>& body, LibFn fn);
+
+int count_libcall_expr(const Expr& expr, LibFn fn) {
+  int total =
+      (expr.kind == Expr::Kind::libcall && expr.lib_fn == fn) ? 1 : 0;
+  for (const auto& arg : expr.args) total += count_libcall_expr(*arg, fn);
+  return total;
+}
+
+int count_libcall(const std::vector<StmtPtr>& body, LibFn fn) {
+  int total = 0;
+  for (const auto& stmt : body) {
+    for (const Expr* e :
+         {stmt->expr.get(), stmt->base.get(), stmt->index.get(),
+          stmt->value.get(), stmt->init.get(), stmt->bound.get()})
+      if (e != nullptr) total += count_libcall_expr(*e, fn);
+    total += count_libcall(stmt->then_body, fn);
+    total += count_libcall(stmt->else_body, fn);
+    for (const auto& c : stmt->cases) total += count_libcall(c, fn);
+  }
+  return total;
+}
+
+class PatchKinds : public ::testing::TestWithParam<PatchKind> {};
+
+TEST_P(PatchKinds, GeneratesApplicablePair) {
+  Rng rng(0xA11CE);
+  const VulnPatchPair pair = generate_vuln_patch_pair(GetParam(), rng, 12);
+  EXPECT_EQ(pair.kind, GetParam());
+  EXPECT_FALSE(pair.vulnerable.body.empty());
+  EXPECT_FALSE(pair.patched.body.empty());
+  EXPECT_EQ(pair.vulnerable.param_types, pair.patched.param_types);
+}
+
+TEST_P(PatchKinds, PatchedVersionInterpretsCleanly) {
+  Rng rng(0xB0B);
+  const VulnPatchPair pair = generate_vuln_patch_pair(GetParam(), rng, 12);
+  SourceLibrary lib;
+  lib.name = "p";
+  lib.strings.assign(12, "str");
+  lib.functions.push_back(pair.patched);
+  Rng env_rng(4);
+  FuzzConfig fuzz;
+  int ok_runs = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    CallEnv env = random_env(env_rng, pair.patched.param_types, fuzz);
+    if (interpret(lib, 0, env).status == ExecStatus::ok) ++ok_runs;
+  }
+  EXPECT_GT(ok_runs, 0);  // the patched function is runnable
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, PatchKinds,
+    ::testing::Values(PatchKind::add_bounds_guard,
+                      PatchKind::remove_memmove_loop, PatchKind::off_by_one,
+                      PatchKind::constant_tweak,
+                      PatchKind::add_skip_condition),
+    [](const ::testing::TestParamInfo<PatchKind>& info) {
+      return std::string(patch_kind_name(info.param));
+    });
+
+TEST(Mutate, AddBoundsGuardPrependsCheck) {
+  Rng rng(1);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::add_bounds_guard, rng, 10);
+  EXPECT_EQ(pair.patched.body.size(), pair.vulnerable.body.size() + 1);
+  EXPECT_EQ(pair.patched.body.front()->kind, Stmt::Kind::if_else);
+}
+
+TEST(Mutate, RemoveMemmoveLoopDropsTheCall) {
+  Rng rng(2);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::remove_memmove_loop, rng, 10);
+  EXPECT_EQ(count_libcall(pair.vulnerable.body, LibFn::memmove), 1);
+  EXPECT_EQ(count_libcall(pair.patched.body, LibFn::memmove), 0);
+}
+
+TEST(Mutate, RemoveMemmoveBehaviourallyEquivalentOnBenignData) {
+  // On inputs with no adjacent marker pair, the compaction loop copies
+  // everything: both versions return the same size and leave the buffer
+  // with identical semantics per Figure 6.
+  Rng rng(3);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::remove_memmove_loop, rng, 10);
+  SourceLibrary lib;
+  lib.name = "mm";
+  lib.strings.assign(12, "s");
+  lib.functions.push_back(pair.vulnerable);
+  lib.functions.push_back(pair.patched);
+  CallEnv env;
+  env.buffers.push_back({5, 9, 13, 21, 34, 55, 89, 144});
+  env.args.push_back(Value::from_ptr(0));
+  env.args.push_back(Value::from_int(8));
+  CallEnv env2 = env;
+  const ExecResult rv = interpret(lib, 0, env);
+  const ExecResult rp = interpret(lib, 1, env2);
+  ASSERT_EQ(rv.status, ExecStatus::ok);
+  ASSERT_EQ(rp.status, ExecStatus::ok);
+  EXPECT_EQ(rv.ret.i, rp.ret.i);
+}
+
+TEST(Mutate, OffByOneTightensBound) {
+  Rng rng(4);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::off_by_one, rng, 10);
+  // The patched version performs strictly fewer loop iterations on at
+  // least one input with a non-trivial loop range.
+  SourceLibrary lib;
+  lib.name = "ob";
+  lib.strings.assign(12, "s");
+  lib.functions.push_back(pair.vulnerable);
+  lib.functions.push_back(pair.patched);
+  Rng env_rng(5);
+  FuzzConfig fuzz;
+  bool saw_fewer_steps = false;
+  for (int trial = 0; trial < 16 && !saw_fewer_steps; ++trial) {
+    CallEnv env = random_env(env_rng, pair.vulnerable.param_types, fuzz);
+    CallEnv env2 = env;
+    const ExecResult rv = interpret(lib, 0, env);
+    const ExecResult rp = interpret(lib, 1, env2);
+    if (rv.status == ExecStatus::ok && rp.status == ExecStatus::ok &&
+        rp.steps < rv.steps)
+      saw_fewer_steps = true;
+  }
+  EXPECT_TRUE(saw_fewer_steps);
+}
+
+TEST(Mutate, ConstantTweakChangesExactlyOneLeaf) {
+  Rng rng(6);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::constant_tweak, rng, 10);
+  // Same structure, same statement kinds, same node counts.
+  EXPECT_EQ(pair.vulnerable.node_count(), pair.patched.node_count());
+  EXPECT_EQ(count_kind(pair.vulnerable.body, Stmt::Kind::if_else),
+            count_kind(pair.patched.body, Stmt::Kind::if_else));
+  // ...but the behaviour differs on at least one input (it is a real edit).
+  SourceLibrary lib;
+  lib.name = "ct";
+  lib.strings.assign(12, "s");
+  lib.functions.push_back(pair.vulnerable);
+  lib.functions.push_back(pair.patched);
+  Rng env_rng(7);
+  FuzzConfig fuzz;
+  bool diverged = false;
+  for (int trial = 0; trial < 16 && !diverged; ++trial) {
+    CallEnv env = random_env(env_rng, pair.vulnerable.param_types, fuzz);
+    CallEnv env2 = env;
+    const ExecResult rv = interpret(lib, 0, env);
+    const ExecResult rp = interpret(lib, 1, env2);
+    if (rv.status == ExecStatus::ok && rp.status == ExecStatus::ok &&
+        rv.ret.i != rp.ret.i)
+      diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Mutate, ConstantTweakTraceInvisible) {
+  // The defining property of the CVE-2018-9470 shape: identical step counts
+  // (the execution trace does not change, only computed values do).
+  Rng rng(8);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::constant_tweak, rng, 10);
+  SourceLibrary lib;
+  lib.name = "cti";
+  lib.strings.assign(12, "s");
+  lib.functions.push_back(pair.vulnerable);
+  lib.functions.push_back(pair.patched);
+  Rng env_rng(9);
+  FuzzConfig fuzz;
+  for (int trial = 0; trial < 8; ++trial) {
+    CallEnv env = random_env(env_rng, pair.vulnerable.param_types, fuzz);
+    CallEnv env2 = env;
+    const ExecResult rv = interpret(lib, 0, env);
+    const ExecResult rp = interpret(lib, 1, env2);
+    if (rv.status != ExecStatus::ok || rp.status != ExecStatus::ok) continue;
+    EXPECT_EQ(rv.steps, rp.steps) << "trial " << trial;
+  }
+}
+
+TEST(Mutate, AddSkipConditionWrapsLoopInGuard) {
+  Rng rng(10);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::add_skip_condition, rng, 10);
+  EXPECT_EQ(count_kind(pair.patched.body, Stmt::Kind::if_else),
+            count_kind(pair.vulnerable.body, Stmt::Kind::if_else) + 1);
+  EXPECT_EQ(count_kind(pair.patched.body, Stmt::Kind::for_loop),
+            count_kind(pair.vulnerable.body, Stmt::Kind::for_loop));
+}
+
+TEST(Mutate, ApplyPatchReturnsNulloptWhenInapplicable) {
+  // A loop-free function cannot take off_by_one.
+  SourceFunction fn;
+  fn.param_types = {ValueType::i64};
+  fn.body.push_back(make_ret(make_int(1)));
+  Rng rng(11);
+  EXPECT_FALSE(apply_patch(fn, PatchKind::off_by_one, rng).has_value());
+  EXPECT_FALSE(
+      apply_patch(fn, PatchKind::remove_memmove_loop, rng).has_value());
+}
+
+TEST(Mutate, ApplyPatchGuardRequiresIntParam) {
+  SourceFunction fn;
+  fn.param_types = {ValueType::ptr};  // no i64 parameter
+  fn.body.push_back(make_ret(make_int(1)));
+  Rng rng(12);
+  EXPECT_FALSE(
+      apply_patch(fn, PatchKind::add_bounds_guard, rng).has_value());
+}
+
+TEST(Mutate, PairNamesTagged) {
+  Rng rng(13);
+  const VulnPatchPair pair =
+      generate_vuln_patch_pair(PatchKind::add_bounds_guard, rng, 10);
+  EXPECT_NE(pair.vulnerable.name.find("_vuln"), std::string::npos);
+  EXPECT_NE(pair.patched.name.find("_patched"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace patchecko

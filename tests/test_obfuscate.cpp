@@ -1,0 +1,153 @@
+// Tests for the obfuscation extension: semantics preservation (differential
+// execution against the unobfuscated binary) and measurable feature drift.
+#include <gtest/gtest.h>
+
+#include "binary/obfuscate.h"
+#include "util/parallel.h"
+#include "compiler/compiler.h"
+#include "features/static_features.h"
+#include "fuzz/fuzzer.h"
+#include "source/generator.h"
+#include "vm/machine.h"
+
+namespace patchecko {
+namespace {
+
+struct Fixture {
+  SourceLibrary source = generate_library("obf", 0x0BF, 24);
+  LibraryBinary binary =
+      compile_library(source, Arch::arm64, OptLevel::O2, 50);
+};
+
+TEST(Obfuscate, ZeroStrengthIsIdentity) {
+  Fixture fx;
+  Rng rng(1);
+  const LibraryBinary out =
+      obfuscate_library(fx.binary, rng, ObfuscationConfig::strength(0.0));
+  ASSERT_EQ(out.functions.size(), fx.binary.functions.size());
+  for (std::size_t f = 0; f < out.functions.size(); ++f)
+    EXPECT_EQ(out.functions[f].code.size(),
+              fx.binary.functions[f].code.size());
+}
+
+TEST(Obfuscate, GrowsCodeWithStrength) {
+  Fixture fx;
+  Rng rng(2);
+  const LibraryBinary strong =
+      obfuscate_library(fx.binary, rng, ObfuscationConfig::strength(1.0));
+  std::size_t original = 0, obfuscated = 0;
+  for (std::size_t f = 0; f < strong.functions.size(); ++f) {
+    original += fx.binary.functions[f].code.size();
+    obfuscated += strong.functions[f].code.size();
+  }
+  EXPECT_GT(obfuscated, original + original / 10);
+}
+
+class ObfuscationStrength : public ::testing::TestWithParam<double> {};
+
+TEST_P(ObfuscationStrength, SemanticsPreservedUnderExecution) {
+  Fixture fx;
+  Rng rng(3);
+  const LibraryBinary obf = obfuscate_library(
+      fx.binary, rng, ObfuscationConfig::strength(GetParam()));
+  const Machine plain(fx.binary);
+  const Machine mutated(obf);
+  Rng env_rng(4);
+  FuzzConfig config;
+  for (std::size_t f = 0; f < fx.binary.functions.size(); ++f) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const CallEnv env =
+          random_env(env_rng, fx.binary.functions[f].param_types, config);
+      const RunResult a = plain.run(f, env);
+      const RunResult b = mutated.run(f, env);
+      ASSERT_EQ(static_cast<int>(a.status), static_cast<int>(b.status))
+          << "fn " << f << " trial " << trial;
+      if (a.status != ExecStatus::ok) continue;
+      EXPECT_EQ(a.ret, b.ret) << "fn " << f;
+      EXPECT_EQ(a.buffers_after, b.buffers_after) << "fn " << f;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, ObfuscationStrength,
+                         ::testing::Values(0.25, 0.5, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "s" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+TEST(Obfuscate, BranchTargetsRemainValid) {
+  Fixture fx;
+  Rng rng(5);
+  const LibraryBinary obf =
+      obfuscate_library(fx.binary, rng, ObfuscationConfig::strength(1.0));
+  for (const FunctionBinary& fn : obf.functions) {
+    const auto n = static_cast<std::int32_t>(fn.code.size());
+    for (const Instruction& inst : fn.code) {
+      if (is_conditional_branch(inst.op) || inst.op == Opcode::jmp) {
+        EXPECT_GE(inst.target, 0);
+        EXPECT_LT(inst.target, n);
+      }
+    }
+    for (const auto& table : fn.jump_tables)
+      for (std::int32_t entry : table) {
+        EXPECT_GE(entry, 0);
+        EXPECT_LT(entry, n);
+      }
+  }
+}
+
+TEST(Obfuscate, StaticFeaturesDrift) {
+  Fixture fx;
+  Rng rng(6);
+  const LibraryBinary obf =
+      obfuscate_library(fx.binary, rng, ObfuscationConfig::strength(1.0));
+  int drifted = 0;
+  for (std::size_t f = 0; f < obf.functions.size(); ++f) {
+    const auto before = extract_static_features(fx.binary.functions[f]);
+    const auto after = extract_static_features(obf.functions[f]);
+    if (before != after) ++drifted;
+  }
+  EXPECT_GT(drifted, static_cast<int>(obf.functions.size() * 3 / 4));
+}
+
+TEST(Obfuscate, DeterministicGivenSeed) {
+  Fixture fx;
+  Rng a(7), b(7);
+  const LibraryBinary x =
+      obfuscate_library(fx.binary, a, ObfuscationConfig::strength(0.7));
+  const LibraryBinary y =
+      obfuscate_library(fx.binary, b, ObfuscationConfig::strength(0.7));
+  EXPECT_EQ(serialize_library(x), serialize_library(y));
+}
+
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(hits.size(), 8,
+               [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, InlineWhenSingleThread) {
+  std::vector<int> order;
+  parallel_for(5, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [&](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, ZeroItemsNoop) {
+  parallel_for(0, 8, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace patchecko

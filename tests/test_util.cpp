@@ -1,0 +1,206 @@
+// Unit tests for the util substrate: deterministic RNG, summary statistics,
+// the Minkowski distance family, and table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace patchecko {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(3, 3), 3);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, GaussianRoughMoments) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.15);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng root(77);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng r1(77), r2(77);
+  Rng a = r1.fork(9);
+  Rng b = r2.fork(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, WeightedPickFollowsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights{1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.weighted_pick(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> values{1, 2, 3, 4};
+  const Summary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummarizeSingleValue) {
+  const std::vector<double> values{7.5};
+  const Summary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Minkowski, ManhattanAndEuclideanSpecialCases) {
+  const std::vector<double> x{0, 0}, y{3, 4};
+  EXPECT_DOUBLE_EQ(minkowski_distance(x, y, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(minkowski_distance(x, y, 2.0), 5.0);
+}
+
+TEST(Minkowski, IdentityOfIndiscernibles) {
+  const std::vector<double> x{1, 2, 3};
+  EXPECT_DOUBLE_EQ(minkowski_distance(x, x, 3.0), 0.0);
+}
+
+TEST(Minkowski, Symmetry) {
+  const std::vector<double> x{1, 5, -2}, y{4, 0, 9};
+  EXPECT_DOUBLE_EQ(minkowski_distance(x, y, 3.0),
+                   minkowski_distance(y, x, 3.0));
+}
+
+TEST(Minkowski, TriangleInequalityP3) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> a(5), b(5), c(5);
+    for (int i = 0; i < 5; ++i) {
+      a[static_cast<std::size_t>(i)] = rng.uniform_real(-10, 10);
+      b[static_cast<std::size_t>(i)] = rng.uniform_real(-10, 10);
+      c[static_cast<std::size_t>(i)] = rng.uniform_real(-10, 10);
+    }
+    EXPECT_LE(minkowski_distance(a, c, 3.0),
+              minkowski_distance(a, b, 3.0) +
+                  minkowski_distance(b, c, 3.0) + 1e-9);
+  }
+}
+
+TEST(Minkowski, RejectsSizeMismatch) {
+  const std::vector<double> x{1}, y{1, 2};
+  EXPECT_THROW(minkowski_distance(x, y, 3.0), std::invalid_argument);
+}
+
+TEST(Minkowski, RejectsNonPositiveOrder) {
+  const std::vector<double> x{1}, y{2};
+  EXPECT_THROW(minkowski_distance(x, y, 0.0), std::invalid_argument);
+}
+
+TEST(Cosine, ParallelAndOrthogonal) {
+  const std::vector<double> x{1, 0}, y{2, 0}, z{0, 5};
+  EXPECT_NEAR(cosine_similarity(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity(x, z), 0.0, 1e-12);
+}
+
+TEST(Cosine, ZeroVectorYieldsZero) {
+  const std::vector<double> x{0, 0}, y{1, 2};
+  EXPECT_DOUBLE_EQ(cosine_similarity(x, y), 0.0);
+}
+
+TEST(SignedLog1p, SignAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(signed_log1p(0.0), 0.0);
+  EXPECT_GT(signed_log1p(10.0), signed_log1p(5.0));
+  EXPECT_DOUBLE_EQ(signed_log1p(-3.0), -signed_log1p(3.0));
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"a", "bb"});
+  table.add_row({"xxx", "y"});
+  table.add_row({"z"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("xxx"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, FormattingHelpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.1234, 2), "12.34%");
+  EXPECT_EQ(fmt_double(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace patchecko

@@ -1,0 +1,405 @@
+// Tests for the VM: trap semantics, the memory model, the runtime library,
+// and exact dynamic-feature accounting on hand-assembled code.
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "source/generator.h"
+#include "vm/machine.h"
+
+namespace patchecko {
+namespace {
+
+// Hand-assembles a library with one function made of `code`.
+LibraryBinary asm_lib(std::vector<Instruction> code,
+                      std::vector<ValueType> params = {},
+                      std::vector<std::string> strings = {}) {
+  LibraryBinary lib;
+  lib.name = "asm";
+  lib.arch = Arch::amd64;
+  lib.strings = std::move(strings);
+  FunctionBinary fn;
+  fn.name = "f";
+  fn.arch = Arch::amd64;
+  fn.code = std::move(code);
+  fn.param_types = std::move(params);
+  lib.functions.push_back(std::move(fn));
+  return lib;
+}
+
+Instruction I(Opcode op, std::uint8_t dst = reg::none,
+              std::uint8_t a = reg::none, std::uint8_t b = reg::none,
+              std::int64_t imm = 0, std::int32_t target = -1) {
+  Instruction inst;
+  inst.op = op;
+  inst.dst = dst;
+  inst.src1 = a;
+  inst.src2 = b;
+  inst.imm = imm;
+  inst.target = target;
+  return inst;
+}
+
+TEST(Vm, ReturnsR0) {
+  const auto lib = asm_lib({I(Opcode::ldi, 0, reg::none, reg::none, 99),
+                            I(Opcode::ret)});
+  const Machine machine(lib);
+  CallEnv env;
+  const RunResult r = machine.run(0, env);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret, 99);
+}
+
+TEST(Vm, ArgumentsArriveInRegisters) {
+  const auto lib = asm_lib({I(Opcode::add, 0, 0, 1), I(Opcode::ret)},
+                           {ValueType::i64, ValueType::i64});
+  const Machine machine(lib);
+  CallEnv env;
+  env.args = {Value::from_int(30), Value::from_int(12)};
+  EXPECT_EQ(machine.run(0, env).ret, 42);
+}
+
+TEST(Vm, DivByZeroTraps) {
+  const auto lib = asm_lib({I(Opcode::ldi, 0, reg::none, reg::none, 5),
+                            I(Opcode::ldi, 1, reg::none, reg::none, 0),
+                            I(Opcode::divi, 2, 0, 1), I(Opcode::ret)});
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).status, ExecStatus::trap_div_zero);
+}
+
+TEST(Vm, RunningPastEndTraps) {
+  const auto lib = asm_lib({I(Opcode::nop)});
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).status, ExecStatus::trap_type);
+}
+
+TEST(Vm, StepLimitStopsInfiniteLoop) {
+  const auto lib =
+      asm_lib({I(Opcode::jmp, reg::none, reg::none, reg::none, 0, 0)});
+  MachineConfig config;
+  config.step_limit = 500;
+  const Machine machine(lib, config);
+  CallEnv env;
+  const RunResult r = machine.run(0, env);
+  EXPECT_EQ(r.status, ExecStatus::trap_step_limit);
+  EXPECT_EQ(r.steps, 501u);
+}
+
+TEST(Vm, BufferAccessAndPersistence) {
+  // storeb buf[2] = 7; return loadb buf[2].
+  const auto lib = asm_lib(
+      {I(Opcode::ldi, 1, reg::none, reg::none, 7),
+       I(Opcode::storeb, reg::none, 0, 1, 2),
+       I(Opcode::loadb, 0, 0, reg::none, 2), I(Opcode::ret)},
+      {ValueType::ptr});
+  const Machine machine(lib);
+  CallEnv env;
+  env.buffers.push_back({0, 0, 0, 0});
+  env.args.push_back(Value::from_ptr(0));
+  const RunResult r = machine.run(0, env);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret, 7);
+  EXPECT_EQ(r.buffers_after[0][2], 7);
+}
+
+TEST(Vm, BufferOverrunTraps) {
+  const auto lib = asm_lib(
+      {I(Opcode::loadb, 0, 0, reg::none, 64), I(Opcode::ret)},
+      {ValueType::ptr});
+  const Machine machine(lib);
+  CallEnv env;
+  env.buffers.push_back({1, 2, 3});
+  env.args.push_back(Value::from_ptr(0));
+  EXPECT_EQ(machine.run(0, env).status, ExecStatus::trap_oob);
+}
+
+TEST(Vm, GuardGapBetweenBuffersTraps) {
+  // Even with two buffers mapped, overrunning the first lands in a guard
+  // gap, not in the second buffer.
+  const auto lib = asm_lib(
+      {I(Opcode::loadb, 0, 0, reg::none, 8), I(Opcode::ret)},
+      {ValueType::ptr, ValueType::ptr});
+  const Machine machine(lib);
+  CallEnv env;
+  env.buffers.push_back({1, 2, 3, 4, 5, 6, 7, 8});
+  env.buffers.push_back({9, 9});
+  env.args.push_back(Value::from_ptr(0));
+  env.args.push_back(Value::from_ptr(1));
+  EXPECT_EQ(machine.run(0, env).status, ExecStatus::trap_oob);
+}
+
+TEST(Vm, StringPoolIsReadOnly) {
+  const auto lib = asm_lib(
+      {I(Opcode::ldstr, 0, reg::none, reg::none, 0),
+       I(Opcode::ldi, 1, reg::none, reg::none, 65),
+       I(Opcode::storeb, reg::none, 0, 1, 0), I(Opcode::ret)},
+      {}, {"const"});
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).status, ExecStatus::trap_oob);
+}
+
+TEST(Vm, StringPoolReadableWithNul) {
+  const auto lib = asm_lib(
+      {I(Opcode::ldstr, 0, reg::none, reg::none, 0),
+       I(Opcode::loadb, 0, 0, reg::none, 2), I(Opcode::ret)},
+      {}, {"abc"});
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).ret, 'c');
+}
+
+TEST(Vm, PushPopRoundTrip) {
+  const auto lib = asm_lib({I(Opcode::ldi, 0, reg::none, reg::none, 314),
+                            I(Opcode::push, reg::none, 0),
+                            I(Opcode::ldi, 0, reg::none, reg::none, 0),
+                            I(Opcode::pop, 0), I(Opcode::ret)});
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).ret, 314);
+}
+
+TEST(Vm, StackOverflowTraps) {
+  // frame larger than the whole stack, then a spill store.
+  const auto lib = asm_lib(
+      {I(Opcode::frame, reg::none, reg::none, reg::none, 1 << 20),
+       I(Opcode::store, reg::none, reg::fp, 0, 0), I(Opcode::ret)});
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).status, ExecStatus::trap_oob);
+}
+
+TEST(Vm, MallocGivesZeroedHeap) {
+  const auto lib = asm_lib(
+      {I(Opcode::ldi, 0, reg::none, reg::none, 32),
+       I(Opcode::libcall, reg::none, reg::none, reg::none,
+         static_cast<std::int64_t>(LibFn::malloc)),
+       I(Opcode::loadb, 0, 0, reg::none, 31), I(Opcode::ret)});
+  const Machine machine(lib);
+  CallEnv env;
+  const RunResult r = machine.run(0, env);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.ret, 0);
+  EXPECT_GT(r.features.mem_heap, 0u);
+}
+
+TEST(Vm, CallPreservesCallerRegisters) {
+  // Callee (fn 1) clobbers its own r5; caller keeps its r5.
+  LibraryBinary lib = asm_lib({});
+  lib.functions.clear();
+  FunctionBinary caller;
+  caller.name = "caller";
+  caller.code = {I(Opcode::ldi, 5, reg::none, reg::none, 111),
+                 I(Opcode::call, reg::none, reg::none, reg::none, 1),
+                 I(Opcode::mov, 0, 5), I(Opcode::ret)};
+  FunctionBinary callee;
+  callee.name = "callee";
+  callee.code = {I(Opcode::ldi, 5, reg::none, reg::none, 222),
+                 I(Opcode::ldi, 0, reg::none, reg::none, 0),
+                 I(Opcode::ret)};
+  lib.functions = {caller, callee};
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).ret, 111);
+}
+
+TEST(Vm, CallReturnsValueInR0) {
+  LibraryBinary lib = asm_lib({});
+  lib.functions.clear();
+  FunctionBinary caller;
+  caller.code = {I(Opcode::call, reg::none, reg::none, reg::none, 1),
+                 I(Opcode::ret)};
+  FunctionBinary callee;
+  callee.code = {I(Opcode::ldi, 0, reg::none, reg::none, 77),
+                 I(Opcode::ret)};
+  lib.functions = {caller, callee};
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).ret, 77);
+}
+
+TEST(Vm, RecursionDepthBounded) {
+  LibraryBinary lib = asm_lib({});
+  lib.functions.clear();
+  FunctionBinary self;
+  self.code = {I(Opcode::call, reg::none, reg::none, reg::none, 0),
+               I(Opcode::ret)};
+  lib.functions = {self};
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).status, ExecStatus::trap_step_limit);
+}
+
+TEST(Vm, InvalidCalleeTraps) {
+  const auto lib = asm_lib(
+      {I(Opcode::call, reg::none, reg::none, reg::none, 42),
+       I(Opcode::ret)});
+  const Machine machine(lib);
+  CallEnv env;
+  EXPECT_EQ(machine.run(0, env).status, ExecStatus::trap_type);
+}
+
+
+TEST(Vm, CallrDispatchesThroughRegister) {
+  LibraryBinary lib = asm_lib({});
+  lib.functions.clear();
+  FunctionBinary dispatcher;
+  // r1 holds callee id (arg 1); callr r1.
+  dispatcher.code = {I(Opcode::mov, 2, 1),
+                     I(Opcode::callr, reg::none, 2),
+                     I(Opcode::ret)};
+  dispatcher.param_types = {ValueType::i64, ValueType::i64};
+  FunctionBinary a, b;
+  a.code = {I(Opcode::ldi, 0, reg::none, reg::none, 10), I(Opcode::ret)};
+  b.code = {I(Opcode::ldi, 0, reg::none, reg::none, 20), I(Opcode::ret)};
+  lib.functions = {dispatcher, a, b};
+  const Machine machine(lib);
+  CallEnv env;
+  env.args = {Value::from_int(0), Value::from_int(1)};
+  EXPECT_EQ(machine.run(0, env).ret, 10);
+  env.args = {Value::from_int(0), Value::from_int(2)};
+  EXPECT_EQ(machine.run(0, env).ret, 20);
+  env.args = {Value::from_int(0), Value::from_int(99)};  // bad id
+  EXPECT_EQ(machine.run(0, env).status, ExecStatus::trap_type);
+}
+
+// --- dynamic feature accounting --------------------------------------------------
+
+TEST(VmFeatures, InstructionAndClassCounts) {
+  const auto lib = asm_lib({I(Opcode::ldi, 0, reg::none, reg::none, 1),
+                            I(Opcode::ldi, 1, reg::none, reg::none, 2),
+                            I(Opcode::add, 2, 0, 1),
+                            I(Opcode::mul, 2, 2, 1),
+                            I(Opcode::ret)});
+  const Machine machine(lib);
+  CallEnv env;
+  const RunResult r = machine.run(0, env);
+  EXPECT_EQ(r.features.instructions, 5u);
+  EXPECT_EQ(r.features.unique_instructions, 5u);
+  EXPECT_EQ(r.features.arith_instructions, 2u);
+  EXPECT_EQ(r.features.branch_instructions, 0u);
+}
+
+TEST(VmFeatures, UniqueVsTotalInLoop) {
+  // Loop body of 3 instructions executed 4 times.
+  const auto lib = asm_lib({
+      I(Opcode::ldi, 0, reg::none, reg::none, 4),    // 0: counter
+      I(Opcode::ldi, 1, reg::none, reg::none, 1),    // 1
+      I(Opcode::sub, 0, 0, 1),                       // 2
+      I(Opcode::bne, reg::none, 0, reg::none, 0, 2), // 3: loop to 2
+      I(Opcode::ret),                                // 4
+  });
+  const Machine machine(lib);
+  CallEnv env;
+  const RunResult r = machine.run(0, env);
+  EXPECT_EQ(r.features.unique_instructions, 5u);
+  EXPECT_EQ(r.features.instructions, 2u + 4u * 2u + 1u);
+  EXPECT_EQ(r.features.branch_instructions, 4u);
+  EXPECT_EQ(r.features.max_branch_frequency, 4u);
+  EXPECT_EQ(r.features.max_arith_frequency, 4u);  // the sub
+}
+
+TEST(VmFeatures, MemoryRegionAttribution) {
+  const auto lib = asm_lib(
+      {I(Opcode::loadb, 1, 0, reg::none, 0),         // anon
+       I(Opcode::push, reg::none, 1),                // stack write
+       I(Opcode::pop, 1),                            // stack read
+       I(Opcode::ldstr, 2, reg::none, reg::none, 0),
+       I(Opcode::loadb, 3, 2, reg::none, 0),         // lib
+       I(Opcode::ret)},
+      {ValueType::ptr}, {"s"});
+  const Machine machine(lib);
+  CallEnv env;
+  env.buffers.push_back({42});
+  env.args.push_back(Value::from_ptr(0));
+  const RunResult r = machine.run(0, env);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.features.mem_anon, 1u);
+  EXPECT_EQ(r.features.mem_stack, 2u);
+  EXPECT_EQ(r.features.mem_lib, 1u);
+  EXPECT_EQ(r.features.mem_heap, 0u);
+  EXPECT_EQ(r.features.load_instructions, 3u);  // loadb + pop + loadb
+  EXPECT_EQ(r.features.store_instructions, 1u); // push
+}
+
+TEST(VmFeatures, CallAndSyscallCounters) {
+  LibraryBinary lib = asm_lib({});
+  lib.functions.clear();
+  FunctionBinary caller;
+  caller.code = {
+      I(Opcode::call, reg::none, reg::none, reg::none, 1),
+      I(Opcode::libcall, reg::none, reg::none, reg::none,
+        static_cast<std::int64_t>(LibFn::abs64)),
+      I(Opcode::syscall, reg::none, reg::none, reg::none,
+        static_cast<std::int64_t>(Sys::sys_getpid)),
+      I(Opcode::ret)};
+  FunctionBinary callee;
+  callee.code = {I(Opcode::ret)};
+  lib.functions = {caller, callee};
+  const Machine machine(lib);
+  CallEnv env;
+  const RunResult r = machine.run(0, env);
+  EXPECT_EQ(r.features.binary_fun_calls, 1u);
+  EXPECT_EQ(r.features.library_calls, 1u);
+  EXPECT_EQ(r.features.syscalls, 1u);
+  EXPECT_EQ(r.features.call_instructions, 3u);
+}
+
+TEST(VmFeatures, StackDepthBottomsAtTwo) {
+  const auto lib = asm_lib({I(Opcode::ldi, 0, reg::none, reg::none, 0),
+                            I(Opcode::ret)});
+  const Machine machine(lib);
+  CallEnv env;
+  const RunResult r = machine.run(0, env);
+  EXPECT_DOUBLE_EQ(r.features.min_stack_depth, 2.0);
+  EXPECT_DOUBLE_EQ(r.features.max_stack_depth, 2.0);
+  EXPECT_DOUBLE_EQ(r.features.std_stack_depth, 0.0);
+}
+
+TEST(VmFeatures, NestedCallRaisesDepth) {
+  LibraryBinary lib = asm_lib({});
+  lib.functions.clear();
+  FunctionBinary caller;
+  caller.code = {I(Opcode::call, reg::none, reg::none, reg::none, 1),
+                 I(Opcode::ret)};
+  FunctionBinary callee;
+  callee.code = {I(Opcode::nop), I(Opcode::ret)};
+  lib.functions = {caller, callee};
+  const Machine machine(lib);
+  CallEnv env;
+  const RunResult r = machine.run(0, env);
+  EXPECT_DOUBLE_EQ(r.features.min_stack_depth, 2.0);
+  EXPECT_DOUBLE_EQ(r.features.max_stack_depth, 3.0);
+}
+
+TEST(VmFeatures, DisablingCollectionZeroesCounters) {
+  const auto lib = asm_lib({I(Opcode::ldi, 0, reg::none, reg::none, 1),
+                            I(Opcode::ret)});
+  MachineConfig config;
+  config.collect_features = false;
+  const Machine machine(lib, config);
+  CallEnv env;
+  const RunResult r = machine.run(0, env);
+  ASSERT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(r.features.instructions, 0u);
+}
+
+TEST(VmFeatures, DeterministicAcrossRuns) {
+  const SourceLibrary src = generate_library("det", 0xD, 8);
+  const LibraryBinary lib = compile_library(src, Arch::arm64, OptLevel::O2);
+  const Machine machine(lib);
+  CallEnv env;
+  env.buffers.push_back(std::vector<std::uint8_t>(32, 5));
+  env.args.push_back(Value::from_ptr(0));
+  env.args.push_back(Value::from_int(32));
+  env.args.push_back(Value::from_int(3));
+  const RunResult a = machine.run(2, env);
+  const RunResult b = machine.run(2, env);
+  EXPECT_EQ(static_cast<int>(a.status), static_cast<int>(b.status));
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.features.to_vector(), b.features.to_vector());
+}
+
+}  // namespace
+}  // namespace patchecko

@@ -1,0 +1,249 @@
+// patchecko — command-line front end for the full workflow.
+//
+//   patchecko train  --out model.bin [--libraries N] [--functions N]
+//                    [--epochs N]
+//   patchecko build-firmware --device things|pixel --out fw.img
+//                    [--scale S] [--seed N]
+//   patchecko inspect --firmware fw.img
+//   patchecko disasm  --firmware fw.img --library NAME --function INDEX
+//   patchecko scan   --model model.bin --firmware fw.img [--cve ID]
+//                    [--scale S] [--seed N] [--threads N]
+//
+// `scan` rebuilds the vulnerability database deterministically from the
+// corpus seed, loads the stripped firmware image from disk, and runs the
+// two-stage pipeline plus the differential engine for each CVE, exactly as
+// the paper's evaluation does.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/pipeline.h"
+#include "dl/trainer.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+using namespace patchecko;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::string command;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long get_long(const std::string& key, long fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atol(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args.options[key] = argv[i + 1];
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  patchecko train --out model.bin [--libraries N] "
+               "[--functions N] [--epochs N]\n"
+               "  patchecko build-firmware --device things|pixel --out "
+               "fw.img [--scale S] [--seed N]\n"
+               "  patchecko inspect --firmware fw.img\n"
+               "  patchecko disasm --firmware fw.img --library NAME "
+               "--function INDEX\n"
+               "  patchecko scan --model model.bin --firmware fw.img "
+               "[--cve ID] [--scale S] [--seed N] [--threads N]\n");
+  return 2;
+}
+
+int cmd_train(const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) return usage();
+  TrainerConfig config;
+  config.dataset.library_count =
+      static_cast<std::size_t>(args.get_long("libraries", 60));
+  config.dataset.functions_per_library =
+      static_cast<std::size_t>(args.get_long("functions", 24));
+  config.epochs = static_cast<std::size_t>(args.get_long("epochs", 12));
+  config.verbose = true;
+  std::printf("training on %zu libraries x %zu functions, %zu epochs...\n",
+              config.dataset.library_count,
+              config.dataset.functions_per_library, config.epochs);
+  const TrainingRun run = train_similarity_model(config);
+  std::printf("test accuracy %.2f%%, AUC %.4f\n", run.test_accuracy * 100.0,
+              run.test_auc);
+  if (!run.model.save(out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("model written to %s\n", out.c_str());
+  return 0;
+}
+
+EvalConfig eval_config_from(const Args& args) {
+  EvalConfig config;
+  config.scale = args.get_double("scale", 0.1);
+  config.seed = static_cast<std::uint64_t>(
+      args.get_long("seed", static_cast<long>(config.seed)));
+  return config;
+}
+
+int cmd_build_firmware(const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) return usage();
+  const std::string device_name = args.get("device", "things");
+  const DeviceSpec device =
+      device_name == "pixel" ? pixel2xl_device() : android_things_device();
+  const EvalConfig config = eval_config_from(args);
+  std::printf("building \"%s\" firmware (scale %.2f)...\n",
+              device.name.c_str(), config.scale);
+  const EvalCorpus corpus(config);
+  const FirmwareImage image = corpus.build_firmware(device);
+  if (!save_firmware(image, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("%zu libraries, %zu functions -> %s\n", image.libraries.size(),
+              image.total_functions(), out.c_str());
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const auto image = load_firmware(args.get("firmware", ""));
+  if (!image) {
+    std::fprintf(stderr, "error: cannot load firmware image\n");
+    return 1;
+  }
+  std::printf("device : %s\n", image->device.c_str());
+  std::printf("%-20s %-8s %-6s %-10s %s\n", "library", "arch", "opt",
+              "functions", "stripped");
+  for (const LibraryBinary& lib : image->libraries)
+    std::printf("%-20s %-8s %-6s %-10zu %s\n", lib.name.c_str(),
+                std::string(arch_name(lib.arch)).c_str(),
+                std::string(opt_level_name(lib.opt)).c_str(),
+                lib.function_count(), lib.stripped ? "yes" : "no");
+  std::printf("total: %zu functions\n", image->total_functions());
+  return 0;
+}
+
+int cmd_disasm(const Args& args) {
+  const auto image = load_firmware(args.get("firmware", ""));
+  if (!image) {
+    std::fprintf(stderr, "error: cannot load firmware image\n");
+    return 1;
+  }
+  const std::string library = args.get("library", "");
+  const auto index = static_cast<std::size_t>(args.get_long("function", 0));
+  for (const LibraryBinary& lib : image->libraries) {
+    if (lib.name != library) continue;
+    if (index >= lib.function_count()) {
+      std::fprintf(stderr, "error: function index out of range (%zu)\n",
+                   lib.function_count());
+      return 1;
+    }
+    const FunctionBinary& fn = lib.functions[index];
+    std::printf("%s!fn_%zu  (%zu instructions, frame %lld bytes)\n",
+                lib.name.c_str(), index, fn.code.size(),
+                static_cast<long long>(fn.frame_size));
+    for (std::size_t i = 0; i < fn.code.size(); ++i)
+      std::printf("%4zu  %s\n", i, to_string(fn.code[i]).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "error: no library named %s\n", library.c_str());
+  return 1;
+}
+
+int cmd_scan(const Args& args) {
+  const auto model = SimilarityModel::load(args.get("model", ""));
+  if (!model) {
+    std::fprintf(stderr, "error: cannot load model (run `patchecko train`)\n");
+    return 1;
+  }
+  const auto image = load_firmware(args.get("firmware", ""));
+  if (!image) {
+    std::fprintf(stderr, "error: cannot load firmware image\n");
+    return 1;
+  }
+  const std::string only_cve = args.get("cve", "");
+
+  const EvalConfig config = eval_config_from(args);
+  std::printf("building vulnerability database (scale %.2f)...\n",
+              config.scale);
+  const EvalCorpus corpus(config);
+  const CveDatabase database(corpus, DatabaseConfig{});
+
+  PipelineConfig pipeline_config;
+  pipeline_config.worker_threads = static_cast<unsigned>(
+      args.get_long("threads",
+                    static_cast<long>(default_worker_threads())));
+  const Patchecko pipeline(&*model, pipeline_config);
+
+  std::map<std::string, const LibraryBinary*> by_name;
+  for (const LibraryBinary& lib : image->libraries) by_name[lib.name] = &lib;
+
+  Stopwatch total;
+  int vulnerable = 0, patched = 0, missing = 0;
+  std::map<std::size_t, AnalyzedLibrary> analyzed_cache;
+  for (const CveEntry& entry : database.entries()) {
+    if (!only_cve.empty() && entry.spec.cve_id != only_cve) continue;
+    const auto lib_it = by_name.find(entry.spec.library);
+    if (lib_it == by_name.end()) {
+      std::printf("%-16s %-18s library not in image\n",
+                  entry.spec.cve_id.c_str(), entry.spec.library.c_str());
+      ++missing;
+      continue;
+    }
+    auto [cached, inserted] = analyzed_cache.try_emplace(entry.library_index);
+    if (inserted)
+      cached->second = analyze_library(*lib_it->second,
+                                       pipeline_config.worker_threads);
+    const PatchReport report = pipeline.full_report(entry, cached->second);
+    if (!report.decision) {
+      std::printf("%-16s %-18s no match\n", entry.spec.cve_id.c_str(),
+                  entry.spec.library.c_str());
+      ++missing;
+      continue;
+    }
+    const bool is_patched =
+        report.decision->verdict == PatchVerdict::patched;
+    std::printf("%-16s %-18s %s (function #%zu)\n",
+                entry.spec.cve_id.c_str(), entry.spec.library.c_str(),
+                is_patched ? "patched" : "VULNERABLE",
+                *report.matched_function);
+    for (const std::string& note : report.decision->evidence)
+      std::printf("                   evidence: %s\n", note.c_str());
+    (is_patched ? patched : vulnerable) += 1;
+  }
+  std::printf("\nscan finished in %.1fs: %d vulnerable, %d patched, %d "
+              "unresolved\n",
+              total.elapsed_seconds(), vulnerable, patched, missing);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "train") return cmd_train(args);
+  if (args.command == "build-firmware") return cmd_build_firmware(args);
+  if (args.command == "inspect") return cmd_inspect(args);
+  if (args.command == "disasm") return cmd_disasm(args);
+  if (args.command == "scan") return cmd_scan(args);
+  return usage();
+}
