@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_minkowski.dir/bench_ablation_minkowski.cpp.o"
+  "CMakeFiles/bench_ablation_minkowski.dir/bench_ablation_minkowski.cpp.o.d"
+  "bench_ablation_minkowski"
+  "bench_ablation_minkowski.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_minkowski.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

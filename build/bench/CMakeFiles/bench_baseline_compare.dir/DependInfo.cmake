@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_baseline_compare.cpp" "bench/CMakeFiles/bench_baseline_compare.dir/bench_baseline_compare.cpp.o" "gcc" "bench/CMakeFiles/bench_baseline_compare.dir/bench_baseline_compare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pk_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/pk_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/pk_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/pk_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/pk_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pk_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pk_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/pk_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/pk_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/pk_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/pk_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/pk_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pk_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_features.dir/bench_dynamic_features.cpp.o"
+  "CMakeFiles/bench_dynamic_features.dir/bench_dynamic_features.cpp.o.d"
+  "bench_dynamic_features"
+  "bench_dynamic_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obfuscation.dir/bench_obfuscation.cpp.o"
+  "CMakeFiles/bench_obfuscation.dir/bench_obfuscation.cpp.o.d"
+  "bench_obfuscation"
+  "bench_obfuscation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

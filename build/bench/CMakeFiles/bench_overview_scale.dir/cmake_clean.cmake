@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overview_scale.dir/bench_overview_scale.cpp.o"
+  "CMakeFiles/bench_overview_scale.dir/bench_overview_scale.cpp.o.d"
+  "bench_overview_scale"
+  "bench_overview_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overview_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_dynamic.dir/bench_parallel_dynamic.cpp.o"
+  "CMakeFiles/bench_parallel_dynamic.dir/bench_parallel_dynamic.cpp.o.d"
+  "bench_parallel_dynamic"
+  "bench_parallel_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

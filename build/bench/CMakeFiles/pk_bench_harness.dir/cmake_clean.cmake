@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/pk_bench_harness.dir/harness.cpp.o.d"
+  "libpk_bench_harness.a"
+  "libpk_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

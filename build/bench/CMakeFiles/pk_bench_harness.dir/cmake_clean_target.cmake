@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpk_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_scan.dir/firmware_scan.cpp.o"
+  "CMakeFiles/firmware_scan.dir/firmware_scan.cpp.o.d"
+  "firmware_scan"
+  "firmware_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_audit.dir/patch_audit.cpp.o"
+  "CMakeFiles/patch_audit.dir/patch_audit.cpp.o.d"
+  "patch_audit"
+  "patch_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("graph")
+subdirs("isa")
+subdirs("source")
+subdirs("compiler")
+subdirs("binary")
+subdirs("firmware")
+subdirs("features")
+subdirs("dl")
+subdirs("vm")
+subdirs("fuzz")
+subdirs("similarity")
+subdirs("diff")
+subdirs("core")
+subdirs("baseline")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_baseline.dir/baseline.cpp.o"
+  "CMakeFiles/pk_baseline.dir/baseline.cpp.o.d"
+  "CMakeFiles/pk_baseline.dir/graph_embedding.cpp.o"
+  "CMakeFiles/pk_baseline.dir/graph_embedding.cpp.o.d"
+  "libpk_baseline.a"
+  "libpk_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binary/binary.cpp" "src/binary/CMakeFiles/pk_binary.dir/binary.cpp.o" "gcc" "src/binary/CMakeFiles/pk_binary.dir/binary.cpp.o.d"
+  "/root/repo/src/binary/cfg.cpp" "src/binary/CMakeFiles/pk_binary.dir/cfg.cpp.o" "gcc" "src/binary/CMakeFiles/pk_binary.dir/cfg.cpp.o.d"
+  "/root/repo/src/binary/obfuscate.cpp" "src/binary/CMakeFiles/pk_binary.dir/obfuscate.cpp.o" "gcc" "src/binary/CMakeFiles/pk_binary.dir/obfuscate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/pk_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/pk_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

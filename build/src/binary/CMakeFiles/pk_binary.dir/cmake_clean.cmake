@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_binary.dir/binary.cpp.o"
+  "CMakeFiles/pk_binary.dir/binary.cpp.o.d"
+  "CMakeFiles/pk_binary.dir/cfg.cpp.o"
+  "CMakeFiles/pk_binary.dir/cfg.cpp.o.d"
+  "CMakeFiles/pk_binary.dir/obfuscate.cpp.o"
+  "CMakeFiles/pk_binary.dir/obfuscate.cpp.o.d"
+  "libpk_binary.a"
+  "libpk_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pk_binary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compiler.cpp" "src/compiler/CMakeFiles/pk_compiler.dir/compiler.cpp.o" "gcc" "src/compiler/CMakeFiles/pk_compiler.dir/compiler.cpp.o.d"
+  "/root/repo/src/compiler/lower.cpp" "src/compiler/CMakeFiles/pk_compiler.dir/lower.cpp.o" "gcc" "src/compiler/CMakeFiles/pk_compiler.dir/lower.cpp.o.d"
+  "/root/repo/src/compiler/passes.cpp" "src/compiler/CMakeFiles/pk_compiler.dir/passes.cpp.o" "gcc" "src/compiler/CMakeFiles/pk_compiler.dir/passes.cpp.o.d"
+  "/root/repo/src/compiler/regalloc.cpp" "src/compiler/CMakeFiles/pk_compiler.dir/regalloc.cpp.o" "gcc" "src/compiler/CMakeFiles/pk_compiler.dir/regalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binary/CMakeFiles/pk_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/pk_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pk_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pk_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_compiler.dir/compiler.cpp.o"
+  "CMakeFiles/pk_compiler.dir/compiler.cpp.o.d"
+  "CMakeFiles/pk_compiler.dir/lower.cpp.o"
+  "CMakeFiles/pk_compiler.dir/lower.cpp.o.d"
+  "CMakeFiles/pk_compiler.dir/passes.cpp.o"
+  "CMakeFiles/pk_compiler.dir/passes.cpp.o.d"
+  "CMakeFiles/pk_compiler.dir/regalloc.cpp.o"
+  "CMakeFiles/pk_compiler.dir/regalloc.cpp.o.d"
+  "libpk_compiler.a"
+  "libpk_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_core.dir/cve_database.cpp.o"
+  "CMakeFiles/pk_core.dir/cve_database.cpp.o.d"
+  "CMakeFiles/pk_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pk_core.dir/pipeline.cpp.o.d"
+  "libpk_core.a"
+  "libpk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

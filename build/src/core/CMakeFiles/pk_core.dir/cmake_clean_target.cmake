@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpk_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_diff.dir/differential.cpp.o"
+  "CMakeFiles/pk_diff.dir/differential.cpp.o.d"
+  "libpk_diff.a"
+  "libpk_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

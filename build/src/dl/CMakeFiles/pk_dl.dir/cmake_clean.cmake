@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_dl.dir/dataset.cpp.o"
+  "CMakeFiles/pk_dl.dir/dataset.cpp.o.d"
+  "CMakeFiles/pk_dl.dir/network.cpp.o"
+  "CMakeFiles/pk_dl.dir/network.cpp.o.d"
+  "CMakeFiles/pk_dl.dir/similarity_model.cpp.o"
+  "CMakeFiles/pk_dl.dir/similarity_model.cpp.o.d"
+  "CMakeFiles/pk_dl.dir/trainer.cpp.o"
+  "CMakeFiles/pk_dl.dir/trainer.cpp.o.d"
+  "libpk_dl.a"
+  "libpk_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

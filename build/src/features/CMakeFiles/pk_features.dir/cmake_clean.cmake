@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_features.dir/static_features.cpp.o"
+  "CMakeFiles/pk_features.dir/static_features.cpp.o.d"
+  "libpk_features.a"
+  "libpk_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/firmware.cpp" "src/firmware/CMakeFiles/pk_firmware.dir/firmware.cpp.o" "gcc" "src/firmware/CMakeFiles/pk_firmware.dir/firmware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/pk_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/pk_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/pk_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pk_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

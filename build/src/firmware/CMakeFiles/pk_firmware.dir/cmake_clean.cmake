@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_firmware.dir/firmware.cpp.o"
+  "CMakeFiles/pk_firmware.dir/firmware.cpp.o.d"
+  "libpk_firmware.a"
+  "libpk_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

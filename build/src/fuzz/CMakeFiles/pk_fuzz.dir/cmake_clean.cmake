@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_fuzz.dir/fuzzer.cpp.o"
+  "CMakeFiles/pk_fuzz.dir/fuzzer.cpp.o.d"
+  "libpk_fuzz.a"
+  "libpk_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_graph.dir/digraph.cpp.o"
+  "CMakeFiles/pk_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/pk_graph.dir/matching.cpp.o"
+  "CMakeFiles/pk_graph.dir/matching.cpp.o.d"
+  "libpk_graph.a"
+  "libpk_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_isa.dir/isa.cpp.o"
+  "CMakeFiles/pk_isa.dir/isa.cpp.o.d"
+  "libpk_isa.a"
+  "libpk_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

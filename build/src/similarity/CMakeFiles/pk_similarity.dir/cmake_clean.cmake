@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_similarity.dir/similarity.cpp.o"
+  "CMakeFiles/pk_similarity.dir/similarity.cpp.o.d"
+  "libpk_similarity.a"
+  "libpk_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/source/ast.cpp" "src/source/CMakeFiles/pk_source.dir/ast.cpp.o" "gcc" "src/source/CMakeFiles/pk_source.dir/ast.cpp.o.d"
+  "/root/repo/src/source/generator.cpp" "src/source/CMakeFiles/pk_source.dir/generator.cpp.o" "gcc" "src/source/CMakeFiles/pk_source.dir/generator.cpp.o.d"
+  "/root/repo/src/source/interp.cpp" "src/source/CMakeFiles/pk_source.dir/interp.cpp.o" "gcc" "src/source/CMakeFiles/pk_source.dir/interp.cpp.o.d"
+  "/root/repo/src/source/mutate.cpp" "src/source/CMakeFiles/pk_source.dir/mutate.cpp.o" "gcc" "src/source/CMakeFiles/pk_source.dir/mutate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/pk_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

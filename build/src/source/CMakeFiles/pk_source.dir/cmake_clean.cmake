@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_source.dir/ast.cpp.o"
+  "CMakeFiles/pk_source.dir/ast.cpp.o.d"
+  "CMakeFiles/pk_source.dir/generator.cpp.o"
+  "CMakeFiles/pk_source.dir/generator.cpp.o.d"
+  "CMakeFiles/pk_source.dir/interp.cpp.o"
+  "CMakeFiles/pk_source.dir/interp.cpp.o.d"
+  "CMakeFiles/pk_source.dir/mutate.cpp.o"
+  "CMakeFiles/pk_source.dir/mutate.cpp.o.d"
+  "libpk_source.a"
+  "libpk_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_util.dir/parallel.cpp.o"
+  "CMakeFiles/pk_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/pk_util.dir/stats.cpp.o"
+  "CMakeFiles/pk_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pk_util.dir/table.cpp.o"
+  "CMakeFiles/pk_util.dir/table.cpp.o.d"
+  "libpk_util.a"
+  "libpk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

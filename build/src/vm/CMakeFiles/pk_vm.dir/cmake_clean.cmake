@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pk_vm.dir/machine.cpp.o"
+  "CMakeFiles/pk_vm.dir/machine.cpp.o.d"
+  "libpk_vm.a"
+  "libpk_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pk_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

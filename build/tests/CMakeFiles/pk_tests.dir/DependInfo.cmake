@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline_dataset.cpp" "tests/CMakeFiles/pk_tests.dir/test_baseline_dataset.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_baseline_dataset.cpp.o.d"
+  "/root/repo/tests/test_binary_cfg.cpp" "tests/CMakeFiles/pk_tests.dir/test_binary_cfg.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_binary_cfg.cpp.o.d"
+  "/root/repo/tests/test_compiler.cpp" "tests/CMakeFiles/pk_tests.dir/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_compiler.cpp.o.d"
+  "/root/repo/tests/test_diff.cpp" "tests/CMakeFiles/pk_tests.dir/test_diff.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_diff.cpp.o.d"
+  "/root/repo/tests/test_dl.cpp" "tests/CMakeFiles/pk_tests.dir/test_dl.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_dl.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/pk_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_firmware.cpp" "tests/CMakeFiles/pk_tests.dir/test_firmware.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_firmware.cpp.o.d"
+  "/root/repo/tests/test_fuzz_similarity.cpp" "tests/CMakeFiles/pk_tests.dir/test_fuzz_similarity.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_fuzz_similarity.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/pk_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/pk_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_embedding.cpp" "tests/CMakeFiles/pk_tests.dir/test_graph_embedding.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_graph_embedding.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/pk_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/pk_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_mutate.cpp" "tests/CMakeFiles/pk_tests.dir/test_mutate.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_mutate.cpp.o.d"
+  "/root/repo/tests/test_obfuscate.cpp" "tests/CMakeFiles/pk_tests.dir/test_obfuscate.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_obfuscate.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/pk_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_semantics_equivalence.cpp" "tests/CMakeFiles/pk_tests.dir/test_semantics_equivalence.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_semantics_equivalence.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/pk_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/pk_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vm.cpp" "tests/CMakeFiles/pk_tests.dir/test_vm.cpp.o" "gcc" "tests/CMakeFiles/pk_tests.dir/test_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pk_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/pk_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/pk_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/pk_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/pk_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pk_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/pk_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/pk_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/pk_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/pk_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/source/CMakeFiles/pk_source.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pk_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

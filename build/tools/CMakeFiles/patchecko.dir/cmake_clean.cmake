@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patchecko.dir/patchecko_cli.cpp.o"
+  "CMakeFiles/patchecko.dir/patchecko_cli.cpp.o.d"
+  "patchecko"
+  "patchecko.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patchecko.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
