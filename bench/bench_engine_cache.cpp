@@ -1,0 +1,88 @@
+// Batch engine acceptance bench: a cold batch-scan populates the
+// content-addressed cache; a warm re-scan of the same request must be at
+// least 2x faster and produce a byte-identical canonical report, and a
+// fresh single-job engine served from the same cache directory must agree
+// byte-for-byte with the multi-job cold run (determinism across both job
+// count and cache temperature).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "engine/engine.h"
+#include "harness.h"
+#include "util/parallel.h"
+#include "util/table.h"
+
+using namespace patchecko;
+
+int main() {
+  const bench::EvalContext& ctx = bench::shared_eval_context();
+  const FirmwareImage firmware = ctx.corpus->build_firmware(ctx.things);
+
+  ScanRequest request;
+  request.model = &ctx.model;
+  request.firmware = &firmware;
+  request.database = ctx.database.get();
+
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "pk_bench_engine_cache")
+          .string();
+  std::filesystem::remove_all(cache_dir);
+
+  EngineConfig config;
+  config.jobs = default_worker_threads();
+  config.cache_dir = cache_dir;
+
+  std::printf(
+      "=== Batch engine: content-addressed cache (%zu CVEs, jobs=%u) ===\n",
+      ctx.database->entries().size(), config.jobs);
+
+  ScanEngine engine(config);
+  const ScanReport cold = engine.run(request);
+  const ScanReport warm = engine.run(request);
+
+  EngineConfig sequential = config;
+  sequential.jobs = 1;
+  const ScanReport replay = ScanEngine(sequential).run(request);  // disk only
+
+  TextTable table({"run", "jobs", "seconds", "speedup", "cache hits",
+                   "cache misses"});
+  const auto add = [&table](const char* name, unsigned jobs,
+                            const ScanReport& report, double baseline) {
+    table.add_row({name, std::to_string(jobs),
+                   fmt_double(report.total_seconds, 3),
+                   fmt_double(baseline / report.total_seconds, 2) + "x",
+                   std::to_string(report.cache.hits()),
+                   std::to_string(report.cache.misses())});
+  };
+  add("cold", config.jobs, cold, cold.total_seconds);
+  add("warm (memory)", config.jobs, warm, cold.total_seconds);
+  add("fresh engine (disk)", 1, replay, cold.total_seconds);
+  std::printf("%s\n", table.render().c_str());
+
+  bool ok = true;
+  if (warm.canonical_text() != cold.canonical_text()) {
+    std::printf("FAIL: warm report differs from cold report\n");
+    ok = false;
+  }
+  if (replay.canonical_text() != cold.canonical_text()) {
+    std::printf("FAIL: jobs=1 disk-served report differs from cold report\n");
+    ok = false;
+  }
+  if (warm.cache.misses() != 0) {
+    std::printf("FAIL: warm run missed the cache %llu times\n",
+                static_cast<unsigned long long>(warm.cache.misses()));
+    ok = false;
+  }
+  if (warm.total_seconds * 2.0 > cold.total_seconds) {
+    std::printf("FAIL: warm run not >= 2x faster (%.3fs vs %.3fs)\n",
+                warm.total_seconds, cold.total_seconds);
+    ok = false;
+  }
+  if (ok)
+    std::printf(
+        "warm/cold reports byte-identical; warm speedup %.1fx; jobs=1 and "
+        "jobs=%u agree exactly.\n",
+        cold.total_seconds / warm.total_seconds, config.jobs);
+  return ok ? 0 : 1;
+}

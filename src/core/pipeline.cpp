@@ -142,9 +142,6 @@ PatchDecision Patchecko::analyze_patch(const CveEntry& entry,
 
 PatchReport Patchecko::full_report(const CveEntry& entry,
                                    const AnalyzedLibrary& target) const {
-  PatchReport report;
-  report.cve_id = entry.spec.cve_id;
-
   // Section II-B: "PATCHECKO will ... restart the whole process based on the
   // patched version of the vulnerable function" — both references always
   // drive a search, because either one alone can miss (the vulnerable query
@@ -153,6 +150,15 @@ PatchReport Patchecko::full_report(const CveEntry& entry,
       detect(entry, target, /*query_is_patched=*/false);
   const DetectionOutcome from_patched =
       detect(entry, target, /*query_is_patched=*/true);
+  return report_from(entry, target, from_vulnerable, from_patched);
+}
+
+PatchReport Patchecko::report_from(const CveEntry& entry,
+                                   const AnalyzedLibrary& target,
+                                   const DetectionOutcome& from_vulnerable,
+                                   const DetectionOutcome& from_patched) const {
+  PatchReport report;
+  report.cve_id = entry.spec.cve_id;
 
   // Pool the top candidates of both rankings; the differential subject is
   // the one nearest to *either* reference profile (a false positive is far

@@ -96,6 +96,13 @@ class Patchecko {
   PatchReport full_report(const CveEntry& entry,
                           const AnalyzedLibrary& target) const;
 
+  /// Differential stage given already-computed detection outcomes for both
+  /// query directions — the batch engine's patch jobs consume the (possibly
+  /// cache-served) outcomes of its detect jobs through this entry point.
+  PatchReport report_from(const CveEntry& entry, const AnalyzedLibrary& target,
+                          const DetectionOutcome& from_vulnerable,
+                          const DetectionOutcome& from_patched) const;
+
   const PipelineConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,478 @@
+#include "engine/cache.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace patchecko {
+
+namespace {
+
+std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// splitmix64 finalizer: avalanches a lane before printing so that short
+/// inputs still flip high bits.
+std::uint64_t finalize(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// --- little-endian byte-stream helpers -------------------------------------
+// Serialized artifacts are raw native-endian scalars; every platform this
+// repo targets (x86, amd64, arm64 hosts) is little-endian, and cache files
+// are host-local artifacts, not interchange formats.
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* data,
+                  std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), bytes, bytes + size);
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  append_bytes(out, &value, sizeof(value));
+}
+
+void append_i64(std::vector<std::uint8_t>& out, std::int64_t value) {
+  append_bytes(out, &value, sizeof(value));
+}
+
+void append_double(std::vector<std::uint8_t>& out, double value) {
+  append_bytes(out, &value, sizeof(value));
+}
+
+void append_string(std::vector<std::uint8_t>& out, const std::string& text) {
+  append_u64(out, text.size());
+  append_bytes(out, text.data(), text.size());
+}
+
+/// Cursor over a byte buffer; every read checks bounds and latches failure.
+struct Reader {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool read(void* out, std::size_t size) {
+    if (!ok || pos + size > bytes.size()) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, bytes.data() + pos, size);
+    pos += size;
+    return true;
+  }
+  std::uint64_t read_u64() {
+    std::uint64_t value = 0;
+    read(&value, sizeof(value));
+    return value;
+  }
+  std::int64_t read_i64() {
+    std::int64_t value = 0;
+    read(&value, sizeof(value));
+    return value;
+  }
+  double read_double() {
+    double value = 0.0;
+    read(&value, sizeof(value));
+    return value;
+  }
+  std::string read_string() {
+    const std::uint64_t size = read_u64();
+    if (!ok || pos + size > bytes.size()) {
+      ok = false;
+      return {};
+    }
+    std::string text(reinterpret_cast<const char*>(bytes.data() + pos),
+                     static_cast<std::size_t>(size));
+    pos += static_cast<std::size_t>(size);
+    return text;
+  }
+};
+
+constexpr std::uint8_t kFeatureMagic[4] = {'P', 'K', 'F', 'E'};
+constexpr std::uint8_t kOutcomeMagic[4] = {'P', 'K', 'D', 'O'};
+constexpr std::uint64_t kFormatVersion = 1;
+
+bool check_magic(Reader& reader, const std::uint8_t (&magic)[4]) {
+  std::uint8_t found[4] = {};
+  if (!reader.read(found, sizeof(found))) return false;
+  return std::memcmp(found, magic, sizeof(found)) == 0 &&
+         reader.read_u64() == kFormatVersion && reader.ok;
+}
+
+void absorb_profile(Digest& digest, const DynamicProfile& profile) {
+  digest.absorb_u64(profile.per_env.size());
+  for (const auto& features : profile.per_env) {
+    digest.absorb_u64(features.has_value() ? 1 : 0);
+    if (!features) continue;
+    for (double value : features->to_array()) digest.absorb_double(value);
+  }
+  digest.absorb_u64(profile.effect_hash.size());
+  for (const auto& hash : profile.effect_hash) {
+    digest.absorb_u64(hash.has_value() ? 1 : 0);
+    if (hash) digest.absorb_u64(*hash);
+  }
+}
+
+void absorb_features(Digest& digest, const StaticFeatureVector& features) {
+  for (double value : features) digest.absorb_double(value);
+}
+
+}  // namespace
+
+// --- Digest ----------------------------------------------------------------
+
+void Digest::absorb(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = hi, l = lo;
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ bytes[i]) * 0x00000100000001b3ULL;            // FNV-1a lane
+    l = rotl64(l ^ (bytes[i] * 0x9e3779b97f4a7c15ULL), 27) // mixed lane
+        * 0xc2b2ae3d27d4eb4fULL;
+  }
+  hi = h;
+  lo = l;
+}
+
+void Digest::absorb_u64(std::uint64_t value) { absorb(&value, sizeof(value)); }
+
+void Digest::absorb_double(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  absorb_u64(bits);
+}
+
+void Digest::absorb_string(const std::string& text) {
+  absorb_u64(text.size());
+  absorb(text.data(), text.size());
+}
+
+std::string Digest::hex() const {
+  char out[33] = {};
+  std::snprintf(out, sizeof(out), "%016llx%016llx",
+                static_cast<unsigned long long>(finalize(hi)),
+                static_cast<unsigned long long>(finalize(lo)));
+  return out;
+}
+
+// --- input digests ---------------------------------------------------------
+
+Digest digest_library(const LibraryBinary& library) {
+  Digest digest;
+  const std::vector<std::uint8_t> bytes = serialize_library(library);
+  digest.absorb_u64(bytes.size());
+  digest.absorb(bytes.data(), bytes.size());
+  return digest;
+}
+
+Digest digest_model(const SimilarityModel& model) {
+  Digest digest;
+  const Network& network = model.network();
+  digest.absorb_u64(network.layers().size());
+  for (const DenseLayer& layer : network.layers()) {
+    digest.absorb_u64(layer.in_dim());
+    digest.absorb_u64(layer.out_dim());
+    digest.absorb(layer.weights().data(),
+                  layer.weights().size() * sizeof(float));
+    digest.absorb(layer.biases().data(),
+                  layer.biases().size() * sizeof(float));
+  }
+  const FeatureNormalizer& normalizer = model.normalizer();
+  digest.absorb_u64(normalizer.fitted() ? 1 : 0);
+  absorb_features(digest, normalizer.means());
+  absorb_features(digest, normalizer.stddevs());
+  return digest;
+}
+
+Digest digest_pipeline_config(const PipelineConfig& config) {
+  Digest digest;
+  digest.absorb_double(config.detection_threshold);
+  digest.absorb_double(config.minkowski_p);
+  digest.absorb_u64(config.patch_candidates);
+  digest.absorb_u64(config.machine.step_limit);
+  digest.absorb_i64(config.machine.stack_size);
+  digest.absorb_i64(config.machine.max_call_depth);
+  digest.absorb_u64(config.machine.collect_features ? 1 : 0);
+  // config.worker_threads intentionally omitted: thread count never changes
+  // results, so sequential and parallel runs share cache entries.
+  return digest;
+}
+
+Digest digest_entry(const CveEntry& entry) {
+  Digest digest;
+  digest.absorb_string(entry.spec.cve_id);
+  digest.absorb_string(entry.spec.library);
+  digest.absorb_u64(static_cast<std::uint64_t>(entry.spec.kind));
+  digest.absorb_u64(entry.library_index);
+  digest.absorb_u64(entry.slot);
+  digest.absorb_u64(entry.target_uid);
+  absorb_features(digest, entry.vulnerable_features);
+  absorb_features(digest, entry.patched_features);
+  digest.absorb_u64(entry.environments.size());
+  for (const CallEnv& env : entry.environments) {
+    digest.absorb_u64(env.args.size());
+    for (const Value& arg : env.args) {
+      digest.absorb_u64(static_cast<std::uint64_t>(arg.type));
+      digest.absorb_i64(arg.i);
+      digest.absorb_double(arg.f);
+      digest.absorb_i64(arg.buffer);
+      digest.absorb_i64(arg.offset);
+    }
+    digest.absorb_u64(env.buffers.size());
+    for (const std::vector<std::uint8_t>& buffer : env.buffers) {
+      digest.absorb_u64(buffer.size());
+      digest.absorb(buffer.data(), buffer.size());
+    }
+  }
+  absorb_profile(digest, entry.vulnerable_profile);
+  absorb_profile(digest, entry.patched_profile);
+  digest.absorb_u64(entry.arch_refs.size());
+  for (const auto& [arch, refs] : entry.arch_refs) {
+    digest.absorb_u64(static_cast<std::uint64_t>(arch));
+    absorb_features(digest, refs.vulnerable_features);
+    absorb_features(digest, refs.patched_features);
+    absorb_profile(digest, refs.vulnerable_profile);
+    absorb_profile(digest, refs.patched_profile);
+  }
+  return digest;
+}
+
+std::string features_cache_key(const Digest& library) {
+  return "feat-" + library.hex();
+}
+
+std::string outcome_cache_key(const Digest& library, const Digest& model,
+                              const Digest& config, const Digest& entry,
+                              bool query_is_patched) {
+  Digest key;
+  key.absorb_u64(library.hi);
+  key.absorb_u64(library.lo);
+  key.absorb_u64(model.hi);
+  key.absorb_u64(model.lo);
+  key.absorb_u64(config.hi);
+  key.absorb_u64(config.lo);
+  key.absorb_u64(entry.hi);
+  key.absorb_u64(entry.lo);
+  key.absorb_u64(query_is_patched ? 1 : 0);
+  return "det-" + key.hex();
+}
+
+// --- serialization ---------------------------------------------------------
+
+std::vector<std::uint8_t> serialize_features(
+    const std::vector<StaticFeatureVector>& features) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + features.size() * static_feature_count * sizeof(double));
+  append_bytes(out, kFeatureMagic, sizeof(kFeatureMagic));
+  append_u64(out, kFormatVersion);
+  append_u64(out, features.size());
+  for (const StaticFeatureVector& vector : features)
+    append_bytes(out, vector.data(), vector.size() * sizeof(double));
+  return out;
+}
+
+std::optional<std::vector<StaticFeatureVector>> deserialize_features(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader reader{bytes};
+  if (!check_magic(reader, kFeatureMagic)) return std::nullopt;
+  const std::uint64_t count = reader.read_u64();
+  if (!reader.ok ||
+      reader.pos + count * static_feature_count * sizeof(double) !=
+          bytes.size())
+    return std::nullopt;
+  std::vector<StaticFeatureVector> features(
+      static_cast<std::size_t>(count));
+  for (StaticFeatureVector& vector : features)
+    reader.read(vector.data(), vector.size() * sizeof(double));
+  if (!reader.ok) return std::nullopt;
+  return features;
+}
+
+std::vector<std::uint8_t> serialize_outcome(const DetectionOutcome& outcome) {
+  std::vector<std::uint8_t> out;
+  append_bytes(out, kOutcomeMagic, sizeof(kOutcomeMagic));
+  append_u64(out, kFormatVersion);
+  append_string(out, outcome.cve_id);
+  append_u64(out, outcome.query_is_patched ? 1 : 0);
+  append_u64(out, outcome.total);
+  append_i64(out, outcome.true_positives);
+  append_i64(out, outcome.true_negatives);
+  append_i64(out, outcome.false_positives);
+  append_i64(out, outcome.false_negatives);
+  append_u64(out, outcome.candidates.size());
+  for (std::size_t index : outcome.candidates) append_u64(out, index);
+  append_double(out, outcome.dl_seconds);
+  append_u64(out, outcome.executed);
+  append_u64(out, outcome.ranking.size());
+  for (const RankedCandidate& ranked : outcome.ranking) {
+    append_u64(out, ranked.function_index);
+    append_double(out, ranked.distance);
+    append_double(out, ranked.secondary);
+  }
+  append_i64(out, outcome.rank_of_target);
+  append_double(out, outcome.da_seconds);
+  return out;
+}
+
+std::optional<DetectionOutcome> deserialize_outcome(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader reader{bytes};
+  if (!check_magic(reader, kOutcomeMagic)) return std::nullopt;
+  DetectionOutcome outcome;
+  outcome.cve_id = reader.read_string();
+  outcome.query_is_patched = reader.read_u64() != 0;
+  outcome.total = static_cast<std::size_t>(reader.read_u64());
+  outcome.true_positives = static_cast<int>(reader.read_i64());
+  outcome.true_negatives = static_cast<int>(reader.read_i64());
+  outcome.false_positives = static_cast<int>(reader.read_i64());
+  outcome.false_negatives = static_cast<int>(reader.read_i64());
+  const std::uint64_t candidate_count = reader.read_u64();
+  if (!reader.ok ||
+      candidate_count > (bytes.size() - reader.pos) / sizeof(std::uint64_t))
+    return std::nullopt;
+  outcome.candidates.resize(static_cast<std::size_t>(candidate_count));
+  for (std::size_t& index : outcome.candidates)
+    index = static_cast<std::size_t>(reader.read_u64());
+  outcome.dl_seconds = reader.read_double();
+  outcome.executed = static_cast<std::size_t>(reader.read_u64());
+  const std::uint64_t ranked_count = reader.read_u64();
+  if (!reader.ok || ranked_count > (bytes.size() - reader.pos) / 24)
+    return std::nullopt;
+  outcome.ranking.resize(static_cast<std::size_t>(ranked_count));
+  for (RankedCandidate& ranked : outcome.ranking) {
+    ranked.function_index = static_cast<std::size_t>(reader.read_u64());
+    ranked.distance = reader.read_double();
+    ranked.secondary = reader.read_double();
+  }
+  outcome.rank_of_target = static_cast<int>(reader.read_i64());
+  outcome.da_seconds = reader.read_double();
+  if (!reader.ok || reader.pos != bytes.size()) return std::nullopt;
+  return outcome;
+}
+
+// --- ResultCache -----------------------------------------------------------
+
+ResultCache::ResultCache(std::string disk_dir, bool enabled)
+    : dir_(std::move(disk_dir)), enabled_(enabled) {
+  if (enabled_ && !dir_.empty())
+    std::filesystem::create_directories(dir_);
+}
+
+std::optional<std::vector<std::uint8_t>> ResultCache::read_file(
+    const std::string& key) const {
+  if (dir_.empty()) return std::nullopt;
+  const std::filesystem::path path =
+      std::filesystem::path(dir_) / (key + ".bin");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return bytes;
+}
+
+void ResultCache::write_file(const std::string& key,
+                             const std::vector<std::uint8_t>& bytes) const {
+  if (dir_.empty()) return;
+  // Write-to-temp + rename so readers never observe a half-written entry;
+  // the counter keeps concurrent writers of the same key apart.
+  static std::atomic<std::uint64_t> temp_counter{0};
+  const std::filesystem::path final_path =
+      std::filesystem::path(dir_) / (key + ".bin");
+  const std::filesystem::path temp_path =
+      std::filesystem::path(dir_) /
+      (key + ".tmp" + std::to_string(temp_counter.fetch_add(1)));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp_path, final_path, ec);
+  if (ec) std::filesystem::remove(temp_path, ec);
+}
+
+std::optional<std::vector<StaticFeatureVector>> ResultCache::find_features(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) {
+    ++stats_.feature_misses;
+    return std::nullopt;
+  }
+  const auto it = features_.find(key);
+  if (it != features_.end()) {
+    ++stats_.feature_hits;
+    return it->second;
+  }
+  if (const auto bytes = read_file(key)) {
+    if (auto features = deserialize_features(*bytes)) {
+      ++stats_.feature_hits;
+      ++stats_.disk_loads;
+      features_.emplace(key, *features);
+      return features;
+    }
+  }
+  ++stats_.feature_misses;
+  return std::nullopt;
+}
+
+void ResultCache::store_features(
+    const std::string& key, const std::vector<StaticFeatureVector>& features) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  features_[key] = features;
+  ++stats_.stores;
+  write_file(key, serialize_features(features));
+}
+
+std::optional<DetectionOutcome> ResultCache::find_outcome(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) {
+    ++stats_.outcome_misses;
+    return std::nullopt;
+  }
+  const auto it = outcomes_.find(key);
+  if (it != outcomes_.end()) {
+    ++stats_.outcome_hits;
+    return it->second;
+  }
+  if (const auto bytes = read_file(key)) {
+    if (auto outcome = deserialize_outcome(*bytes)) {
+      ++stats_.outcome_hits;
+      ++stats_.disk_loads;
+      outcomes_.emplace(key, *outcome);
+      return outcome;
+    }
+  }
+  ++stats_.outcome_misses;
+  return std::nullopt;
+}
+
+void ResultCache::store_outcome(const std::string& key,
+                                const DetectionOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  outcomes_[key] = outcome;
+  ++stats_.stores;
+  write_file(key, serialize_outcome(outcome));
+}
+
+void ResultCache::clear_memory() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  features_.clear();
+  outcomes_.clear();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace patchecko

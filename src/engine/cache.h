@@ -1,0 +1,133 @@
+// Content-addressed result cache for the batch scan engine.
+//
+// The expensive per-scan work — Stage-1 feature extraction plus DL scoring
+// and the Stage-2 dynamic validation — depends only on (library bytes,
+// model weights, pipeline config, CVE reference data). Large-scale scans
+// re-visit the same firmware and CVE sets constantly, so results are stored
+// under a digest of exactly those inputs: an unchanged library hits the
+// cache and skips Stage 1 entirely. Two result kinds are cached, in memory
+// and optionally as files in a cache directory:
+//   * the per-function StaticFeatureVector set of an analyzed library,
+//     keyed by the library's serialized bytes, and
+//   * a DetectionOutcome, keyed by (library, model, config, CVE entry,
+//     query direction).
+// The config digest deliberately excludes worker_threads: parallelism never
+// changes results, so a cache populated at --jobs 8 serves --jobs 1 runs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cve_database.h"
+#include "core/pipeline.h"
+#include "dl/similarity_model.h"
+
+namespace patchecko {
+
+/// 128-bit streaming content digest: two independent FNV-1a-style lanes
+/// with a splitmix finalizer. Not cryptographic — collision resistance is
+/// only needed against accidental key clashes in a cache namespace.
+struct Digest {
+  std::uint64_t hi = 0xcbf29ce484222325ULL;
+  std::uint64_t lo = 0x9e3779b97f4a7c15ULL;
+
+  void absorb(const void* data, std::size_t size);
+  void absorb_u64(std::uint64_t value);
+  void absorb_i64(std::int64_t value) {
+    absorb_u64(static_cast<std::uint64_t>(value));
+  }
+  void absorb_double(double value);
+  void absorb_string(const std::string& text);
+
+  /// 32 hex characters, usable as a filename.
+  std::string hex() const;
+
+  friend bool operator==(const Digest& a, const Digest& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Digest& a, const Digest& b) {
+    return !(a == b);
+  }
+};
+
+/// Digest of a library's serialized bytes (identity of the scan target).
+Digest digest_library(const LibraryBinary& library);
+/// Digest of model weights, biases, and the fitted normalizer.
+Digest digest_model(const SimilarityModel& model);
+/// Digest of every config field that influences results. Excludes
+/// worker_threads (see file comment).
+Digest digest_pipeline_config(const PipelineConfig& config);
+/// Digest of a CVE entry's reference data as the pipeline consumes it:
+/// id, reference features, environments, and dynamic reference profiles.
+Digest digest_entry(const CveEntry& entry);
+
+std::string features_cache_key(const Digest& library);
+std::string outcome_cache_key(const Digest& library, const Digest& model,
+                              const Digest& config, const Digest& entry,
+                              bool query_is_patched);
+
+// Binary (de)serialization. Deserializers return nullopt on any malformed
+// or truncated input (a corrupt cache file degrades to a miss, never UB).
+std::vector<std::uint8_t> serialize_features(
+    const std::vector<StaticFeatureVector>& features);
+std::optional<std::vector<StaticFeatureVector>> deserialize_features(
+    const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> serialize_outcome(const DetectionOutcome& outcome);
+std::optional<DetectionOutcome> deserialize_outcome(
+    const std::vector<std::uint8_t>& bytes);
+
+struct CacheStats {
+  std::uint64_t feature_hits = 0;
+  std::uint64_t feature_misses = 0;
+  std::uint64_t outcome_hits = 0;
+  std::uint64_t outcome_misses = 0;
+  std::uint64_t disk_loads = 0;  ///< hits served from disk, not memory
+  std::uint64_t stores = 0;
+
+  std::uint64_t hits() const { return feature_hits + outcome_hits; }
+  std::uint64_t misses() const { return feature_misses + outcome_misses; }
+};
+
+/// Thread-safe two-level (memory, then disk) cache. With an empty directory
+/// the cache is memory-only; disabled() makes every lookup a miss.
+class ResultCache {
+ public:
+  ResultCache() = default;
+  explicit ResultCache(std::string disk_dir, bool enabled = true);
+
+  bool enabled() const { return enabled_; }
+  const std::string& directory() const { return dir_; }
+
+  std::optional<std::vector<StaticFeatureVector>> find_features(
+      const std::string& key);
+  void store_features(const std::string& key,
+                      const std::vector<StaticFeatureVector>& features);
+
+  std::optional<DetectionOutcome> find_outcome(const std::string& key);
+  void store_outcome(const std::string& key, const DetectionOutcome& outcome);
+
+  /// Drops the in-memory maps (disk files stay); used to measure the
+  /// disk-hit path.
+  void clear_memory();
+
+  CacheStats stats() const;
+
+ private:
+  std::optional<std::vector<std::uint8_t>> read_file(
+      const std::string& key) const;
+  void write_file(const std::string& key,
+                  const std::vector<std::uint8_t>& bytes) const;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<StaticFeatureVector>> features_;
+  std::unordered_map<std::string, DetectionOutcome> outcomes_;
+  std::string dir_;
+  bool enabled_ = true;
+  CacheStats stats_;
+};
+
+}  // namespace patchecko

@@ -1,0 +1,361 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/thread_pool.h"
+#include "util/timer.h"
+
+namespace patchecko {
+
+namespace {
+
+/// Exact, locale-independent double rendering: %.17g round-trips every
+/// finite double, so canonical_text() equality == bitwise result equality.
+std::string fmt_exact(double value) {
+  char out[40];
+  std::snprintf(out, sizeof(out), "%.17g", value);
+  return out;
+}
+
+void append_outcome(std::ostringstream& out, const char* query,
+                    const DetectionOutcome& outcome) {
+  out << "query " << query << ": total=" << outcome.total
+      << " tp=" << outcome.true_positives << " tn=" << outcome.true_negatives
+      << " fp=" << outcome.false_positives
+      << " fn=" << outcome.false_negatives << " executed=" << outcome.executed
+      << " rank=" << outcome.rank_of_target << "\n  candidates=[";
+  for (std::size_t i = 0; i < outcome.candidates.size(); ++i) {
+    if (i != 0) out << ',';
+    out << outcome.candidates[i];
+  }
+  out << "]\n  ranking=[";
+  for (std::size_t i = 0; i < outcome.ranking.size(); ++i) {
+    const RankedCandidate& ranked = outcome.ranking[i];
+    if (i != 0) out << ' ';
+    out << ranked.function_index << ':' << fmt_exact(ranked.distance) << ':'
+        << fmt_exact(ranked.secondary);
+  }
+  out << "]\n";
+}
+
+CacheStats stats_delta(const CacheStats& after, const CacheStats& before) {
+  CacheStats delta;
+  delta.feature_hits = after.feature_hits - before.feature_hits;
+  delta.feature_misses = after.feature_misses - before.feature_misses;
+  delta.outcome_hits = after.outcome_hits - before.outcome_hits;
+  delta.outcome_misses = after.outcome_misses - before.outcome_misses;
+  delta.disk_loads = after.disk_loads - before.disk_loads;
+  delta.stores = after.stores - before.stores;
+  return delta;
+}
+
+}  // namespace
+
+std::string_view job_kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::analyze: return "analyze";
+    case JobKind::detect: return "detect";
+    case JobKind::patch: return "patch";
+  }
+  return "?";
+}
+
+std::string ScanReport::canonical_text() const {
+  std::ostringstream out;
+  for (const CveScanResult& result : results) {
+    out << "== " << result.cve_id << " library " << result.library << " ==\n";
+    if (result.library_missing) {
+      out << "library not in image\n";
+      continue;
+    }
+    append_outcome(out, "vulnerable", result.from_vulnerable);
+    append_outcome(out, "patched", result.from_patched);
+    if (!result.report.decision) {
+      out << "match: none\n";
+      continue;
+    }
+    const PatchDecision& decision = *result.report.decision;
+    out << "match: function=" << *result.report.matched_function
+        << " verdict="
+        << (decision.verdict == PatchVerdict::patched ? "patched"
+                                                      : "vulnerable")
+        << " votes=" << fmt_exact(decision.votes_vulnerable) << ':'
+        << fmt_exact(decision.votes_patched)
+        << " dist=" << fmt_exact(decision.dynamic_distance_vulnerable) << ':'
+        << fmt_exact(decision.dynamic_distance_patched) << "\n";
+    for (const std::string& note : decision.evidence)
+      out << "evidence: " << note << "\n";
+  }
+  return out.str();
+}
+
+std::string ScanReport::summary_text() const {
+  std::ostringstream out;
+  int vulnerable = 0, patched = 0, unresolved = 0;
+  for (const CveScanResult& result : results) {
+    if (result.library_missing || !result.report.decision) {
+      ++unresolved;
+      continue;
+    }
+    (result.report.decision->verdict == PatchVerdict::patched ? patched
+                                                              : vulnerable)++;
+  }
+  out << results.size() << " CVEs scanned across " << analyzed_libraries
+      << " libraries: " << vulnerable << " vulnerable, " << patched
+      << " patched, " << unresolved << " unresolved\n";
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "wall time %.2fs over %zu jobs; cache: %llu hits / %llu "
+                "misses (%llu from disk, %llu stores)\n",
+                total_seconds, timings.size(),
+                static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(cache.misses()),
+                static_cast<unsigned long long>(cache.disk_loads),
+                static_cast<unsigned long long>(cache.stores));
+  out << line;
+  std::vector<const JobTiming*> slowest;
+  for (const JobTiming& timing : timings) slowest.push_back(&timing);
+  std::sort(slowest.begin(), slowest.end(),
+            [](const JobTiming* a, const JobTiming* b) {
+              return a->seconds > b->seconds;
+            });
+  const std::size_t shown = std::min<std::size_t>(slowest.size(), 5);
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::snprintf(line, sizeof(line), "  %-7s %-20s %8.3fs%s\n",
+                  std::string(job_kind_name(slowest[i]->kind)).c_str(),
+                  slowest[i]->label.c_str(), slowest[i]->seconds,
+                  slowest[i]->cache_hit ? "  (cache)" : "");
+    out << line;
+  }
+  return out.str();
+}
+
+ScanEngine::ScanEngine(EngineConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_dir, config_.use_cache) {}
+
+ScanReport ScanEngine::run(const ScanRequest& request,
+                           const ProgressFn& progress) {
+  if (request.model == nullptr || request.firmware == nullptr ||
+      request.database == nullptr)
+    throw std::invalid_argument(
+        "ScanRequest needs model, firmware, and database");
+
+  const Stopwatch total_watch;
+  const CacheStats stats_before = cache_.stats();
+  ScanReport report;
+
+  // --- select entries and resolve their libraries --------------------------
+  const std::set<std::string> only(request.cve_ids.begin(),
+                                   request.cve_ids.end());
+  std::vector<const CveEntry*> entries;
+  for (const CveEntry& entry : request.database->entries())
+    if (only.empty() || only.count(entry.spec.cve_id) != 0)
+      entries.push_back(&entry);
+
+  std::map<std::string, const LibraryBinary*> by_name;
+  for (const LibraryBinary& library : request.firmware->libraries)
+    by_name[library.name] = &library;
+
+  struct LibSlot {
+    const LibraryBinary* binary = nullptr;
+    AnalyzedLibrary analyzed;
+    Digest digest;  // valid only when the cache is enabled
+  };
+  std::vector<LibSlot> libs;
+  std::map<std::string, std::size_t> lib_slot_by_name;
+  std::vector<std::size_t> entry_lib(entries.size(), 0);
+
+  report.results.resize(entries.size());
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    CveScanResult& result = report.results[e];
+    result.cve_id = entries[e]->spec.cve_id;
+    result.library = entries[e]->spec.library;
+    const auto lib_it = by_name.find(result.library);
+    if (lib_it == by_name.end()) {
+      result.library_missing = true;
+      continue;
+    }
+    const auto [slot_it, inserted] =
+        lib_slot_by_name.try_emplace(result.library, libs.size());
+    if (inserted) libs.push_back(LibSlot{lib_it->second, {}, {}});
+    entry_lib[e] = slot_it->second;
+  }
+  report.analyzed_libraries = libs.size();
+
+  // --- build the job graph -------------------------------------------------
+  // Ids: [0, L) analyze per library slot, then per entry e a detect job
+  // L + 2e and a patch job L + 2e + 1.
+  struct Job {
+    JobKind kind = JobKind::analyze;
+    std::size_t target = 0;  // library slot (analyze) or entry index
+    std::vector<std::size_t> dependents;
+    int unmet = 0;
+    bool skipped = false;  // missing library: no work to do
+  };
+  const std::size_t lib_jobs = libs.size();
+  std::vector<Job> jobs(lib_jobs + 2 * entries.size());
+  for (std::size_t l = 0; l < lib_jobs; ++l)
+    jobs[l] = Job{JobKind::analyze, l, {}, 0, false};
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const std::size_t detect_id = lib_jobs + 2 * e;
+    const std::size_t patch_id = detect_id + 1;
+    const bool missing = report.results[e].library_missing;
+    jobs[detect_id] = Job{JobKind::detect, e, {patch_id}, missing ? 0 : 1,
+                          missing};
+    jobs[patch_id] = Job{JobKind::patch, e, {}, 1, missing};
+    if (!missing) jobs[entry_lib[e]].dependents.push_back(detect_id);
+  }
+
+  // --- per-run pipeline + digests ------------------------------------------
+  PipelineConfig pipeline_config = config_.pipeline;
+  pipeline_config.worker_threads = config_.jobs;
+  const Patchecko pipeline(request.model, pipeline_config);
+  const bool caching = config_.use_cache;
+  const Digest model_digest = caching ? digest_model(*request.model) : Digest{};
+  const Digest config_digest =
+      caching ? digest_pipeline_config(pipeline_config) : Digest{};
+
+  std::mutex event_mutex;
+  const auto emit = [&](JobKind kind, std::string label, double seconds,
+                        bool cache_hit) {
+    std::lock_guard<std::mutex> lock(event_mutex);
+    report.timings.push_back(JobTiming{kind, label, seconds, cache_hit});
+    if (progress)
+      progress(JobEvent{kind, std::move(label), seconds, cache_hit,
+                        report.timings.size() - 1, jobs.size()});
+  };
+
+  const auto execute = [&](std::size_t id) {
+    const Job& job = jobs[id];
+    const Stopwatch watch;
+    bool cache_hit = false;
+    std::string label;
+    if (job.kind == JobKind::analyze) {
+      LibSlot& slot = libs[job.target];
+      label = slot.binary->name;
+      std::string key;
+      if (caching) {
+        slot.digest = digest_library(*slot.binary);
+        key = features_cache_key(slot.digest);
+        if (auto features = cache_.find_features(key);
+            features && features->size() == slot.binary->functions.size()) {
+          slot.analyzed.binary = slot.binary;
+          slot.analyzed.features = std::move(*features);
+          cache_hit = true;
+        }
+      }
+      if (!cache_hit) {
+        slot.analyzed =
+            analyze_library(*slot.binary, pipeline_config.worker_threads);
+        if (caching) cache_.store_features(key, slot.analyzed.features);
+      }
+    } else if (job.kind == JobKind::detect && !job.skipped) {
+      const CveEntry& entry = *entries[job.target];
+      const LibSlot& slot = libs[entry_lib[job.target]];
+      CveScanResult& result = report.results[job.target];
+      label = entry.spec.cve_id;
+      const Digest entry_digest = caching ? digest_entry(entry) : Digest{};
+      cache_hit = true;
+      for (const bool query_is_patched : {false, true}) {
+        DetectionOutcome& outcome =
+            query_is_patched ? result.from_patched : result.from_vulnerable;
+        std::string key;
+        if (caching) {
+          key = outcome_cache_key(slot.digest, model_digest, config_digest,
+                                  entry_digest, query_is_patched);
+          if (auto cached = cache_.find_outcome(key)) {
+            outcome = std::move(*cached);
+            continue;
+          }
+        }
+        cache_hit = false;
+        outcome = pipeline.detect(entry, slot.analyzed, query_is_patched);
+        if (caching) cache_.store_outcome(key, outcome);
+      }
+    } else if (job.kind == JobKind::patch && !job.skipped) {
+      const CveEntry& entry = *entries[job.target];
+      const LibSlot& slot = libs[entry_lib[job.target]];
+      CveScanResult& result = report.results[job.target];
+      label = entry.spec.cve_id;
+      result.report = pipeline.report_from(entry, slot.analyzed,
+                                           result.from_vulnerable,
+                                           result.from_patched);
+    } else {
+      label = report.results[job.target].cve_id;
+    }
+    emit(job.kind, std::move(label), watch.elapsed_seconds(), cache_hit);
+  };
+
+  // --- scheduler -----------------------------------------------------------
+  std::mutex sched_mutex;
+  std::deque<std::size_t> ready;
+  for (std::size_t id = 0; id < jobs.size(); ++id)
+    if (jobs[id].unmet == 0) ready.push_back(id);
+
+  if (config_.jobs <= 1) {
+    while (!ready.empty()) {
+      const std::size_t id = ready.front();
+      ready.pop_front();
+      execute(id);
+      for (const std::size_t dependent : jobs[id].dependents)
+        if (--jobs[dependent].unmet == 0) ready.push_back(dependent);
+    }
+  } else {
+    // Event-driven: every job is one *finite* pool task that, when done,
+    // releases its dependents and submits newly ready jobs (at most
+    // config_.jobs in flight). Finite tasks are essential — a pool waiter
+    // helping via try_run_one may execute another job task nested on its
+    // own stack, which is harmless exactly because job tasks always run to
+    // completion instead of looping until the whole graph is done.
+    std::size_t running = 0;
+    bool aborted = false;
+    std::exception_ptr first_error;
+    TaskGroup group(ThreadPool::shared());
+    std::function<void(std::size_t)> run_job;
+    const auto pump = [&] {
+      // Caller holds sched_mutex (this also serializes group.run calls).
+      while (running < config_.jobs && !ready.empty()) {
+        const std::size_t id = ready.front();
+        ready.pop_front();
+        ++running;
+        group.run([&run_job, id] { run_job(id); });
+      }
+    };
+    run_job = [&](std::size_t id) {
+      try {
+        execute(id);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(sched_mutex);
+        if (!first_error) first_error = std::current_exception();
+        aborted = true;
+        --running;
+        return;
+      }
+      std::lock_guard<std::mutex> lock(sched_mutex);
+      --running;
+      for (const std::size_t dependent : jobs[id].dependents)
+        if (--jobs[dependent].unmet == 0) ready.push_back(dependent);
+      if (!aborted) pump();
+    };
+    {
+      std::lock_guard<std::mutex> lock(sched_mutex);
+      pump();
+    }
+    group.wait();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  report.cache = stats_delta(cache_.stats(), stats_before);
+  report.total_seconds = total_watch.elapsed_seconds();
+  return report;
+}
+
+}  // namespace patchecko

@@ -1,0 +1,112 @@
+// Batch scan engine: one request, many (CVE x library) analyses.
+//
+// The paper evaluates one (CVE, firmware) pair at a time and leaves
+// large-scale parallel deployment as future work (Section V-E). This façade
+// turns a scan request — M CVEs against the N libraries of a firmware
+// image — into a dependency-aware job graph
+//
+//     analyze(library)  -->  detect(cve)  -->  patch(cve)
+//
+// executed on the shared work-stealing pool (thread_pool.h), with every
+// analyze/detect result served from the content-addressed cache (cache.h)
+// when the inputs are unchanged. Scan results are deterministic: the same
+// request produces the same ScanReport::canonical_text() at any job count
+// and any cache temperature.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/cve_database.h"
+#include "core/pipeline.h"
+#include "engine/cache.h"
+
+namespace patchecko {
+
+struct EngineConfig {
+  /// Maximum concurrently executing jobs; also the worker count of the
+  /// data-parallel loops inside each job. 1 = fully sequential.
+  unsigned jobs = 1;
+  bool use_cache = true;
+  /// Directory for persisted cache entries; empty = in-memory only.
+  std::string cache_dir;
+  PipelineConfig pipeline;
+};
+
+enum class JobKind : std::uint8_t { analyze, detect, patch };
+std::string_view job_kind_name(JobKind kind);
+
+/// Completion notification, delivered from worker threads (the callback
+/// must be thread-safe; invocations are serialized by the engine).
+struct JobEvent {
+  JobKind kind = JobKind::analyze;
+  std::string label;       ///< library name (analyze) or CVE id
+  double seconds = 0.0;
+  bool cache_hit = false;  ///< job fully served from cache
+  std::size_t sequence = 0;     ///< completion order, 0-based
+  std::size_t total_jobs = 0;   ///< graph size, for progress display
+};
+
+using ProgressFn = std::function<void(const JobEvent&)>;
+
+struct ScanRequest {
+  const SimilarityModel* model = nullptr;
+  const FirmwareImage* firmware = nullptr;
+  const CveDatabase* database = nullptr;
+  /// CVE ids to scan; empty = every database entry.
+  std::vector<std::string> cve_ids;
+};
+
+struct CveScanResult {
+  std::string cve_id;
+  std::string library;
+  bool library_missing = false;
+  DetectionOutcome from_vulnerable;
+  DetectionOutcome from_patched;
+  PatchReport report;
+};
+
+struct JobTiming {
+  JobKind kind = JobKind::analyze;
+  std::string label;
+  double seconds = 0.0;
+  bool cache_hit = false;
+};
+
+struct ScanReport {
+  std::vector<CveScanResult> results;  ///< database order, not finish order
+  std::vector<JobTiming> timings;      ///< completion order
+  CacheStats cache;                    ///< this run only (delta, not lifetime)
+  std::size_t analyzed_libraries = 0;
+  double total_seconds = 0.0;
+
+  /// Deterministic rendering of every analysis result: excludes wall-clock
+  /// times and cache statistics, so byte-equality across runs == result
+  /// equality. This is the artifact the determinism and warm-cache
+  /// acceptance checks compare.
+  std::string canonical_text() const;
+
+  /// Human-readable summary: verdict table plus timing and cache counters.
+  std::string summary_text() const;
+};
+
+class ScanEngine {
+ public:
+  explicit ScanEngine(EngineConfig config = {});
+
+  /// Executes the request's job graph. Throws std::invalid_argument when a
+  /// required request pointer is missing.
+  ScanReport run(const ScanRequest& request, const ProgressFn& progress = {});
+
+  ResultCache& cache() { return cache_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+  ResultCache cache_;
+};
+
+}  // namespace patchecko

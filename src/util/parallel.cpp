@@ -1,6 +1,30 @@
 #include "util/parallel.h"
 
+#include <thread>
+
+#include "engine/thread_pool.h"
+
 namespace patchecko {
+
+namespace detail {
+
+void parallel_run(std::size_t n, unsigned worker_count,
+                  const std::function<void(std::size_t)>& fn) {
+  // Logical workers are submitted in index order; TaskGroup::wait rethrows
+  // the pending exception with the lowest submission index, which makes the
+  // surfaced error the lowest *worker* index by construction.
+  TaskGroup group(ThreadPool::shared());
+  for (unsigned w = 0; w < worker_count; ++w) {
+    group.run([w, n, worker_count, &fn] {
+      // Strided assignment keeps neighbouring (often similarly sized)
+      // work items spread across workers.
+      for (std::size_t i = w; i < n; i += worker_count) fn(i);
+    });
+  }
+  group.wait();
+}
+
+}  // namespace detail
 
 unsigned default_worker_threads() {
   const unsigned hw = std::thread::hardware_concurrency();

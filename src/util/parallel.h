@@ -2,22 +2,31 @@
 //
 // The paper runs candidate executions for all environments in parallel and
 // names per-candidate parallelism as future work (Section V-E); the pipeline
-// uses this helper to do exactly that. Plain std::thread chunking — no
-// work stealing needed for our embarrassingly parallel loops.
+// uses this helper to do exactly that. Work is chunked over logical workers
+// and executed on the process-wide work-stealing pool (engine/thread_pool.h)
+// instead of spawning fresh std::threads per call, so nested parallel loops
+// and the batch engine's job scheduler share one set of OS threads.
 #pragma once
 
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <thread>
-#include <vector>
 
 namespace patchecko {
 
-/// Invokes fn(i) for every i in [0, n), distributed over `threads` OS
-/// threads (<= 1 means inline execution). fn must be safe to call
-/// concurrently for distinct i. The first exception thrown by any worker is
-/// rethrown on the calling thread after all workers join.
+namespace detail {
+/// Runs fn(i) for i in [0, n) striped across `worker_count` logical workers
+/// on the shared pool. Rethrows the exception of the lowest-indexed logical
+/// worker that failed.
+void parallel_run(std::size_t n, unsigned worker_count,
+                  const std::function<void(std::size_t)>& fn);
+}  // namespace detail
+
+/// Invokes fn(i) for every i in [0, n), distributed over `threads` logical
+/// workers (<= 1 means inline execution). fn must be safe to call
+/// concurrently for distinct i. If workers throw, exactly one exception is
+/// rethrown on the calling thread after all workers finish: the one raised
+/// by the lowest worker index, regardless of completion order — so the
+/// surfaced error is deterministic for a deterministic fn.
 template <typename Fn>
 void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
   if (n == 0) return;
@@ -26,24 +35,9 @@ void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
     return;
   }
   const unsigned worker_count =
-      static_cast<unsigned>(std::min<std::size_t>(threads, n));
-  std::vector<std::thread> workers;
-  workers.reserve(worker_count);
-  std::vector<std::exception_ptr> errors(worker_count);
-  for (unsigned w = 0; w < worker_count; ++w) {
-    workers.emplace_back([&, w] {
-      try {
-        // Strided assignment keeps neighbouring (often similarly sized)
-        // work items spread across workers.
-        for (std::size_t i = w; i < n; i += worker_count) fn(i);
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  for (const std::exception_ptr& error : errors)
-    if (error) std::rethrow_exception(error);
+      n < threads ? static_cast<unsigned>(n) : threads;
+  const std::function<void(std::size_t)> wrapped = std::ref(fn);
+  detail::parallel_run(n, worker_count, wrapped);
 }
 
 /// Default worker count: the machine's concurrency, at least 1.

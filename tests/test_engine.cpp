@@ -1,0 +1,394 @@
+// Tests for the batch scan engine: the work-stealing pool, the
+// content-addressed cache ((de)serialization, key derivation, invalidation),
+// scheduler dependency ordering, and end-to-end determinism across job
+// counts and cache temperatures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dl/trainer.h"
+#include "engine/cache.h"
+#include "engine/engine.h"
+#include "engine/thread_pool.h"
+
+namespace patchecko {
+namespace {
+
+// Small shared universe: a lightly trained model plus a scaled-down corpus.
+// Model quality is irrelevant here (the pipeline tests cover accuracy);
+// the engine tests only need deterministic, realistically shaped inputs.
+struct EngineUniverse {
+  SimilarityModel model;
+  std::unique_ptr<EvalCorpus> corpus;
+  std::unique_ptr<CveDatabase> database;
+  FirmwareImage firmware;
+  std::vector<std::string> some_cves;  // 4 CVEs across >= 2 libraries
+
+  EngineUniverse() {
+    TrainerConfig trainer;
+    trainer.dataset.library_count = 16;
+    trainer.dataset.functions_per_library = 12;
+    trainer.epochs = 6;
+    model = train_similarity_model(trainer).model;
+
+    EvalConfig eval;
+    eval.scale = 0.03;
+    corpus = std::make_unique<EvalCorpus>(eval);
+    database = std::make_unique<CveDatabase>(*corpus, DatabaseConfig{});
+    firmware = corpus->build_firmware(android_things_device());
+    for (const CveEntry& entry : database->entries()) {
+      if (some_cves.size() == 4) break;
+      some_cves.push_back(entry.spec.cve_id);
+    }
+  }
+
+  ScanRequest request() const {
+    ScanRequest request;
+    request.model = &model;
+    request.firmware = &firmware;
+    request.database = database.get();
+    request.cve_ids = some_cves;
+    return request;
+  }
+};
+
+const EngineUniverse& universe() {
+  static EngineUniverse instance;
+  return instance;
+}
+
+/// A unique, cleaned-up-on-entry scratch directory per test name.
+std::string scratch_dir(const std::string& name) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("pk_engine_test_" + name);
+  std::filesystem::remove_all(path);
+  return path.string();
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 200; ++i)
+    group.run([&total] { total.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, TaskGroupRethrowsLowestSubmissionIndex) {
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i)
+      group.run([i] {
+        if (i >= 2) throw std::runtime_error(std::to_string(i));
+      });
+    try {
+      group.wait();
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "2");
+    }
+  }
+}
+
+TEST(ThreadPool, WaitHelpsDrainNestedWork) {
+  // Saturate a tiny pool with tasks that themselves fan out; wait() must
+  // help execute instead of deadlocking on the busy workers.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 8; ++i)
+    outer.run([&pool, &total] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 8; ++j)
+        inner.run([&total] { total.fetch_add(1); });
+      inner.wait();
+    });
+  outer.wait();
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Cache, FeatureSerializationRoundTripsByteIdentical) {
+  const LibraryBinary library =
+      universe().corpus->compile_for_device(0, android_things_device());
+  const AnalyzedLibrary analyzed = analyze_library(library);
+  ASSERT_FALSE(analyzed.features.empty());
+
+  const std::vector<std::uint8_t> bytes =
+      serialize_features(analyzed.features);
+  const auto restored = deserialize_features(bytes);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), analyzed.features.size());
+  for (std::size_t i = 0; i < restored->size(); ++i)
+    for (std::size_t f = 0; f < static_feature_count; ++f)
+      EXPECT_EQ((*restored)[i][f], analyzed.features[i][f]);
+  EXPECT_EQ(serialize_features(*restored), bytes);
+}
+
+TEST(Cache, OutcomeSerializationRoundTripsByteIdentical) {
+  DetectionOutcome outcome;
+  outcome.cve_id = "CVE-2018-9412";
+  outcome.query_is_patched = true;
+  outcome.total = 321;
+  outcome.true_positives = 1;
+  outcome.true_negatives = 300;
+  outcome.false_positives = 19;
+  outcome.false_negatives = 1;
+  outcome.candidates = {4, 9, 17, 200};
+  outcome.dl_seconds = 0.125;
+  outcome.executed = 3;
+  outcome.ranking = {{17, 0.03125, 0.75}, {4, 1.5, 0.25}, {9, 2.25, 0.5}};
+  outcome.rank_of_target = 1;
+  outcome.da_seconds = 2.5;
+
+  const std::vector<std::uint8_t> bytes = serialize_outcome(outcome);
+  const auto restored = deserialize_outcome(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->cve_id, outcome.cve_id);
+  EXPECT_EQ(restored->query_is_patched, outcome.query_is_patched);
+  EXPECT_EQ(restored->total, outcome.total);
+  EXPECT_EQ(restored->true_positives, outcome.true_positives);
+  EXPECT_EQ(restored->true_negatives, outcome.true_negatives);
+  EXPECT_EQ(restored->false_positives, outcome.false_positives);
+  EXPECT_EQ(restored->false_negatives, outcome.false_negatives);
+  EXPECT_EQ(restored->candidates, outcome.candidates);
+  EXPECT_EQ(restored->dl_seconds, outcome.dl_seconds);
+  EXPECT_EQ(restored->executed, outcome.executed);
+  ASSERT_EQ(restored->ranking.size(), outcome.ranking.size());
+  for (std::size_t i = 0; i < outcome.ranking.size(); ++i) {
+    EXPECT_EQ(restored->ranking[i].function_index,
+              outcome.ranking[i].function_index);
+    EXPECT_EQ(restored->ranking[i].distance, outcome.ranking[i].distance);
+    EXPECT_EQ(restored->ranking[i].secondary, outcome.ranking[i].secondary);
+  }
+  EXPECT_EQ(restored->rank_of_target, outcome.rank_of_target);
+  EXPECT_EQ(restored->da_seconds, outcome.da_seconds);
+  EXPECT_EQ(serialize_outcome(*restored), bytes);
+}
+
+TEST(Cache, DeserializersRejectCorruptInput) {
+  EXPECT_FALSE(deserialize_features({}).has_value());
+  EXPECT_FALSE(deserialize_outcome({}).has_value());
+  EXPECT_FALSE(deserialize_features({'P', 'K', 'F', 'E'}).has_value());
+
+  std::vector<std::uint8_t> bytes =
+      serialize_features({StaticFeatureVector{}, StaticFeatureVector{}});
+  bytes.pop_back();  // truncated payload
+  EXPECT_FALSE(deserialize_features(bytes).has_value());
+  bytes.push_back(0);
+  bytes[0] = 'X';  // wrong magic
+  EXPECT_FALSE(deserialize_features(bytes).has_value());
+
+  DetectionOutcome outcome;
+  outcome.candidates = {1, 2, 3};
+  std::vector<std::uint8_t> outcome_bytes = serialize_outcome(outcome);
+  outcome_bytes.resize(outcome_bytes.size() - 4);
+  EXPECT_FALSE(deserialize_outcome(outcome_bytes).has_value());
+}
+
+TEST(Cache, KeyChangesWithModelConfigAndLibrary) {
+  const EngineUniverse& u = universe();
+  const LibraryBinary library =
+      u.corpus->compile_for_device(0, android_things_device());
+  const CveEntry& entry = u.database->entries().front();
+
+  const Digest lib_digest = digest_library(library);
+  const Digest model_digest = digest_model(u.model);
+  PipelineConfig config;
+  const Digest config_digest = digest_pipeline_config(config);
+  const Digest entry_digest = digest_entry(entry);
+  const std::string key = outcome_cache_key(lib_digest, model_digest,
+                                            config_digest, entry_digest,
+                                            /*query_is_patched=*/false);
+
+  // Model perturbation (one weight) must invalidate.
+  SimilarityModel perturbed = u.model;
+  ASSERT_FALSE(perturbed.network().layers().empty());
+  perturbed.network().layers()[0].weights()[0] += 1.0f;
+  EXPECT_NE(outcome_cache_key(lib_digest, digest_model(perturbed),
+                              config_digest, entry_digest, false),
+            key);
+
+  // Result-relevant config change must invalidate...
+  PipelineConfig tightened;
+  tightened.detection_threshold = 0.9f;
+  EXPECT_NE(outcome_cache_key(lib_digest, model_digest,
+                              digest_pipeline_config(tightened), entry_digest,
+                              false),
+            key);
+
+  // ...but parallelism is result-neutral and must NOT invalidate.
+  PipelineConfig threaded;
+  threaded.worker_threads = 8;
+  EXPECT_EQ(outcome_cache_key(lib_digest, model_digest,
+                              digest_pipeline_config(threaded), entry_digest,
+                              false),
+            key);
+
+  // Different query direction and different library are distinct entries.
+  EXPECT_NE(outcome_cache_key(lib_digest, model_digest, config_digest,
+                              entry_digest, true),
+            key);
+  const LibraryBinary other =
+      u.corpus->compile_for_device(1, android_things_device());
+  EXPECT_NE(outcome_cache_key(digest_library(other), model_digest,
+                              config_digest, entry_digest, false),
+            key);
+}
+
+TEST(Cache, DiskEntriesSurviveProcessRestartSimulation) {
+  const std::string dir = scratch_dir("disk_persist");
+  const std::vector<StaticFeatureVector> features{StaticFeatureVector{},
+                                                  StaticFeatureVector{}};
+  {
+    ResultCache cache(dir);
+    cache.store_features("feat-abc", features);
+  }
+  ResultCache fresh(dir);  // same directory, empty memory
+  const auto found = fresh.find_features("feat-abc");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->size(), features.size());
+  EXPECT_EQ(fresh.stats().disk_loads, 1u);
+  EXPECT_FALSE(fresh.find_features("feat-missing").has_value());
+  EXPECT_EQ(fresh.stats().feature_misses, 1u);
+}
+
+TEST(Engine, RejectsIncompleteRequests) {
+  ScanEngine engine;
+  EXPECT_THROW(engine.run(ScanRequest{}), std::invalid_argument);
+}
+
+TEST(Engine, SchedulerRunsAnalyzeBeforeDetectBeforePatch) {
+  const EngineUniverse& u = universe();
+  EngineConfig config;
+  config.jobs = 4;
+  config.use_cache = false;
+  ScanEngine engine(config);
+
+  std::vector<JobEvent> events;  // engine serializes progress callbacks
+  const ScanReport report = engine.run(u.request(), [&](const JobEvent& e) {
+    events.push_back(e);
+  });
+
+  std::map<std::string, std::size_t> analyze_pos, detect_pos, patch_pos;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == JobKind::analyze) analyze_pos[events[i].label] = i;
+    if (events[i].kind == JobKind::detect) detect_pos[events[i].label] = i;
+    if (events[i].kind == JobKind::patch) patch_pos[events[i].label] = i;
+  }
+  EXPECT_EQ(events.size(),
+            report.analyzed_libraries + 2 * report.results.size());
+  for (const CveScanResult& result : report.results) {
+    ASSERT_TRUE(analyze_pos.count(result.library)) << result.library;
+    ASSERT_TRUE(detect_pos.count(result.cve_id)) << result.cve_id;
+    ASSERT_TRUE(patch_pos.count(result.cve_id)) << result.cve_id;
+    EXPECT_LT(analyze_pos[result.library], detect_pos[result.cve_id]);
+    EXPECT_LT(detect_pos[result.cve_id], patch_pos[result.cve_id]);
+  }
+}
+
+TEST(Engine, SequentialAndParallelRunsAgreeExactly) {
+  const EngineUniverse& u = universe();
+  EngineConfig sequential;
+  sequential.jobs = 1;
+  sequential.use_cache = false;
+  EngineConfig parallel;
+  parallel.jobs = 8;
+  parallel.use_cache = false;
+
+  const ScanReport a = ScanEngine(sequential).run(u.request());
+  const ScanReport b = ScanEngine(parallel).run(u.request());
+  ASSERT_FALSE(a.results.empty());
+  EXPECT_FALSE(a.canonical_text().empty());
+  EXPECT_EQ(a.canonical_text(), b.canonical_text());
+}
+
+TEST(Engine, WarmRunHitsCacheAndReproducesReport) {
+  const EngineUniverse& u = universe();
+  EngineConfig config;
+  config.jobs = 4;  // memory-only cache
+  ScanEngine engine(config);
+
+  const ScanReport cold = engine.run(u.request());
+  const ScanReport warm = engine.run(u.request());
+
+  EXPECT_EQ(cold.canonical_text(), warm.canonical_text());
+  // Cold run: every lookup missed and was stored.
+  EXPECT_EQ(cold.cache.hits(), 0u);
+  EXPECT_EQ(cold.cache.feature_misses, cold.analyzed_libraries);
+  EXPECT_EQ(cold.cache.outcome_misses, 2 * cold.results.size());
+  // Warm run: every analyze and detect served from cache.
+  EXPECT_EQ(warm.cache.misses(), 0u);
+  EXPECT_EQ(warm.cache.feature_hits, warm.analyzed_libraries);
+  EXPECT_EQ(warm.cache.outcome_hits, 2 * warm.results.size());
+  bool analyze_hit = false, detect_hit = false;
+  for (const JobTiming& timing : warm.timings) {
+    if (timing.kind == JobKind::analyze && timing.cache_hit)
+      analyze_hit = true;
+    if (timing.kind == JobKind::detect && timing.cache_hit) detect_hit = true;
+  }
+  EXPECT_TRUE(analyze_hit);
+  EXPECT_TRUE(detect_hit);
+}
+
+TEST(Engine, DiskCacheServesAFreshEngine) {
+  const EngineUniverse& u = universe();
+  const std::string dir = scratch_dir("engine_disk");
+  EngineConfig config;
+  config.jobs = 4;
+  config.cache_dir = dir;
+
+  const ScanReport cold = ScanEngine(config).run(u.request());
+  const ScanReport warm = ScanEngine(config).run(u.request());  // new engine
+
+  EXPECT_EQ(cold.canonical_text(), warm.canonical_text());
+  EXPECT_EQ(warm.cache.misses(), 0u);
+  EXPECT_GT(warm.cache.disk_loads, 0u);
+}
+
+TEST(Engine, ModelChangeInvalidatesOutcomesButNotFeatures) {
+  const EngineUniverse& u = universe();
+  const std::string dir = scratch_dir("engine_invalidate");
+  EngineConfig config;
+  config.jobs = 2;
+  config.cache_dir = dir;
+  ScanEngine(config).run(u.request());
+
+  SimilarityModel perturbed = u.model;
+  perturbed.network().layers()[0].weights()[0] += 1.0f;
+  ScanRequest request = u.request();
+  request.model = &perturbed;
+  const ScanReport report = ScanEngine(config).run(request);
+
+  // Features depend only on the library: still hits. Outcomes depend on the
+  // model: all misses.
+  EXPECT_EQ(report.cache.feature_hits, report.analyzed_libraries);
+  EXPECT_EQ(report.cache.outcome_hits, 0u);
+  EXPECT_EQ(report.cache.outcome_misses, 2 * report.results.size());
+}
+
+TEST(Engine, ConfigChangeInvalidatesOutcomes) {
+  const EngineUniverse& u = universe();
+  const std::string dir = scratch_dir("engine_invalidate_config");
+  EngineConfig config;
+  config.jobs = 2;
+  config.cache_dir = dir;
+  ScanEngine(config).run(u.request());
+
+  EngineConfig tightened = config;
+  tightened.pipeline.detection_threshold = 0.75f;
+  const ScanReport report = ScanEngine(tightened).run(u.request());
+  EXPECT_EQ(report.cache.feature_hits, report.analyzed_libraries);
+  EXPECT_EQ(report.cache.outcome_hits, 0u);
+}
+
+}  // namespace
+}  // namespace patchecko

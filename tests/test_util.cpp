@@ -1,10 +1,15 @@
 // Unit tests for the util substrate: deterministic RNG, summary statistics,
-// the Minkowski distance family, and table formatting.
+// the Minkowski distance family, parallel_for, and table formatting.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -184,6 +189,75 @@ TEST(SignedLog1p, SignAndMonotonicity) {
   EXPECT_DOUBLE_EQ(signed_log1p(0.0), 0.0);
   EXPECT_GT(signed_log1p(10.0), signed_log1p(5.0));
   EXPECT_DOUBLE_EQ(signed_log1p(-3.0), -signed_log1p(3.0));
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> touched(257);
+  parallel_for(touched.size(), 4,
+               [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, InlineWhenSingleThreaded) {
+  int calls = 0;  // no synchronization: must run on the calling thread
+  parallel_for(5, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ParallelFor, RethrowsLowestWorkerIndexWhenAllThrow) {
+  // Worker w owns the strided indices {w, w+4, ...} and throws immediately,
+  // so whatever the thread timing, the surfaced exception must be worker
+  // 0's, thrown at index 0.
+  try {
+    parallel_for(8, 4, [](std::size_t i) {
+      throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "0");
+  }
+}
+
+TEST(ParallelFor, MultiExceptionRethrowIsDeterministic) {
+  // With 2 workers, worker 0 owns {0,2,4,6} and worker 1 owns {1,3,5,7}.
+  // Indices 5 and 6 both throw; worker 1 usually faults *first on the
+  // clock* (index 5 precedes 6 in its stride), but the deterministic rule
+  // is lowest worker index, so worker 0's exception ("6") must surface on
+  // every repetition.
+  for (int repeat = 0; repeat < 25; ++repeat) {
+    try {
+      parallel_for(8, 2, [](std::size_t i) {
+        if (i == 5 || i == 6) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "6");
+    }
+  }
+}
+
+TEST(ParallelFor, OtherWorkersFinishAfterAnException) {
+  // Worker 3 throws at its first index (3) and abandons the rest of its
+  // stride {3,7,...,63}; the other three workers must still complete all
+  // 48 of their items before the exception reaches the caller.
+  std::vector<std::atomic<int>> touched(64);
+  EXPECT_THROW(parallel_for(touched.size(), 4,
+                            [&](std::size_t i) {
+                              if (i == 3) throw std::runtime_error("boom");
+                              touched[i].fetch_add(1);
+                            }),
+               std::runtime_error);
+  int done = 0;
+  for (const auto& count : touched) done += count.load();
+  EXPECT_EQ(done, 48);
+}
+
+TEST(ParallelFor, NestedParallelismDoesNotDeadlock) {
+  std::atomic<int> total{0};
+  parallel_for(4, 4, [&](std::size_t) {
+    parallel_for(8, 4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
 }
 
 TEST(TextTable, AlignsColumns) {

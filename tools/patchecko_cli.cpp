@@ -8,19 +8,27 @@
 //   patchecko disasm  --firmware fw.img --library NAME --function INDEX
 //   patchecko scan   --model model.bin --firmware fw.img [--cve ID]
 //                    [--scale S] [--seed N] [--threads N]
+//   patchecko batch-scan --model model.bin --firmware fw.img [--cve ID]
+//                    [--jobs N] [--cache-dir DIR] [--no-cache]
+//                    [--scale S] [--seed N] [--verbose]
 //
 // `scan` rebuilds the vulnerability database deterministically from the
 // corpus seed, loads the stripped firmware image from disk, and runs the
 // two-stage pipeline plus the differential engine for each CVE, exactly as
-// the paper's evaluation does.
+// the paper's evaluation does. `batch-scan` runs the same workload through
+// the batch engine: a dependency-aware job graph on the shared thread pool,
+// with analyze/detect results served from a content-addressed cache.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "core/pipeline.h"
 #include "dl/trainer.h"
+#include "engine/engine.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -28,33 +36,90 @@ using namespace patchecko;
 
 namespace {
 
+/// Bad command-line input; main() prints the message and exits with the
+/// usage status.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct Args {
   std::map<std::string, std::string> options;
   std::string command;
+
+  bool has(const std::string& key) const {
+    return options.find(key) != options.end();
+  }
 
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
   }
-  double get_double(const std::string& key, double fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : std::atof(it->second.c_str());
-  }
+
+  /// Strict numeric parsing: "12x", "", overflow, and missing digits are
+  /// errors instead of atol's silent 0/prefix fallback.
   long get_long(const std::string& key, long fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::atol(it->second.c_str());
+    if (it == options.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE)
+      throw UsageError("--" + key + " expects an integer, got '" +
+                       it->second + "'");
+    return value;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE)
+      throw UsageError("--" + key + " expects a number, got '" + it->second +
+                       "'");
+    return value;
+  }
+
+  /// A strictly positive integer (thread/job counts, sizes).
+  long get_count(const std::string& key, long fallback) const {
+    const long value = get_long(key, fallback);
+    if (value <= 0)
+      throw UsageError("--" + key + " must be >= 1, got " +
+                       std::to_string(value));
+    return value;
   }
 };
 
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.options[key] = argv[i + 1];
+    if (key.rfind("--", 0) != 0)
+      throw UsageError("unexpected argument '" + key + "'");
+    key = key.substr(2);
+    if (key.empty()) throw UsageError("empty option name '--'");
+    // Value-less options (e.g. --no-cache) are stored as empty strings; a
+    // following token starting with "--" begins the next option.
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+      args.options[key] = argv[++i];
+    else
+      args.options[key] = "";
   }
   return args;
+}
+
+/// Reject options a command does not understand; a typo'd flag must not
+/// silently fall back to defaults.
+void require_known_options(const Args& args,
+                           std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : args.options) {
+    bool ok = false;
+    for (const char* candidate : known) ok = ok || key == candidate;
+    if (!ok)
+      throw UsageError("unknown option '--" + key + "' for " + args.command);
+  }
 }
 
 int usage() {
@@ -68,19 +133,24 @@ int usage() {
                "  patchecko disasm --firmware fw.img --library NAME "
                "--function INDEX\n"
                "  patchecko scan --model model.bin --firmware fw.img "
-               "[--cve ID] [--scale S] [--seed N] [--threads N]\n");
+               "[--cve ID] [--scale S] [--seed N] [--threads N]\n"
+               "  patchecko batch-scan --model model.bin --firmware fw.img "
+               "[--cve ID] [--jobs N] [--cache-dir DIR] [--no-cache]\n"
+               "                 [--scale S] [--seed N] [--verbose]\n");
   return 2;
 }
 
 int cmd_train(const Args& args) {
+  require_known_options(
+      args, {"out", "libraries", "functions", "epochs", "scale", "seed"});
   const std::string out = args.get("out", "");
   if (out.empty()) return usage();
   TrainerConfig config;
   config.dataset.library_count =
-      static_cast<std::size_t>(args.get_long("libraries", 60));
+      static_cast<std::size_t>(args.get_count("libraries", 60));
   config.dataset.functions_per_library =
-      static_cast<std::size_t>(args.get_long("functions", 24));
-  config.epochs = static_cast<std::size_t>(args.get_long("epochs", 12));
+      static_cast<std::size_t>(args.get_count("functions", 24));
+  config.epochs = static_cast<std::size_t>(args.get_count("epochs", 12));
   config.verbose = true;
   std::printf("training on %zu libraries x %zu functions, %zu epochs...\n",
               config.dataset.library_count,
@@ -99,15 +169,21 @@ int cmd_train(const Args& args) {
 EvalConfig eval_config_from(const Args& args) {
   EvalConfig config;
   config.scale = args.get_double("scale", 0.1);
+  if (config.scale <= 0.0)
+    throw UsageError("--scale must be > 0");
   config.seed = static_cast<std::uint64_t>(
       args.get_long("seed", static_cast<long>(config.seed)));
   return config;
 }
 
 int cmd_build_firmware(const Args& args) {
+  require_known_options(args, {"out", "device", "scale", "seed"});
   const std::string out = args.get("out", "");
   if (out.empty()) return usage();
   const std::string device_name = args.get("device", "things");
+  if (device_name != "things" && device_name != "pixel")
+    throw UsageError("--device expects 'things' or 'pixel', got '" +
+                     device_name + "'");
   const DeviceSpec device =
       device_name == "pixel" ? pixel2xl_device() : android_things_device();
   const EvalConfig config = eval_config_from(args);
@@ -125,6 +201,7 @@ int cmd_build_firmware(const Args& args) {
 }
 
 int cmd_inspect(const Args& args) {
+  require_known_options(args, {"firmware"});
   const auto image = load_firmware(args.get("firmware", ""));
   if (!image) {
     std::fprintf(stderr, "error: cannot load firmware image\n");
@@ -132,7 +209,7 @@ int cmd_inspect(const Args& args) {
   }
   std::printf("device : %s\n", image->device.c_str());
   std::printf("%-20s %-8s %-6s %-10s %s\n", "library", "arch", "opt",
-              "functions", "stripped");
+               "functions", "stripped");
   for (const LibraryBinary& lib : image->libraries)
     std::printf("%-20s %-8s %-6s %-10zu %s\n", lib.name.c_str(),
                 std::string(arch_name(lib.arch)).c_str(),
@@ -143,13 +220,17 @@ int cmd_inspect(const Args& args) {
 }
 
 int cmd_disasm(const Args& args) {
+  require_known_options(args, {"firmware", "library", "function"});
   const auto image = load_firmware(args.get("firmware", ""));
   if (!image) {
     std::fprintf(stderr, "error: cannot load firmware image\n");
     return 1;
   }
   const std::string library = args.get("library", "");
-  const auto index = static_cast<std::size_t>(args.get_long("function", 0));
+  const long index_arg = args.get_long("function", 0);
+  if (index_arg < 0)
+    throw UsageError("--function must be >= 0");
+  const auto index = static_cast<std::size_t>(index_arg);
   for (const LibraryBinary& lib : image->libraries) {
     if (lib.name != library) continue;
     if (index >= lib.function_count()) {
@@ -170,6 +251,8 @@ int cmd_disasm(const Args& args) {
 }
 
 int cmd_scan(const Args& args) {
+  require_known_options(
+      args, {"model", "firmware", "cve", "scale", "seed", "threads"});
   const auto model = SimilarityModel::load(args.get("model", ""));
   if (!model) {
     std::fprintf(stderr, "error: cannot load model (run `patchecko train`)\n");
@@ -189,9 +272,8 @@ int cmd_scan(const Args& args) {
   const CveDatabase database(corpus, DatabaseConfig{});
 
   PipelineConfig pipeline_config;
-  pipeline_config.worker_threads = static_cast<unsigned>(
-      args.get_long("threads",
-                    static_cast<long>(default_worker_threads())));
+  pipeline_config.worker_threads = static_cast<unsigned>(args.get_count(
+      "threads", static_cast<long>(default_worker_threads())));
   const Patchecko pipeline(&*model, pipeline_config);
 
   std::map<std::string, const LibraryBinary*> by_name;
@@ -236,14 +318,91 @@ int cmd_scan(const Args& args) {
   return 0;
 }
 
+int cmd_batch_scan(const Args& args) {
+  // Validate every option before the expensive corpus/database build.
+  require_known_options(args, {"model", "firmware", "cve", "jobs", "cache-dir",
+                               "no-cache", "scale", "seed", "verbose"});
+  EngineConfig engine_config;
+  engine_config.jobs = static_cast<unsigned>(
+      args.get_count("jobs", static_cast<long>(default_worker_threads())));
+  engine_config.cache_dir = args.get("cache-dir", "");
+  engine_config.use_cache = !args.has("no-cache");
+  if (args.has("no-cache") && args.has("cache-dir"))
+    throw UsageError("--no-cache and --cache-dir are mutually exclusive");
+
+  const auto model = SimilarityModel::load(args.get("model", ""));
+  if (!model) {
+    std::fprintf(stderr, "error: cannot load model (run `patchecko train`)\n");
+    return 1;
+  }
+  const auto image = load_firmware(args.get("firmware", ""));
+  if (!image) {
+    std::fprintf(stderr, "error: cannot load firmware image\n");
+    return 1;
+  }
+
+  const EvalConfig config = eval_config_from(args);
+  std::printf("building vulnerability database (scale %.2f)...\n",
+              config.scale);
+  const EvalCorpus corpus(config);
+  const CveDatabase database(corpus, DatabaseConfig{});
+
+  ScanEngine engine(engine_config);
+
+  ScanRequest request;
+  request.model = &*model;
+  request.firmware = &*image;
+  request.database = &database;
+  if (args.has("cve")) request.cve_ids.push_back(args.get("cve", ""));
+
+  const bool verbose = args.has("verbose");
+  const ProgressFn progress = [verbose](const JobEvent& event) {
+    if (!verbose) return;
+    std::fprintf(stderr, "[%zu/%zu] %-7s %-20s %7.3fs%s\n",
+                 event.sequence + 1, event.total_jobs,
+                 std::string(job_kind_name(event.kind)).c_str(),
+                 event.label.c_str(), event.seconds,
+                 event.cache_hit ? "  (cache)" : "");
+  };
+
+  const ScanReport report = engine.run(request, progress);
+  for (const CveScanResult& result : report.results) {
+    if (result.library_missing) {
+      std::printf("%-16s %-18s library not in image\n", result.cve_id.c_str(),
+                  result.library.c_str());
+      continue;
+    }
+    if (!result.report.decision) {
+      std::printf("%-16s %-18s no match\n", result.cve_id.c_str(),
+                  result.library.c_str());
+      continue;
+    }
+    const bool is_patched =
+        result.report.decision->verdict == PatchVerdict::patched;
+    std::printf("%-16s %-18s %s (function #%zu)\n", result.cve_id.c_str(),
+                result.library.c_str(), is_patched ? "patched" : "VULNERABLE",
+                *result.report.matched_function);
+    for (const std::string& note : result.report.decision->evidence)
+      std::printf("                   evidence: %s\n", note.c_str());
+  }
+  std::printf("\n%s", report.summary_text().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
-  if (args.command == "train") return cmd_train(args);
-  if (args.command == "build-firmware") return cmd_build_firmware(args);
-  if (args.command == "inspect") return cmd_inspect(args);
-  if (args.command == "disasm") return cmd_disasm(args);
-  if (args.command == "scan") return cmd_scan(args);
-  return usage();
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "build-firmware") return cmd_build_firmware(args);
+    if (args.command == "inspect") return cmd_inspect(args);
+    if (args.command == "disasm") return cmd_disasm(args);
+    if (args.command == "scan") return cmd_scan(args);
+    if (args.command == "batch-scan") return cmd_batch_scan(args);
+    return usage();
+  } catch (const UsageError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
 }
