@@ -4,19 +4,56 @@
 #include <limits>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
 namespace patchecko {
 
+namespace {
+
+/// Stage counters and latency histograms behind `--metrics`. The stage
+/// stopwatches the pipeline keeps anyway (dl_seconds/da_seconds) feed the
+/// histograms, so enabling metrics adds no extra clock reads per stage.
+struct PipelineMetrics {
+  obs::Counter& functions_analyzed =
+      obs::Registry::global().counter("pipeline.functions_analyzed");
+  obs::Counter& candidates_stage1 =
+      obs::Registry::global().counter("pipeline.candidates_stage1");
+  obs::Counter& candidates_executed =
+      obs::Registry::global().counter("pipeline.candidates_executed");
+  obs::Counter& candidates_pruned =
+      obs::Registry::global().counter("pipeline.candidates_pruned");
+  obs::Histogram& analyze_seconds =
+      obs::Registry::global().histogram("pipeline.analyze_seconds");
+  obs::Histogram& dl_seconds =
+      obs::Registry::global().histogram("pipeline.dl_seconds");
+  obs::Histogram& da_seconds =
+      obs::Registry::global().histogram("pipeline.da_seconds");
+  obs::Histogram& patch_seconds =
+      obs::Registry::global().histogram("pipeline.patch_seconds");
+
+  static PipelineMetrics& get() {
+    static PipelineMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
 AnalyzedLibrary analyze_library(const LibraryBinary& library,
                                 unsigned worker_threads) {
+  const obs::ScopedSpan span("pipeline.analyze");
+  const Stopwatch watch;
   AnalyzedLibrary analyzed;
   analyzed.binary = &library;
   analyzed.features.resize(library.functions.size());
   parallel_for(library.functions.size(), worker_threads, [&](std::size_t i) {
     analyzed.features[i] = extract_static_features(library.functions[i]);
   });
+  PipelineMetrics::get().functions_analyzed.add(library.functions.size());
+  PipelineMetrics::get().analyze_seconds.record(watch.elapsed_seconds());
   return analyzed;
 }
 
@@ -47,22 +84,25 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
   // --- Stage 1: deep-learning classification --------------------------------
   Stopwatch dl_watch;
   std::vector<float> candidate_scores;
-  for (std::size_t i = 0; i < target.features.size(); ++i) {
-    const float score = model_->score(query_features, target.features[i]);
-    const bool is_target =
-        target.binary->functions[i].source_uid == entry.target_uid;
-    if (score >= config_.detection_threshold) {
-      outcome.candidates.push_back(i);
-      candidate_scores.push_back(score);
-      if (is_target)
-        ++outcome.true_positives;
-      else
-        ++outcome.false_positives;
-    } else {
-      if (is_target)
-        ++outcome.false_negatives;
-      else
-        ++outcome.true_negatives;
+  {
+    const obs::ScopedSpan dl_span("pipeline.detect.dl");
+    for (std::size_t i = 0; i < target.features.size(); ++i) {
+      const float score = model_->score(query_features, target.features[i]);
+      const bool is_target =
+          target.binary->functions[i].source_uid == entry.target_uid;
+      if (score >= config_.detection_threshold) {
+        outcome.candidates.push_back(i);
+        candidate_scores.push_back(score);
+        if (is_target)
+          ++outcome.true_positives;
+        else
+          ++outcome.false_positives;
+      } else {
+        if (is_target)
+          ++outcome.false_negatives;
+        else
+          ++outcome.true_negatives;
+      }
     }
   }
   outcome.dl_seconds = dl_watch.elapsed_seconds();
@@ -72,33 +112,46 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
   // worker threads (Machine::run is stateless per call).
   Stopwatch da_watch;
   const Machine machine(*target.binary, config_.machine);
-  std::vector<std::optional<CandidateProfile>> slots(
-      outcome.candidates.size());
-  parallel_for(outcome.candidates.size(), config_.worker_threads,
-               [&](std::size_t c) {
-                 const std::size_t index = outcome.candidates[c];
-                 if (!validate_candidate(machine, index, entry.environments))
-                   return;
-                 slots[c] = CandidateProfile{
-                     index,
-                     profile_function(machine, index, entry.environments),
-                     candidate_scores[c]};
-               });
   std::vector<CandidateProfile> profiles;
-  profiles.reserve(slots.size());
-  for (auto& slot : slots)
-    if (slot.has_value()) profiles.push_back(std::move(*slot));
+  {
+    const obs::ScopedSpan exec_span("pipeline.detect.exec");
+    std::vector<std::optional<CandidateProfile>> slots(
+        outcome.candidates.size());
+    parallel_for(outcome.candidates.size(), config_.worker_threads,
+                 [&](std::size_t c) {
+                   const std::size_t index = outcome.candidates[c];
+                   if (!validate_candidate(machine, index, entry.environments))
+                     return;
+                   slots[c] = CandidateProfile{
+                       index,
+                       profile_function(machine, index, entry.environments),
+                       candidate_scores[c]};
+                 });
+    profiles.reserve(slots.size());
+    for (auto& slot : slots)
+      if (slot.has_value()) profiles.push_back(std::move(*slot));
+  }
   outcome.executed = profiles.size();
-  outcome.ranking =
-      rank_by_similarity(query_profile, profiles, config_.minkowski_p);
-  for (std::size_t r = 0; r < outcome.ranking.size(); ++r) {
-    const std::size_t index = outcome.ranking[r].function_index;
-    if (target.binary->functions[index].source_uid == entry.target_uid) {
-      outcome.rank_of_target = static_cast<int>(r) + 1;
-      break;
+  {
+    const obs::ScopedSpan rank_span("pipeline.detect.rank");
+    outcome.ranking =
+        rank_by_similarity(query_profile, profiles, config_.minkowski_p);
+    for (std::size_t r = 0; r < outcome.ranking.size(); ++r) {
+      const std::size_t index = outcome.ranking[r].function_index;
+      if (target.binary->functions[index].source_uid == entry.target_uid) {
+        outcome.rank_of_target = static_cast<int>(r) + 1;
+        break;
+      }
     }
   }
   outcome.da_seconds = da_watch.elapsed_seconds();
+
+  PipelineMetrics& metrics = PipelineMetrics::get();
+  metrics.candidates_stage1.add(outcome.candidates.size());
+  metrics.candidates_executed.add(outcome.executed);
+  metrics.candidates_pruned.add(outcome.candidates.size() - outcome.executed);
+  metrics.dl_seconds.record(outcome.dl_seconds);
+  metrics.da_seconds.record(outcome.da_seconds);
   return outcome;
 }
 
@@ -157,6 +210,8 @@ PatchReport Patchecko::report_from(const CveEntry& entry,
                                    const AnalyzedLibrary& target,
                                    const DetectionOutcome& from_vulnerable,
                                    const DetectionOutcome& from_patched) const {
+  const obs::ScopedSpan span("pipeline.patch");
+  const Stopwatch watch;
   PatchReport report;
   report.cve_id = entry.spec.cve_id;
 
@@ -173,7 +228,10 @@ PatchReport Patchecko::report_from(const CveEntry& entry,
         pool.push_back(index);
     }
   }
-  if (pool.empty()) return report;
+  if (pool.empty()) {
+    PipelineMetrics::get().patch_seconds.record(watch.elapsed_seconds());
+    return report;
+  }
 
   const Machine machine(*target.binary, config_.machine);
   const ArchRefs* refs = entry.refs_for(target.binary->arch);
@@ -205,6 +263,7 @@ PatchReport Patchecko::report_from(const CveEntry& entry,
   }
   report.matched_function = best;
   report.decision = analyze_patch(entry, target, best);
+  PipelineMetrics::get().patch_seconds.record(watch.elapsed_seconds());
   return report;
 }
 

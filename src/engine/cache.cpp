@@ -6,9 +6,33 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.h"
+
 namespace patchecko {
 
 namespace {
+
+/// Process-wide mirrors of the per-cache CacheStats: CacheStats stays the
+/// per-run accounting the engine reports, while these feed the `--metrics`
+/// export (and aggregate across every ResultCache instance in the process).
+struct CacheMetrics {
+  obs::Counter& feature_hits =
+      obs::Registry::global().counter("cache.feature_hits");
+  obs::Counter& feature_misses =
+      obs::Registry::global().counter("cache.feature_misses");
+  obs::Counter& outcome_hits =
+      obs::Registry::global().counter("cache.outcome_hits");
+  obs::Counter& outcome_misses =
+      obs::Registry::global().counter("cache.outcome_misses");
+  obs::Counter& disk_loads = obs::Registry::global().counter("cache.disk_loads");
+  obs::Counter& stores = obs::Registry::global().counter("cache.stores");
+  obs::Counter& evictions = obs::Registry::global().counter("cache.evictions");
+
+  static CacheMetrics& get() {
+    static CacheMetrics metrics;
+    return metrics;
+  }
+};
 
 std::uint64_t rotl64(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
@@ -403,22 +427,27 @@ std::optional<std::vector<StaticFeatureVector>> ResultCache::find_features(
   std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled_) {
     ++stats_.feature_misses;
+    CacheMetrics::get().feature_misses.add();
     return std::nullopt;
   }
   const auto it = features_.find(key);
   if (it != features_.end()) {
     ++stats_.feature_hits;
+    CacheMetrics::get().feature_hits.add();
     return it->second;
   }
   if (const auto bytes = read_file(key)) {
     if (auto features = deserialize_features(*bytes)) {
       ++stats_.feature_hits;
       ++stats_.disk_loads;
+      CacheMetrics::get().feature_hits.add();
+      CacheMetrics::get().disk_loads.add();
       features_.emplace(key, *features);
       return features;
     }
   }
   ++stats_.feature_misses;
+  CacheMetrics::get().feature_misses.add();
   return std::nullopt;
 }
 
@@ -428,6 +457,7 @@ void ResultCache::store_features(
   if (!enabled_) return;
   features_[key] = features;
   ++stats_.stores;
+  CacheMetrics::get().stores.add();
   write_file(key, serialize_features(features));
 }
 
@@ -436,22 +466,27 @@ std::optional<DetectionOutcome> ResultCache::find_outcome(
   std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled_) {
     ++stats_.outcome_misses;
+    CacheMetrics::get().outcome_misses.add();
     return std::nullopt;
   }
   const auto it = outcomes_.find(key);
   if (it != outcomes_.end()) {
     ++stats_.outcome_hits;
+    CacheMetrics::get().outcome_hits.add();
     return it->second;
   }
   if (const auto bytes = read_file(key)) {
     if (auto outcome = deserialize_outcome(*bytes)) {
       ++stats_.outcome_hits;
       ++stats_.disk_loads;
+      CacheMetrics::get().outcome_hits.add();
+      CacheMetrics::get().disk_loads.add();
       outcomes_.emplace(key, *outcome);
       return outcome;
     }
   }
   ++stats_.outcome_misses;
+  CacheMetrics::get().outcome_misses.add();
   return std::nullopt;
 }
 
@@ -461,11 +496,13 @@ void ResultCache::store_outcome(const std::string& key,
   if (!enabled_) return;
   outcomes_[key] = outcome;
   ++stats_.stores;
+  CacheMetrics::get().stores.add();
   write_file(key, serialize_outcome(outcome));
 }
 
 void ResultCache::clear_memory() {
   std::lock_guard<std::mutex> lock(mutex_);
+  CacheMetrics::get().evictions.add(features_.size() + outcomes_.size());
   features_.clear();
   outcomes_.clear();
 }

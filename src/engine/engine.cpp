@@ -10,11 +10,50 @@
 #include <stdexcept>
 
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace patchecko {
 
 namespace {
+
+struct EngineMetrics {
+  obs::Counter& jobs_completed =
+      obs::Registry::global().counter("engine.jobs_completed");
+  obs::Counter& job_cache_hits =
+      obs::Registry::global().counter("engine.job_cache_hits");
+  obs::Gauge& ready_depth = obs::Registry::global().gauge("engine.ready_depth");
+  obs::Histogram& analyze_seconds =
+      obs::Registry::global().histogram("engine.job_seconds.analyze");
+  obs::Histogram& detect_seconds =
+      obs::Registry::global().histogram("engine.job_seconds.detect");
+  obs::Histogram& patch_seconds =
+      obs::Registry::global().histogram("engine.job_seconds.patch");
+
+  obs::Histogram& job_histogram(JobKind kind) {
+    switch (kind) {
+      case JobKind::analyze: return analyze_seconds;
+      case JobKind::detect: return detect_seconds;
+      case JobKind::patch: return patch_seconds;
+    }
+    return analyze_seconds;
+  }
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics;
+    return metrics;
+  }
+};
+
+std::string_view job_span_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::analyze: return "job.analyze";
+    case JobKind::detect: return "job.detect";
+    case JobKind::patch: return "job.patch";
+  }
+  return "job";
+}
 
 /// Exact, locale-independent double rendering: %.17g round-trips every
 /// finite double, so canonical_text() equality == bitwise result equality.
@@ -235,6 +274,7 @@ ScanReport ScanEngine::run(const ScanRequest& request,
 
   const auto execute = [&](std::size_t id) {
     const Job& job = jobs[id];
+    const obs::ScopedSpan span(job_span_name(job.kind));
     const Stopwatch watch;
     bool cache_hit = false;
     std::string label;
@@ -291,22 +331,37 @@ ScanReport ScanEngine::run(const ScanRequest& request,
     } else {
       label = report.results[job.target].cve_id;
     }
-    emit(job.kind, std::move(label), watch.elapsed_seconds(), cache_hit);
+    const double seconds = watch.elapsed_seconds();
+    EngineMetrics::get().job_histogram(job.kind).record(seconds);
+    EngineMetrics::get().jobs_completed.add();
+    if (cache_hit) EngineMetrics::get().job_cache_hits.add();
+    emit(job.kind, std::move(label), seconds, cache_hit);
   };
 
   // --- scheduler -----------------------------------------------------------
+  // The ready-depth gauge mirrors every push/pop exactly (add ±1), so its
+  // value is 0 once the graph drains and its max is the true high-water
+  // mark of runnable-but-not-running jobs.
+  obs::Gauge& ready_depth = EngineMetrics::get().ready_depth;
   std::mutex sched_mutex;
   std::deque<std::size_t> ready;
   for (std::size_t id = 0; id < jobs.size(); ++id)
-    if (jobs[id].unmet == 0) ready.push_back(id);
+    if (jobs[id].unmet == 0) {
+      ready.push_back(id);
+      ready_depth.add(1);
+    }
 
   if (config_.jobs <= 1) {
     while (!ready.empty()) {
       const std::size_t id = ready.front();
       ready.pop_front();
+      ready_depth.add(-1);
       execute(id);
       for (const std::size_t dependent : jobs[id].dependents)
-        if (--jobs[dependent].unmet == 0) ready.push_back(dependent);
+        if (--jobs[dependent].unmet == 0) {
+          ready.push_back(dependent);
+          ready_depth.add(1);
+        }
     }
   } else {
     // Event-driven: every job is one *finite* pool task that, when done,
@@ -325,6 +380,7 @@ ScanReport ScanEngine::run(const ScanRequest& request,
       while (running < config_.jobs && !ready.empty()) {
         const std::size_t id = ready.front();
         ready.pop_front();
+        ready_depth.add(-1);
         ++running;
         group.run([&run_job, id] { run_job(id); });
       }
@@ -342,7 +398,10 @@ ScanReport ScanEngine::run(const ScanRequest& request,
       std::lock_guard<std::mutex> lock(sched_mutex);
       --running;
       for (const std::size_t dependent : jobs[id].dependents)
-        if (--jobs[dependent].unmet == 0) ready.push_back(dependent);
+        if (--jobs[dependent].unmet == 0) {
+          ready.push_back(dependent);
+          ready_depth.add(1);
+        }
       if (!aborted) pump();
     };
     {

@@ -3,7 +3,31 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace patchecko {
+
+namespace {
+
+// Bound once; the registry guarantees handle stability (see obs/metrics.h).
+// All four counters plus the depth gauge let tests check internal
+// consistency: submitted == local_pops + steals == completed after a drain,
+// and the queue-depth gauge returns to zero.
+struct PoolMetrics {
+  obs::Counter& submitted = obs::Registry::global().counter("pool.submitted");
+  obs::Counter& local_pops =
+      obs::Registry::global().counter("pool.local_pops");
+  obs::Counter& steals = obs::Registry::global().counter("pool.steals");
+  obs::Counter& completed = obs::Registry::global().counter("pool.completed");
+  obs::Gauge& queue_depth = obs::Registry::global().gauge("pool.queue_depth");
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned thread_count) {
   if (thread_count == 0) {
@@ -37,6 +61,8 @@ void ThreadPool::submit(std::function<void()> task) {
     queues_[slot]->tasks.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
+  PoolMetrics::get().submitted.add();
+  PoolMetrics::get().queue_depth.add(1);
   {
     std::lock_guard<std::mutex> barrier(sleep_mutex_);
   }
@@ -52,11 +78,14 @@ bool ThreadPool::pop_task(std::size_t preferred, std::function<void()>& out) {
     if (offset == 0) {  // own queue: LIFO keeps the working set hot
       out = std::move(queue.tasks.back());
       queue.tasks.pop_back();
+      PoolMetrics::get().local_pops.add();
     } else {  // steal the oldest task: FIFO spreads whole subtrees
       out = std::move(queue.tasks.front());
       queue.tasks.pop_front();
+      PoolMetrics::get().steals.add();
     }
     queued_.fetch_sub(1, std::memory_order_relaxed);
+    PoolMetrics::get().queue_depth.add(-1);
     return true;
   }
   return false;
@@ -70,6 +99,7 @@ bool ThreadPool::try_run_one() {
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   if (!pop_task(start, task)) return false;
   task();
+  PoolMetrics::get().completed.add();
   return true;
 }
 
@@ -78,6 +108,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     std::function<void()> task;
     if (pop_task(index, task)) {
       task();
+      PoolMetrics::get().completed.add();
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);

@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+
 namespace patchecko {
+
+namespace {
+
+struct FuzzMetrics {
+  obs::Counter& envs_generated =
+      obs::Registry::global().counter("fuzz.envs_generated");
+  obs::Counter& env_crashes =
+      obs::Registry::global().counter("fuzz.env_crashes");
+  obs::Counter& envs_selected =
+      obs::Registry::global().counter("fuzz.envs_selected");
+  obs::Counter& candidates_validated =
+      obs::Registry::global().counter("fuzz.candidates_validated");
+  obs::Counter& candidates_crash_pruned =
+      obs::Registry::global().counter("fuzz.candidates_crash_pruned");
+
+  static FuzzMetrics& get() {
+    static FuzzMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 CallEnv random_env(Rng& rng, const std::vector<ValueType>& params,
                    const FuzzConfig& config) {
@@ -147,8 +171,12 @@ std::vector<CallEnv> generate_environments(const LibraryBinary& library,
     } else {
       candidate = random_env(rng, params, config);
     }
+    FuzzMetrics::get().envs_generated.add();
     const RunResult result = machine.run(function_index, candidate);
-    if (result.status != ExecStatus::ok) continue;
+    if (result.status != ExecStatus::ok) {
+      FuzzMetrics::get().env_crashes.add();
+      continue;
+    }
     pool.push_back({std::move(candidate),
                     result.features.unique_instructions});
     if (pool.back().coverage > pool[best_index].coverage)
@@ -174,14 +202,19 @@ std::vector<CallEnv> generate_environments(const LibraryBinary& library,
     if (selected.size() >= config.env_count) break;
     if (!taken[i]) selected.push_back(pool[i].env);
   }
+  FuzzMetrics::get().envs_selected.add(selected.size());
   return selected;
 }
 
 bool validate_candidate(const Machine& machine, std::size_t function_index,
                         const std::vector<CallEnv>& environments) {
+  FuzzMetrics::get().candidates_validated.add();
   for (const CallEnv& env : environments) {
     const RunResult result = machine.run(function_index, env);
-    if (result.status != ExecStatus::ok) return false;
+    if (result.status != ExecStatus::ok) {
+      FuzzMetrics::get().candidates_crash_pruned.add();
+      return false;
+    }
   }
   return true;
 }

@@ -1,0 +1,137 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace patchecko::obs {
+
+namespace {
+
+/// Shortest round-trip double rendering; %.17g keeps every finite double
+/// exact and never produces inf/nan for the values exported here.
+std::string fmt_double(double value) {
+  char out[40];
+  std::snprintf(out, sizeof(out), "%.17g", value);
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+template <typename Fn>
+void join(std::ostringstream& out, std::size_t n, const Fn& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out << ',';
+    fn(i);
+  }
+}
+
+}  // namespace
+
+std::string export_json(const Registry& registry, const Tracer& tracer) {
+  std::ostringstream out;
+  out << "{\"version\":1,\"counters\":{";
+  const auto counters = registry.counter_snapshots();
+  join(out, counters.size(), [&](std::size_t i) {
+    out << '"' << json_escape(counters[i].name) << "\":" << counters[i].value;
+  });
+  out << "},\"gauges\":{";
+  const auto gauges = registry.gauge_snapshots();
+  join(out, gauges.size(), [&](std::size_t i) {
+    out << '"' << json_escape(gauges[i].name) << "\":{\"value\":"
+        << gauges[i].value << ",\"max\":" << gauges[i].max << '}';
+  });
+  out << "},\"histograms\":{";
+  const auto histograms = registry.histogram_snapshots();
+  join(out, histograms.size(), [&](std::size_t i) {
+    const HistogramSnapshot& h = histograms[i];
+    out << '"' << json_escape(h.name) << "\":{\"count\":" << h.count
+        << ",\"sum_seconds\":" << fmt_double(h.sum) << ",\"le\":[";
+    join(out, h.bounds.size(),
+         [&](std::size_t b) { out << fmt_double(h.bounds[b]); });
+    // buckets has one trailing overflow entry beyond the "le" bounds.
+    out << "],\"buckets\":[";
+    join(out, h.buckets.size(), [&](std::size_t b) { out << h.buckets[b]; });
+    out << "]}";
+  });
+  out << "},\"spans\":{\"dropped\":" << tracer.dropped() << ",\"events\":[";
+  const auto spans = tracer.spans();
+  join(out, spans.size(), [&](std::size_t i) {
+    const Span& span = spans[i];
+    out << "{\"id\":" << span.id << ",\"parent\":" << span.parent
+        << ",\"name\":\"" << json_escape(span.name) << "\",\"thread\":"
+        << span.thread << ",\"start_s\":" << fmt_double(span.start_seconds)
+        << ",\"end_s\":" << fmt_double(span.end_seconds) << '}';
+  });
+  out << "]}}";
+  return out.str();
+}
+
+std::string summary_line(const Registry& registry) {
+  std::map<std::string, std::uint64_t> counters;
+  for (const CounterSnapshot& snapshot : registry.counter_snapshots())
+    counters[snapshot.name] = snapshot.value;
+  std::map<std::string, double> sums;
+  for (const HistogramSnapshot& snapshot : registry.histogram_snapshots())
+    sums[snapshot.name] = snapshot.sum;
+
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  };
+  const auto sum = [&](const char* name) -> double {
+    const auto it = sums.find(name);
+    return it == sums.end() ? 0.0 : it->second;
+  };
+
+  const std::uint64_t hits =
+      counter("cache.feature_hits") + counter("cache.outcome_hits");
+  const std::uint64_t lookups = hits + counter("cache.feature_misses") +
+                                counter("cache.outcome_misses");
+  const std::uint64_t stage1 = counter("pipeline.candidates_stage1");
+  const std::uint64_t pruned = counter("pipeline.candidates_pruned");
+
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "metrics: analyze %.2fs, dl %.2fs, exec %.2fs, patch %.2fs | cache "
+      "%llu/%llu hits (%.1f%%) | candidates %llu -> %llu (%llu pruned) | "
+      "steals %llu/%llu tasks | vm %llu runs, %llu traps",
+      sum("pipeline.analyze_seconds"), sum("pipeline.dl_seconds"),
+      sum("pipeline.da_seconds"), sum("pipeline.patch_seconds"),
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(lookups),
+      lookups == 0 ? 0.0
+                   : 100.0 * static_cast<double>(hits) /
+                         static_cast<double>(lookups),
+      static_cast<unsigned long long>(stage1),
+      static_cast<unsigned long long>(stage1 - pruned),
+      static_cast<unsigned long long>(pruned),
+      static_cast<unsigned long long>(counter("pool.steals")),
+      static_cast<unsigned long long>(counter("pool.completed")),
+      static_cast<unsigned long long>(counter("vm.runs")),
+      static_cast<unsigned long long>(counter("vm.traps")));
+  return line;
+}
+
+}  // namespace patchecko::obs

@@ -1,0 +1,27 @@
+// Observability: JSON export and the end-of-run summary line.
+//
+// The JSON document is the machine-readable artifact behind `--metrics`:
+// every counter/gauge/histogram plus the finished span list. It contains
+// wall-clock values (histogram sums, bucket spreads, span timestamps) and
+// is therefore never compared byte-for-byte; the deterministic rendering is
+// Registry::canonical_text(), which excludes those fields.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace patchecko::obs {
+
+/// Full JSON document: {"version", "counters", "gauges", "histograms",
+/// "spans"}. Keys are sorted (registry maps) and spans are id-ordered, so
+/// the *shape* is stable even though timing values are not.
+std::string export_json(const Registry& registry, const Tracer& tracer);
+
+/// One line for the end of a scan: stage timings, cache hit rate, candidate
+/// pruning, work-steal counts — assembled from the well-known metric names
+/// the pipeline/engine publish. Metrics that never registered render as 0.
+std::string summary_line(const Registry& registry);
+
+}  // namespace patchecko::obs

@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace patchecko::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+const std::vector<double>& default_latency_bounds() {
+  // Powers of four from 1µs: latencies here span ~1µs (a cached lookup) to
+  // seconds (a cold detect job), and x4 steps keep the bucket list short.
+  static const std::vector<double> bounds = [] {
+    std::vector<double> out;
+    double bound = 1e-6;
+    for (int i = 0; i < 12; ++i, bound *= 4.0) out.push_back(bound);
+    return out;
+  }();
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::record(double seconds) {
+  if (!enabled()) return;
+  const std::size_t index = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), seconds) -
+      bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (seconds > 0.0)
+    sum_nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: pool worker threads may publish metrics while other
+  // static objects destruct at exit; a destroyed registry would be UB.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot)
+    slot = std::make_unique<Histogram>(bounds.empty()
+                                           ? default_latency_bounds()
+                                           : bounds);
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::vector<CounterSnapshot> Registry::counter_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    out.push_back({name, counter->value()});
+  return out;
+}
+
+std::vector<GaugeSnapshot> Registry::gauge_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_)
+    out.push_back({name, gauge->value(), gauge->max()});
+  return out;
+}
+
+std::vector<HistogramSnapshot> Registry::histogram_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    out.push_back({name, histogram->bounds(), histogram->bucket_counts(),
+                   histogram->count(), histogram->sum()});
+  return out;
+}
+
+std::string Registry::canonical_text() const {
+  // std::map iteration is already name-sorted; kinds are grouped so the
+  // rendering is stable under any registration order.
+  std::ostringstream out;
+  for (const CounterSnapshot& snapshot : counter_snapshots())
+    out << "counter " << snapshot.name << ' ' << snapshot.value << '\n';
+  for (const GaugeSnapshot& snapshot : gauge_snapshots())
+    out << "gauge " << snapshot.name << ' ' << snapshot.value << " max "
+        << snapshot.max << '\n';
+  for (const HistogramSnapshot& snapshot : histogram_snapshots())
+    out << "histogram " << snapshot.name << " count " << snapshot.count
+        << '\n';
+  return out.str();
+}
+
+}  // namespace patchecko::obs

@@ -1,0 +1,183 @@
+// Observability: process-wide metrics registry.
+//
+// The batch engine's value proposition is per-stage throughput (DNN
+// prefilter pruning, dynamic ranking cost, cache effectiveness), so the hot
+// paths publish three metric kinds:
+//   * Counter   — monotonic, relaxed-atomic event counts,
+//   * Gauge     — instantaneous level with a high-water mark (queue depths),
+//   * Histogram — fixed-bucket latency distribution (seconds, "le" buckets).
+//
+// Design rules:
+//   * No-op by default. Every mutation is gated on a single relaxed load of
+//     the global enabled flag; with metrics off, instrumented code performs
+//     no clock reads, no allocation, and no stores on the hot path.
+//   * Call sites bind handles once (`static obs::Counter& c = ...`) so the
+//     registry mutex is touched once per site per process. Handles stay
+//     valid forever: Registry::reset() zeroes values but never destroys
+//     registered metrics, and the global registry is intentionally leaked so
+//     worker threads draining at process exit cannot touch a dead object.
+//   * Determinism: canonical_text() renders metrics sorted by name and
+//     excludes every wall-clock-derived field (histogram sums and bucket
+//     distributions); those appear only in the JSON export (obs/export.h),
+//     which is never part of a canonical report comparison.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace patchecko::obs {
+
+/// Global metrics switch; off by default (no-op mode).
+bool enabled();
+void set_enabled(bool on);
+
+/// RAII flip of the global flag (tests; the CLI sets it once instead).
+class EnabledScope {
+ public:
+  explicit EnabledScope(bool on) : previous_(enabled()) { set_enabled(on); }
+  ~EnabledScope() { set_enabled(previous_); }
+  EnabledScope(const EnabledScope&) = delete;
+  EnabledScope& operator=(const EnabledScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  /// Exact level tracking: add(+1)/add(-1) keeps value() race-free (the
+  /// atomic add is the source of truth) and maintains the high-water mark.
+  void add(std::int64_t delta) {
+    if (!enabled()) return;
+    raise_max(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  void set(std::int64_t level) {
+    if (!enabled()) return;
+    value_.store(level, std::memory_order_relaxed);
+    raise_max(level);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_max(std::int64_t candidate) {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !max_.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Upper bounds (seconds) of the default latency buckets: powers of four
+/// from 1µs to ~4.2s, plus an implicit overflow bucket.
+const std::vector<double>& default_latency_bounds();
+
+/// Fixed-bucket histogram over seconds. Bucket i counts values v with
+/// bounds[i-1] < v <= bounds[i] ("le" semantics); values above the last
+/// bound land in the overflow bucket. The sum is kept in fixed-point
+/// nanoseconds so concurrent record() calls stay exact.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double seconds);
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_nanos_{0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;  ///< seconds; wall-clock — JSON only, never canonical
+};
+
+/// Thread-safe named-metric registry. Lookup registers on first use and
+/// returns a stable reference; repeated lookups return the same object.
+class Registry {
+ public:
+  /// The process-wide registry (intentionally leaked, see file comment).
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Empty `bounds` selects default_latency_bounds(). Bounds of an already
+  /// registered histogram are not changed.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds = {});
+
+  /// Zeroes every value; registered metrics (and handles) stay valid.
+  void reset();
+
+  std::vector<CounterSnapshot> counter_snapshots() const;
+  std::vector<GaugeSnapshot> gauge_snapshots() const;
+  std::vector<HistogramSnapshot> histogram_snapshots() const;
+
+  /// Deterministic rendering: sorted by kind then name, one metric per
+  /// line, wall-clock fields (histogram sums / bucket spreads) excluded.
+  std::string canonical_text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace patchecko::obs

@@ -1,0 +1,84 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace patchecko::obs {
+
+namespace {
+
+/// Per-thread stack of open span ids: the top is the parent of the next
+/// span opened on this thread.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+double Tracer::since_epoch() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Tracer::record(Span span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= max_spans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = spans_;
+  }
+  // Spans finish (and are appended) in arbitrary order across threads;
+  // id order == start order is the stable rendering.
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.id < b.id; });
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  next_id_.store(1, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, Tracer& tracer) {
+  if (!enabled()) return;  // id_ stays 0: the destructor is a no-op
+  tracer_ = &tracer;
+  id_ = tracer.next_id();
+  parent_ = t_span_stack.empty() ? 0 : t_span_stack.back();
+  name_.assign(name.data(), name.size());
+  start_seconds_ = tracer.since_epoch();
+  t_span_stack.push_back(id_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ == 0) return;
+  // Open spans nest strictly (RAII), so this span is the stack top.
+  if (!t_span_stack.empty() && t_span_stack.back() == id_)
+    t_span_stack.pop_back();
+  tracer_->record(Span{id_, parent_, std::move(name_), thread_ordinal(),
+                       start_seconds_, tracer_->since_epoch()});
+}
+
+}  // namespace patchecko::obs

@@ -1,0 +1,90 @@
+// Observability: hierarchical stage tracing.
+//
+// A ScopedSpan marks one pipeline/engine stage execution: construction
+// stamps the start, destruction stamps the end and records the finished
+// span. Parent links come from a thread-local span stack, so nesting is
+// tracked without any cross-thread coordination — a detect job's span is
+// the parent of the DL-filter and dynamic-execution spans it runs on the
+// same thread, while spans opened on other workers are roots of their own
+// subtrees.
+//
+// Spans obey the same no-op contract as the metrics registry: with
+// obs::enabled() false, constructing a ScopedSpan reads no clock, takes no
+// lock, allocates nothing, and records nothing. Timestamps are wall-clock
+// values relative to the tracer epoch and therefore appear only in the JSON
+// export, never in canonical report comparisons; span ids are assigned in
+// start order, so the id-sorted span list is a stable rendering.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace patchecko::obs {
+
+struct Span {
+  std::uint64_t id = 0;      ///< 1-based, assigned at span start
+  std::uint64_t parent = 0;  ///< 0 = root (no enclosing span on this thread)
+  std::string name;
+  std::uint32_t thread = 0;  ///< small per-thread ordinal, not an OS tid
+  double start_seconds = 0.0;  ///< since the tracer epoch
+  double end_seconds = 0.0;
+};
+
+/// Thread-safe collector of finished spans.
+class Tracer {
+ public:
+  /// The process-wide tracer (intentionally leaked, like Registry).
+  static Tracer& global();
+
+  /// Finished spans sorted by id (start order).
+  std::vector<Span> spans() const;
+  /// Spans discarded after the in-memory cap was reached.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Drops every span, resets ids and the epoch.
+  void clear();
+
+  /// Soft cap on retained spans; recording beyond it increments dropped().
+  static constexpr std::size_t max_spans = 1u << 20;
+
+ private:
+  friend class ScopedSpan;
+  std::uint64_t next_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  double since_epoch() const;
+  void record(Span span);
+
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII span. Pass string literals (or otherwise cheap views) for `name`;
+/// the name is copied only when tracing is enabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, Tracer& tracer = Tracer::global());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;  ///< 0 = tracing was disabled at construction
+  std::uint64_t parent_ = 0;
+  std::string name_;
+  double start_seconds_ = 0.0;
+};
+
+}  // namespace patchecko::obs

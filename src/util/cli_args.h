@@ -1,0 +1,71 @@
+// Command-line option parsing for the patchecko CLI.
+//
+// Extracted from tools/patchecko_cli.cpp so option semantics are unit-
+// testable: every command validates its full option set (names *and*
+// values) up front, before any expensive corpus/model work starts — a
+// typo'd flag or malformed value must fail in milliseconds, not after a
+// minute of database building.
+//
+// Syntax: `--key value`, `--key=value`, and value-less `--key` (a following
+// token that starts with "--" begins the next option). Unknown options are
+// rejected per command via require_known_options.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace patchecko::cli {
+
+/// Bad command-line input; the CLI prints the message and exits with the
+/// usage status.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::string command;
+
+  bool has(const std::string& key) const {
+    return options.find(key) != options.end();
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+
+  /// Strict numeric parsing: "12x", "", overflow, and missing digits are
+  /// errors instead of atol's silent 0/prefix fallback.
+  long get_long(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// A strictly positive integer (thread/job counts, sizes).
+  long get_count(const std::string& key, long fallback) const;
+};
+
+/// `argv` is the raw token list after the program name: the command first,
+/// then options.
+Args parse_args(const std::vector<std::string>& argv);
+Args parse_args(int argc, char** argv);
+
+/// Reject options a command does not understand; a typo'd flag must not
+/// silently fall back to defaults.
+void require_known_options(const Args& args,
+                           std::initializer_list<const char*> known);
+
+/// Parsed `--metrics[=FILE]`: absent = disabled; bare `--metrics` = enabled,
+/// JSON to stdout; `--metrics=FILE` = enabled, JSON written to FILE.
+struct MetricsSpec {
+  bool enabled = false;
+  std::string file;  ///< empty = stdout
+};
+
+/// Validates the `--metrics` value up front (with the other option checks):
+/// values that look like a flag ("-...") are rejected before any work runs.
+MetricsSpec metrics_spec_from(const Args& args);
+
+}  // namespace patchecko::cli

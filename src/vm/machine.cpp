@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "isa/runtime_scalar.h"
+#include "obs/metrics.h"
 
 namespace patchecko {
 
@@ -734,7 +735,17 @@ Machine::Machine(const LibraryBinary& library, MachineConfig config)
 
 RunResult Machine::run(std::size_t function_index, const CallEnv& env) const {
   Execution execution(*library_, config_, env);
-  return execution.run(function_index, env);
+  RunResult result = execution.run(function_index, env);
+  // Published per run, not per instruction: one relaxed add amortized over
+  // thousands of interpreted steps keeps the interpreter loop untouched.
+  static obs::Counter& runs = obs::Registry::global().counter("vm.runs");
+  static obs::Counter& instructions =
+      obs::Registry::global().counter("vm.instructions");
+  static obs::Counter& traps = obs::Registry::global().counter("vm.traps");
+  runs.add();
+  instructions.add(result.steps);
+  if (result.status != ExecStatus::ok) traps.add();
+  return result;
 }
 
 }  // namespace patchecko

@@ -1,0 +1,103 @@
+// Tests for CLI option parsing (src/util/cli_args): token syntax, strict
+// numeric values, unknown-option rejection, and --metrics validation. The
+// point of the extraction is that bad input fails up front — before any
+// corpus or model work — so these tests pin the exact failure behavior.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/cli_args.h"
+
+namespace patchecko {
+namespace {
+
+using cli::Args;
+using cli::MetricsSpec;
+using cli::UsageError;
+using cli::metrics_spec_from;
+using cli::parse_args;
+using cli::require_known_options;
+
+TEST(CliArgs, ParsesCommandAndOptionPairs) {
+  const Args args = parse_args(
+      {"batch-scan", "--model", "m.bin", "--jobs", "8", "--verbose"});
+  EXPECT_EQ(args.command, "batch-scan");
+  EXPECT_EQ(args.get("model", ""), "m.bin");
+  EXPECT_EQ(args.get_count("jobs", 1), 8);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", "x"), "");  // value-less option stores ""
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+}
+
+TEST(CliArgs, SplitsKeyEqualsValueTokens) {
+  const Args args =
+      parse_args({"scan", "--metrics=out.json", "--scale=0.25", "--jobs=4"});
+  EXPECT_EQ(args.get("metrics", ""), "out.json");
+  EXPECT_EQ(args.get_double("scale", 1.0), 0.25);
+  EXPECT_EQ(args.get_long("jobs", 1), 4);
+  // `--key=` keeps an explicit empty value.
+  EXPECT_EQ(parse_args({"scan", "--metrics="}).get("metrics", "x"), "");
+}
+
+TEST(CliArgs, OptionFollowedByOptionIsValueLess) {
+  const Args args = parse_args({"scan", "--metrics", "--jobs", "2"});
+  EXPECT_TRUE(args.has("metrics"));
+  EXPECT_EQ(args.get("metrics", "x"), "");
+  EXPECT_EQ(args.get_long("jobs", 1), 2);
+}
+
+TEST(CliArgs, RejectsMalformedTokens) {
+  EXPECT_THROW(parse_args({"scan", "stray"}), UsageError);
+  EXPECT_THROW(parse_args({"scan", "--"}), UsageError);
+  EXPECT_THROW(parse_args({"scan", "--=value"}), UsageError);
+}
+
+TEST(CliArgs, NumericGettersAreStrict) {
+  const Args args = parse_args(
+      {"scan", "--jobs", "12x", "--scale", "abc", "--count", "0"});
+  EXPECT_THROW(args.get_long("jobs", 1), UsageError);
+  EXPECT_THROW(args.get_double("scale", 1.0), UsageError);
+  EXPECT_THROW(args.get_count("count", 1), UsageError);  // must be >= 1
+  EXPECT_THROW(parse_args({"s", "--jobs", "99999999999999999999"})
+                   .get_long("jobs", 1),
+               UsageError);  // overflow
+}
+
+TEST(CliArgs, RequireKnownOptionsRejectsTypos) {
+  const Args ok = parse_args({"scan", "--jobs", "2", "--metrics"});
+  EXPECT_NO_THROW(require_known_options(ok, {"jobs", "metrics"}));
+  const Args typo = parse_args({"scan", "--jbos", "2"});
+  EXPECT_THROW(require_known_options(typo, {"jobs", "metrics"}), UsageError);
+}
+
+TEST(CliArgs, MetricsSpecParsesAllForms) {
+  const MetricsSpec absent = metrics_spec_from(parse_args({"scan"}));
+  EXPECT_FALSE(absent.enabled);
+
+  const MetricsSpec bare =
+      metrics_spec_from(parse_args({"scan", "--metrics"}));
+  EXPECT_TRUE(bare.enabled);
+  EXPECT_TRUE(bare.file.empty());  // stdout
+
+  const MetricsSpec to_file =
+      metrics_spec_from(parse_args({"scan", "--metrics=out.json"}));
+  EXPECT_TRUE(to_file.enabled);
+  EXPECT_EQ(to_file.file, "out.json");
+
+  const MetricsSpec spaced =
+      metrics_spec_from(parse_args({"scan", "--metrics", "out.json"}));
+  EXPECT_TRUE(spaced.enabled);
+  EXPECT_EQ(spaced.file, "out.json");
+}
+
+TEST(CliArgs, MetricsSpecRejectsFlagLikeValues) {
+  // "--metrics -out.json" is almost certainly a typo'd flag, not a path;
+  // it must fail during upfront validation, not after the scan.
+  EXPECT_THROW(metrics_spec_from(parse_args({"scan", "--metrics=-bogus"})),
+               UsageError);
+}
+
+}  // namespace
+}  // namespace patchecko

@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <random>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -17,6 +21,8 @@
 #include "engine/cache.h"
 #include "engine/engine.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace patchecko {
 namespace {
@@ -114,6 +120,125 @@ TEST(ThreadPool, WaitHelpsDrainNestedWork) {
     });
   outer.wait();
   EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, StressAccountingBalancesLocalPopsAndSteals) {
+  // 64 jobs with deterministic pseudo-random sleeps on a 4-worker pool.
+  // Every submitted task is popped exactly once — either by its owner
+  // (local pop) or by a stealing/helping thread — so after the drain:
+  // submitted == local_pops + steals == completed, and the queue-depth
+  // gauge is back where it started. gtest runs tests serially in one
+  // process, so deltas on the global counters are race-free.
+  const obs::EnabledScope on(true);
+  obs::Registry& registry = obs::Registry::global();
+  const std::uint64_t submitted0 = registry.counter("pool.submitted").value();
+  const std::uint64_t local0 = registry.counter("pool.local_pops").value();
+  const std::uint64_t steals0 = registry.counter("pool.steals").value();
+  const std::uint64_t completed0 = registry.counter("pool.completed").value();
+  const std::int64_t depth0 = registry.gauge("pool.queue_depth").value();
+
+  ThreadPool pool(4);
+  std::mt19937 rng(20260806u);
+  std::uniform_int_distribution<int> sleep_us(0, 400);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i) {
+    const int us = sleep_us(rng);
+    group.run([us, &ran] {
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+      ran.fetch_add(1);
+    });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 64);
+
+  const std::uint64_t local = registry.counter("pool.local_pops").value() -
+                              local0;
+  const std::uint64_t steals = registry.counter("pool.steals").value() -
+                               steals0;
+  EXPECT_EQ(registry.counter("pool.submitted").value() - submitted0, 64u);
+  EXPECT_EQ(registry.counter("pool.completed").value() - completed0, 64u);
+  EXPECT_EQ(local + steals, 64u);
+  EXPECT_EQ(registry.gauge("pool.queue_depth").value(), depth0);
+}
+
+TEST(Cache, AccountingInvariantHoldsUnderRandomOperations) {
+  // Property test: a deterministic pseudo-random put/get/invalidate
+  // workload against a memory-only cache, checked against a reference
+  // model (two key sets) and run twice — metrics enabled and disabled.
+  // Invariants: every lookup outcome matches the model, hits + misses ==
+  // lookups, and the observable trace is byte-identical both ways.
+  const auto run_workload = [](bool metrics_on) {
+    const obs::EnabledScope scope(metrics_on);
+    obs::Registry& registry = obs::Registry::global();
+    const std::uint64_t hits0 = registry.counter("cache.feature_hits").value() +
+                                registry.counter("cache.outcome_hits").value();
+    const std::uint64_t misses0 =
+        registry.counter("cache.feature_misses").value() +
+        registry.counter("cache.outcome_misses").value();
+    const std::uint64_t evictions0 =
+        registry.counter("cache.evictions").value();
+
+    ResultCache cache;  // memory-only
+    std::set<std::string> model_features, model_outcomes;
+    std::uint64_t lookups = 0, expected_evictions = 0;
+    std::mt19937 rng(1234u);
+    std::uniform_int_distribution<int> op_dist(0, 99);
+    std::uniform_int_distribution<int> key_dist(0, 15);
+    std::string log;
+    for (int step = 0; step < 2000; ++step) {
+      const int op = op_dist(rng);
+      const std::string key = "k" + std::to_string(key_dist(rng));
+      if (op < 35) {
+        ++lookups;
+        const bool hit = cache.find_features(key).has_value();
+        EXPECT_EQ(hit, model_features.count(key) > 0) << "step " << step;
+        log += hit ? 'F' : 'f';
+      } else if (op < 70) {
+        ++lookups;
+        const bool hit = cache.find_outcome(key).has_value();
+        EXPECT_EQ(hit, model_outcomes.count(key) > 0) << "step " << step;
+        log += hit ? 'O' : 'o';
+      } else if (op < 85) {
+        cache.store_features(key, {StaticFeatureVector{}});
+        model_features.insert(key);
+        log += 's';
+      } else if (op < 97) {
+        DetectionOutcome outcome;
+        outcome.cve_id = key;
+        cache.store_outcome(key, outcome);
+        model_outcomes.insert(key);
+        log += 'S';
+      } else {
+        expected_evictions += model_features.size() + model_outcomes.size();
+        cache.clear_memory();
+        model_features.clear();
+        model_outcomes.clear();
+        log += 'x';
+      }
+    }
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits() + stats.misses(), lookups);
+    // With metrics on, the global counters mirror the per-cache stats
+    // exactly; with metrics off they must not move at all.
+    const std::uint64_t hit_delta =
+        registry.counter("cache.feature_hits").value() +
+        registry.counter("cache.outcome_hits").value() - hits0;
+    const std::uint64_t miss_delta =
+        registry.counter("cache.feature_misses").value() +
+        registry.counter("cache.outcome_misses").value() - misses0;
+    const std::uint64_t evict_delta =
+        registry.counter("cache.evictions").value() - evictions0;
+    EXPECT_EQ(hit_delta, metrics_on ? stats.hits() : 0u);
+    EXPECT_EQ(miss_delta, metrics_on ? stats.misses() : 0u);
+    EXPECT_EQ(evict_delta, metrics_on ? expected_evictions : 0u);
+    return log + "|" + std::to_string(stats.feature_hits) + "," +
+           std::to_string(stats.feature_misses) + "," +
+           std::to_string(stats.outcome_hits) + "," +
+           std::to_string(stats.outcome_misses) + "," +
+           std::to_string(stats.stores);
+  };
+  EXPECT_EQ(run_workload(true), run_workload(false));
 }
 
 TEST(Cache, FeatureSerializationRoundTripsByteIdentical) {
@@ -388,6 +513,71 @@ TEST(Engine, ConfigChangeInvalidatesOutcomes) {
   const ScanReport report = ScanEngine(tightened).run(u.request());
   EXPECT_EQ(report.cache.feature_hits, report.analyzed_libraries);
   EXPECT_EQ(report.cache.outcome_hits, 0u);
+}
+
+TEST(Engine, MetricsCountJobsAndNestPipelineSpansUnderJobs) {
+  const EngineUniverse& u = universe();
+  EngineConfig config;
+  config.jobs = 4;
+  config.use_cache = false;
+
+  const obs::EnabledScope on(true);
+  obs::Registry& registry = obs::Registry::global();
+  obs::Tracer::global().clear();
+  const std::uint64_t jobs0 =
+      registry.counter("engine.jobs_completed").value();
+  const std::uint64_t detect0 =
+      registry.histogram("engine.job_seconds.detect").count();
+
+  const ScanReport report = ScanEngine(config).run(u.request());
+  ASSERT_FALSE(report.results.empty());
+
+  // One engine.jobs_completed per scheduled job; one detect-latency sample
+  // per (cve, direction-pair) detect job.
+  EXPECT_EQ(registry.counter("engine.jobs_completed").value() - jobs0,
+            report.timings.size());
+  EXPECT_EQ(registry.histogram("engine.job_seconds.detect").count() - detect0,
+            report.results.size());
+
+  // Pipeline stage spans nest under the engine job spans that ran them; a
+  // detect job runs the pipeline once per query direction.
+  const std::vector<obs::Span> spans = obs::Tracer::global().spans();
+  std::map<std::uint64_t, std::string> name_of;
+  for (const obs::Span& span : spans) name_of[span.id] = span.name;
+  std::size_t dl_spans = 0;
+  for (const obs::Span& span : spans) {
+    if (span.name != "pipeline.detect.dl") continue;
+    ++dl_spans;
+    ASSERT_NE(span.parent, 0u);
+    EXPECT_EQ(name_of[span.parent], "job.detect");
+  }
+  EXPECT_EQ(dl_spans, 2 * report.results.size());
+}
+
+TEST(Engine, CanonicalReportIsUnaffectedByMetrics) {
+  // The determinism oracle: metrics on/off and jobs 1/8 must all yield the
+  // byte-identical canonical report.
+  const EngineUniverse& u = universe();
+  EngineConfig sequential;
+  sequential.jobs = 1;
+  sequential.use_cache = false;
+  EngineConfig parallel;
+  parallel.jobs = 8;
+  parallel.use_cache = false;
+
+  std::string off_text;
+  {
+    const obs::EnabledScope off(false);
+    off_text = ScanEngine(parallel).run(u.request()).canonical_text();
+  }
+  const obs::EnabledScope on(true);
+  const std::string seq_text =
+      ScanEngine(sequential).run(u.request()).canonical_text();
+  const std::string par_text =
+      ScanEngine(parallel).run(u.request()).canonical_text();
+  ASSERT_FALSE(off_text.empty());
+  EXPECT_EQ(seq_text, off_text);
+  EXPECT_EQ(par_text, off_text);
 }
 
 }  // namespace

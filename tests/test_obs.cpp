@@ -1,0 +1,264 @@
+// Tests for the observability layer (src/obs): registry semantics (counter
+// monotonicity, histogram bucket boundaries, exact concurrent sums), span
+// nesting/ordering, the no-op contract of disabled mode, and the JSON/
+// canonical exports.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace patchecko {
+namespace {
+
+using obs::EnabledScope;
+using obs::Registry;
+using obs::ScopedSpan;
+using obs::Span;
+using obs::Tracer;
+
+TEST(Obs, CounterIsMonotonicUnderMixedAdds) {
+  EnabledScope on(true);
+  obs::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  std::uint64_t previous = 0;
+  for (const std::uint64_t step : {1u, 0u, 3u, 7u, 0u, 2u}) {
+    counter.add(step);
+    EXPECT_GE(counter.value(), previous);
+    previous = counter.value();
+  }
+  EXPECT_EQ(counter.value(), 13u);
+}
+
+TEST(Obs, GaugeTracksLevelAndHighWaterMark) {
+  EnabledScope on(true);
+  obs::Gauge gauge;
+  gauge.add(3);
+  gauge.add(4);
+  gauge.add(-5);
+  EXPECT_EQ(gauge.value(), 2);
+  EXPECT_EQ(gauge.max(), 7);
+  gauge.set(1);
+  EXPECT_EQ(gauge.value(), 1);
+  EXPECT_EQ(gauge.max(), 7);  // max never regresses
+}
+
+TEST(Obs, HistogramBucketBoundariesAreLessOrEqual) {
+  EnabledScope on(true);
+  obs::Histogram histogram({1.0, 2.0, 4.0});
+  histogram.record(0.5);   // <= 1.0         -> bucket 0
+  histogram.record(1.0);   // == bound       -> bucket 0 ("le" semantics)
+  histogram.record(1.5);   // (1, 2]         -> bucket 1
+  histogram.record(4.0);   // == last bound  -> bucket 2
+  histogram.record(99.0);  // above all      -> overflow bucket
+  const std::vector<std::uint64_t> buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_NEAR(histogram.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 99.0, 1e-6);
+}
+
+TEST(Obs, ConcurrentIncrementsSumExactly) {
+  EnabledScope on(true);
+  obs::Counter counter;
+  obs::Gauge gauge;
+  obs::Histogram histogram({0.5});
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        counter.add(1);
+        gauge.add(1);
+        histogram.record(0.25);
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(gauge.value(), static_cast<std::int64_t>(kThreads) * kIterations);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(histogram.bucket_counts()[0], histogram.count());
+}
+
+TEST(Obs, RegistryHandlesAreStableAcrossLookupAndReset) {
+  EnabledScope on(true);
+  Registry registry;
+  obs::Counter& a = registry.counter("test.stable");
+  a.add(5);
+  obs::Counter& b = registry.counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  registry.reset();
+  EXPECT_EQ(a.value(), 0u);  // same object, zeroed — handle still valid
+  a.add(2);
+  EXPECT_EQ(registry.counter("test.stable").value(), 2u);
+}
+
+TEST(Obs, CanonicalTextIsSortedStableAndExcludesWallClock) {
+  EnabledScope on(true);
+  Registry registry;
+  registry.counter("z.last").add(1);
+  registry.counter("a.first").add(2);
+  registry.gauge("m.depth").add(3);
+  registry.histogram("h.lat").record(0.125);
+  const std::string text = registry.canonical_text();
+  EXPECT_EQ(text,
+            "counter a.first 2\n"
+            "counter z.last 1\n"
+            "gauge m.depth 3 max 3\n"
+            "histogram h.lat count 1\n");
+  // Stable: a second rendering is byte-identical, and recording a different
+  // wall-clock value does not change the canonical form.
+  registry.histogram("h.lat").record(0.250);
+  EXPECT_EQ(registry.canonical_text(),
+            "counter a.first 2\n"
+            "counter z.last 1\n"
+            "gauge m.depth 3 max 3\n"
+            "histogram h.lat count 2\n");
+  EXPECT_EQ(text.find("0.125"), std::string::npos);
+}
+
+TEST(Obs, NoOpModeRecordsNothing) {
+  EnabledScope off(false);
+  Registry registry;
+  obs::Counter& counter = registry.counter("test.noop");
+  obs::Gauge& gauge = registry.gauge("test.noop_gauge");
+  obs::Histogram& histogram = registry.histogram("test.noop_hist");
+  Tracer tracer;
+  {
+    ScopedSpan span("noop.span", tracer);
+    counter.add(100);
+    gauge.add(7);
+    histogram.record(1.0);
+  }
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(gauge.max(), 0);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Obs, DisableMidSpanStillClosesTheOpenSpan) {
+  Tracer tracer;
+  obs::set_enabled(true);
+  {
+    ScopedSpan span("mid.flip", tracer);
+    obs::set_enabled(false);
+  }
+  EXPECT_EQ(tracer.spans().size(), 1u);
+  obs::set_enabled(false);
+}
+
+TEST(Obs, SpansNestWithParentLinksAndStartOrderIds) {
+  EnabledScope on(true);
+  Tracer tracer;
+  {
+    ScopedSpan outer("outer", tracer);
+    { ScopedSpan first("inner.first", tracer); }
+    { ScopedSpan second("inner.second", tracer); }
+  }
+  { ScopedSpan root("root.second", tracer); }
+  const std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // spans() sorts by id == start order.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner.first");
+  EXPECT_EQ(spans[2].name, "inner.second");
+  EXPECT_EQ(spans[3].name, "root.second");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].parent, spans[0].id);
+  EXPECT_EQ(spans[3].parent, 0u);
+  for (const Span& span : spans) {
+    EXPECT_GE(span.end_seconds, span.start_seconds);
+    EXPECT_GE(span.start_seconds, 0.0);
+  }
+  // The outer span encloses its children in time.
+  EXPECT_LE(spans[0].start_seconds, spans[1].start_seconds);
+  EXPECT_GE(spans[0].end_seconds, spans[2].end_seconds);
+}
+
+TEST(Obs, SpanStacksAreThreadLocal) {
+  EnabledScope on(true);
+  Tracer tracer;
+  std::atomic<bool> outer_open{false};
+  std::atomic<bool> child_done{false};
+  std::thread other;
+  {
+    ScopedSpan outer("main.outer", tracer);
+    outer_open.store(true);
+    other = std::thread([&] {
+      while (!outer_open.load()) std::this_thread::yield();
+      // Opened while main.outer is live on the other thread: must be a
+      // root, not a child of main.outer.
+      ScopedSpan mine("worker.root", tracer);
+      child_done.store(true);
+    });
+    while (!child_done.load()) std::this_thread::yield();
+  }
+  other.join();
+  const std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const Span& span : spans) EXPECT_EQ(span.parent, 0u);
+  EXPECT_NE(spans[0].thread, spans[1].thread);
+}
+
+TEST(Obs, TracerClearResetsIdsAndEpoch) {
+  EnabledScope on(true);
+  Tracer tracer;
+  { ScopedSpan span("before", tracer); }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  { ScopedSpan span("after", tracer); }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].id, 1u);  // ids restart
+}
+
+TEST(Obs, ExportJsonHasRequiredShape) {
+  EnabledScope on(true);
+  Registry registry;
+  registry.counter("c.one").add(3);
+  registry.gauge("g.two").set(-4);
+  registry.histogram("h.three", {0.5, 1.0}).record(0.75);
+  Tracer tracer;
+  { ScopedSpan span("spanned \"quote\"", tracer); }
+  const std::string json = obs::export_json(registry, tracer);
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"g.two\":{\"value\":-4,\"max\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"h.three\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":[0.5,1]"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[0,1,0]"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quote\\\""), std::string::npos);  // escaping
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(Obs, SummaryLineReportsCacheRateAndPruning) {
+  EnabledScope on(true);
+  Registry registry;
+  registry.counter("cache.feature_hits").add(3);
+  registry.counter("cache.outcome_hits").add(1);
+  registry.counter("cache.feature_misses").add(2);
+  registry.counter("cache.outcome_misses").add(2);
+  registry.counter("pipeline.candidates_stage1").add(100);
+  registry.counter("pipeline.candidates_pruned").add(40);
+  const std::string line = obs::summary_line(registry);
+  EXPECT_NE(line.find("4/8 hits (50.0%)"), std::string::npos) << line;
+  EXPECT_NE(line.find("100 -> 60 (40 pruned)"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace patchecko

@@ -7,10 +7,10 @@
 //   patchecko inspect --firmware fw.img
 //   patchecko disasm  --firmware fw.img --library NAME --function INDEX
 //   patchecko scan   --model model.bin --firmware fw.img [--cve ID]
-//                    [--scale S] [--seed N] [--threads N]
+//                    [--scale S] [--seed N] [--threads N] [--metrics[=FILE]]
 //   patchecko batch-scan --model model.bin --firmware fw.img [--cve ID]
 //                    [--jobs N] [--cache-dir DIR] [--no-cache]
-//                    [--scale S] [--seed N] [--verbose]
+//                    [--scale S] [--seed N] [--verbose] [--metrics[=FILE]]
 //
 // `scan` rebuilds the vulnerability database deterministically from the
 // corpus seed, loads the stripped firmware image from disk, and runs the
@@ -18,10 +18,11 @@
 // the paper's evaluation does. `batch-scan` runs the same workload through
 // the batch engine: a dependency-aware job graph on the shared thread pool,
 // with analyze/detect results served from a content-addressed cache.
-#include <cerrno>
+// `--metrics` turns on the observability layer (src/obs): a one-line stage/
+// cache/pruning summary plus the full JSON metrics document on stdout (or
+// written to FILE).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -29,97 +30,42 @@
 #include "core/pipeline.h"
 #include "dl/trainer.h"
 #include "engine/engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/cli_args.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
 using namespace patchecko;
+using cli::Args;
+using cli::UsageError;
+using cli::metrics_spec_from;
+using cli::parse_args;
+using cli::require_known_options;
 
 namespace {
 
-/// Bad command-line input; main() prints the message and exits with the
-/// usage status.
-struct UsageError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-struct Args {
-  std::map<std::string, std::string> options;
-  std::string command;
-
-  bool has(const std::string& key) const {
-    return options.find(key) != options.end();
+/// Emits the end-of-run metrics artifacts: summary line on stdout, JSON on
+/// stdout or to the requested file. No-op when --metrics was not given.
+int emit_metrics(const cli::MetricsSpec& spec) {
+  if (!spec.enabled) return 0;
+  std::printf("%s\n", obs::summary_line(obs::Registry::global()).c_str());
+  const std::string json =
+      obs::export_json(obs::Registry::global(), obs::Tracer::global());
+  if (spec.file.empty()) {
+    std::printf("%s\n", json.c_str());
+    return 0;
   }
-
-  std::string get(const std::string& key, const std::string& fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
+  std::ofstream out(spec.file, std::ios::trunc);
+  out << json << '\n';
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                 spec.file.c_str());
+    return 1;
   }
-
-  /// Strict numeric parsing: "12x", "", overflow, and missing digits are
-  /// errors instead of atol's silent 0/prefix fallback.
-  long get_long(const std::string& key, long fallback) const {
-    const auto it = options.find(key);
-    if (it == options.end()) return fallback;
-    errno = 0;
-    char* end = nullptr;
-    const long value = std::strtol(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE)
-      throw UsageError("--" + key + " expects an integer, got '" +
-                       it->second + "'");
-    return value;
-  }
-
-  double get_double(const std::string& key, double fallback) const {
-    const auto it = options.find(key);
-    if (it == options.end()) return fallback;
-    errno = 0;
-    char* end = nullptr;
-    const double value = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE)
-      throw UsageError("--" + key + " expects a number, got '" + it->second +
-                       "'");
-    return value;
-  }
-
-  /// A strictly positive integer (thread/job counts, sizes).
-  long get_count(const std::string& key, long fallback) const {
-    const long value = get_long(key, fallback);
-    if (value <= 0)
-      throw UsageError("--" + key + " must be >= 1, got " +
-                       std::to_string(value));
-    return value;
-  }
-};
-
-Args parse_args(int argc, char** argv) {
-  Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0)
-      throw UsageError("unexpected argument '" + key + "'");
-    key = key.substr(2);
-    if (key.empty()) throw UsageError("empty option name '--'");
-    // Value-less options (e.g. --no-cache) are stored as empty strings; a
-    // following token starting with "--" begins the next option.
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
-      args.options[key] = argv[++i];
-    else
-      args.options[key] = "";
-  }
-  return args;
-}
-
-/// Reject options a command does not understand; a typo'd flag must not
-/// silently fall back to defaults.
-void require_known_options(const Args& args,
-                           std::initializer_list<const char*> known) {
-  for (const auto& [key, value] : args.options) {
-    bool ok = false;
-    for (const char* candidate : known) ok = ok || key == candidate;
-    if (!ok)
-      throw UsageError("unknown option '--" + key + "' for " + args.command);
-  }
+  std::printf("metrics written to %s\n", spec.file.c_str());
+  return 0;
 }
 
 int usage() {
@@ -134,9 +80,11 @@ int usage() {
                "--function INDEX\n"
                "  patchecko scan --model model.bin --firmware fw.img "
                "[--cve ID] [--scale S] [--seed N] [--threads N]\n"
+               "                 [--metrics[=FILE]]\n"
                "  patchecko batch-scan --model model.bin --firmware fw.img "
                "[--cve ID] [--jobs N] [--cache-dir DIR] [--no-cache]\n"
-               "                 [--scale S] [--seed N] [--verbose]\n");
+               "                 [--scale S] [--seed N] [--verbose] "
+               "[--metrics[=FILE]]\n");
   return 2;
 }
 
@@ -252,7 +200,10 @@ int cmd_disasm(const Args& args) {
 
 int cmd_scan(const Args& args) {
   require_known_options(
-      args, {"model", "firmware", "cve", "scale", "seed", "threads"});
+      args, {"model", "firmware", "cve", "scale", "seed", "threads",
+             "metrics"});
+  const cli::MetricsSpec metrics = metrics_spec_from(args);
+  obs::set_enabled(metrics.enabled);
   const auto model = SimilarityModel::load(args.get("model", ""));
   if (!model) {
     std::fprintf(stderr, "error: cannot load model (run `patchecko train`)\n");
@@ -315,13 +266,16 @@ int cmd_scan(const Args& args) {
   std::printf("\nscan finished in %.1fs: %d vulnerable, %d patched, %d "
               "unresolved\n",
               total.elapsed_seconds(), vulnerable, patched, missing);
-  return 0;
+  return emit_metrics(metrics);
 }
 
 int cmd_batch_scan(const Args& args) {
   // Validate every option before the expensive corpus/database build.
   require_known_options(args, {"model", "firmware", "cve", "jobs", "cache-dir",
-                               "no-cache", "scale", "seed", "verbose"});
+                               "no-cache", "scale", "seed", "verbose",
+                               "metrics"});
+  const cli::MetricsSpec metrics = metrics_spec_from(args);
+  obs::set_enabled(metrics.enabled);
   EngineConfig engine_config;
   engine_config.jobs = static_cast<unsigned>(
       args.get_count("jobs", static_cast<long>(default_worker_threads())));
@@ -386,7 +340,7 @@ int cmd_batch_scan(const Args& args) {
       std::printf("                   evidence: %s\n", note.c_str());
   }
   std::printf("\n%s", report.summary_text().c_str());
-  return 0;
+  return emit_metrics(metrics);
 }
 
 }  // namespace
