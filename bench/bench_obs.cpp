@@ -1,13 +1,18 @@
-// Observability overhead micro-bench: per-operation cost of the metric
-// primitives with metrics enabled vs the no-op (disabled) mode. The
-// acceptance bar for the instrumentation is that disabled-mode cost is a
-// single relaxed atomic load per call site — close to free next to the
-// nanosecond-scale work the hot paths do per event — so bench_engine_cache
-// stays within noise with metrics off.
+// Observability overhead micro-bench: per-operation cost of the metric,
+// span, and event primitives with instrumentation enabled vs the no-op
+// (disabled) mode. The acceptance bar for the instrumentation is that
+// disabled-mode cost is a single relaxed atomic load per call site — close
+// to free next to the nanosecond-scale work the hot paths do per event — so
+// bench_engine_cache stays within noise with everything off. Rows are also
+// written to BENCH_obs.json (write_bench_json) so the perf trajectory is
+// tracked across PRs.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <vector>
 
+#include "harness.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -26,8 +31,10 @@ double ns_per_op(std::size_t iterations, const Fn& fn) {
   return elapsed.count() / static_cast<double>(iterations);
 }
 
-void row(const char* name, double on_ns, double off_ns) {
+void row(std::vector<bench::BenchRow>& rows, const char* name, double on_ns,
+         double off_ns) {
   std::printf("%-24s %10.2f %10.2f\n", name, on_ns, off_ns);
+  rows.push_back(bench::BenchRow{name, on_ns, off_ns});
 }
 
 }  // namespace
@@ -35,15 +42,18 @@ void row(const char* name, double on_ns, double off_ns) {
 int main() {
   constexpr std::size_t iters = 4'000'000;
   constexpr std::size_t span_iters = 200'000;  // bounded by Tracer::max_spans
+  constexpr std::size_t event_iters = 1'000'000;
 
   obs::Registry registry;
   obs::Counter& counter = registry.counter("bench.counter");
   obs::Gauge& gauge = registry.gauge("bench.gauge");
   obs::Histogram& histogram = registry.histogram("bench.histogram");
   obs::Tracer tracer;
+  obs::EventLog events;
 
   std::printf("=== Observability primitives: ns/op ===\n");
   std::printf("%-24s %10s %10s\n", "operation", "enabled", "disabled");
+  std::vector<bench::BenchRow> rows;
 
   double on = 0, off = 0;
   {
@@ -54,7 +64,7 @@ int main() {
     obs::EnabledScope scope(false);
     off = ns_per_op(iters, [&](std::size_t) { counter.add(); });
   }
-  row("counter.add", on, off);
+  row(rows, "counter.add", on, off);
 
   {
     obs::EnabledScope scope(true);
@@ -68,7 +78,7 @@ int main() {
       gauge.add(i % 2 == 0 ? 1 : -1);
     });
   }
-  row("gauge.add", on, off);
+  row(rows, "gauge.add", on, off);
 
   {
     obs::EnabledScope scope(true);
@@ -82,7 +92,7 @@ int main() {
       histogram.record(1e-6 * static_cast<double>(i % 1024));
     });
   }
-  row("histogram.record", on, off);
+  row(rows, "histogram.record", on, off);
 
   {
     obs::EnabledScope scope(true);
@@ -96,11 +106,55 @@ int main() {
       const obs::ScopedSpan span("bench.span", tracer);
     });
   }
-  row("scoped_span", on, off);
+  row(rows, "scoped_span", on, off);
+
+  // Bare emit: event flag checked inside emit(), no payload construction.
+  {
+    obs::EventsEnabledScope scope(true);
+    on = ns_per_op(event_iters,
+                   [&](std::size_t) {
+                     events.emit(obs::Severity::info, "bench.event");
+                   });
+  }
+  {
+    obs::EventsEnabledScope scope(false);
+    off = ns_per_op(event_iters,
+                    [&](std::size_t) {
+                      events.emit(obs::Severity::info, "bench.event");
+                    });
+  }
+  row(rows, "event.emit", on, off);
+
+  // Gated call site with a field payload: the production pattern — the
+  // field vector must never be constructed in no-op mode, so disabled-mode
+  // cost has to hold the same sub-ns bar as the metric primitives.
+  {
+    obs::EventsEnabledScope scope(true);
+    on = ns_per_op(event_iters, [&](std::size_t i) {
+      if (obs::events_enabled())
+        events.emit(obs::Severity::info, "bench.event",
+                    {obs::Field::u64("i", i),
+                     obs::Field::f64("value", 0.5 * static_cast<double>(i))});
+    });
+  }
+  {
+    obs::EventsEnabledScope scope(false);
+    off = ns_per_op(event_iters, [&](std::size_t i) {
+      if (obs::events_enabled())
+        events.emit(obs::Severity::info, "bench.event",
+                    {obs::Field::u64("i", i),
+                     obs::Field::f64("value", 0.5 * static_cast<double>(i))});
+    });
+  }
+  row(rows, "event.emit_fields", on, off);
 
   g_sink = counter.value() + static_cast<std::uint64_t>(gauge.max()) +
-           histogram.count() + tracer.spans().size();
-  std::printf("(spans recorded: %zu, dropped: %llu)\n", tracer.spans().size(),
-              static_cast<unsigned long long>(tracer.dropped()));
-  return 0;
+           histogram.count() + tracer.spans().size() + events.emitted();
+  std::printf("(spans recorded: %zu, dropped: %llu; events emitted: %llu, "
+              "overwritten: %llu)\n",
+              tracer.spans().size(),
+              static_cast<unsigned long long>(tracer.dropped()),
+              static_cast<unsigned long long>(events.emitted()),
+              static_cast<unsigned long long>(events.overflowed()));
+  return bench::write_bench_json("obs", rows) ? 0 : 1;
 }

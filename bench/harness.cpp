@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 namespace patchecko::bench {
@@ -85,6 +86,32 @@ const EvalContext& shared_eval_context() {
     return ctx;
   }();
   return context;
+}
+
+bool write_bench_json(const std::string& bench,
+                      const std::vector<BenchRow>& rows) {
+  const std::string dir = env_string("PATCHECKO_BENCH_DIR", ".");
+  const std::string path = dir + "/BENCH_" + bench + ".json";
+  std::ostringstream out;
+  out << "{\"bench\":\"" << bench << "\",\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) out << ',';
+    char buf[64];
+    out << "{\"name\":\"" << rows[i].name << "\",\"enabled_ns\":";
+    std::snprintf(buf, sizeof(buf), "%.4f", rows[i].enabled_ns);
+    out << buf << ",\"disabled_ns\":";
+    std::snprintf(buf, sizeof(buf), "%.4f", rows[i].disabled_ns);
+    out << buf << '}';
+  }
+  out << "]}\n";
+  std::ofstream file(path, std::ios::trunc);
+  file << out.str();
+  if (!file.good()) {
+    std::fprintf(stderr, "[harness] warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "[harness] wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace patchecko::bench

@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/cve_database.h"
 #include "core/pipeline.h"
@@ -53,5 +54,19 @@ struct EvalContext {
 };
 
 const EvalContext& shared_eval_context();
+
+/// One measured row of a benchmark table.
+struct BenchRow {
+  std::string name;
+  double enabled_ns = 0.0;
+  double disabled_ns = 0.0;
+};
+
+/// Writes BENCH_<bench>.json — {"bench","rows":[{name,enabled_ns,
+/// disabled_ns}]} — so the perf trajectory is machine-trackable across PRs.
+/// Directory from $PATCHECKO_BENCH_DIR (default "."). Returns false (after
+/// printing a warning) when the file cannot be written.
+bool write_bench_json(const std::string& bench,
+                      const std::vector<BenchRow>& rows);
 
 }  // namespace patchecko::bench

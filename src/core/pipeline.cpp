@@ -4,6 +4,7 @@
 #include <limits>
 #include <optional>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
@@ -113,23 +114,28 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
   Stopwatch da_watch;
   const Machine machine(*target.binary, config_.machine);
   std::vector<CandidateProfile> profiles;
+  std::vector<std::optional<CandidateProfile>> slots(
+      outcome.candidates.size());
+  std::vector<std::int64_t> crash_envs(outcome.candidates.size(), -1);
   {
     const obs::ScopedSpan exec_span("pipeline.detect.exec");
-    std::vector<std::optional<CandidateProfile>> slots(
-        outcome.candidates.size());
     parallel_for(outcome.candidates.size(), config_.worker_threads,
                  [&](std::size_t c) {
                    const std::size_t index = outcome.candidates[c];
-                   if (!validate_candidate(machine, index, entry.environments))
+                   std::size_t crash_env = 0;
+                   if (!validate_candidate(machine, index, entry.environments,
+                                           &crash_env)) {
+                     crash_envs[c] = static_cast<std::int64_t>(crash_env);
                      return;
+                   }
                    slots[c] = CandidateProfile{
                        index,
                        profile_function(machine, index, entry.environments),
                        candidate_scores[c]};
                  });
     profiles.reserve(slots.size());
-    for (auto& slot : slots)
-      if (slot.has_value()) profiles.push_back(std::move(*slot));
+    for (const auto& slot : slots)
+      if (slot.has_value()) profiles.push_back(*slot);
   }
   outcome.executed = profiles.size();
   {
@@ -145,6 +151,53 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
     }
   }
   outcome.da_seconds = da_watch.elapsed_seconds();
+
+  // --- decision provenance ---------------------------------------------------
+  outcome.provenance.threshold = config_.detection_threshold;
+  outcome.provenance.minkowski_p = config_.minkowski_p;
+  outcome.provenance.total = outcome.total;
+  outcome.provenance.executed = outcome.executed;
+  outcome.provenance.candidates.reserve(outcome.candidates.size());
+  for (std::size_t c = 0; c < outcome.candidates.size(); ++c) {
+    obs::CandidateRecord record;
+    record.function_index = outcome.candidates[c];
+    record.dl_score = candidate_scores[c];
+    record.validated = slots[c].has_value();
+    record.crash_env = crash_envs[c];
+    if (record.validated) {
+      record.env_distances = per_env_distances(
+          query_profile, slots[c]->profile, config_.minkowski_p);
+      for (std::size_t r = 0; r < outcome.ranking.size(); ++r) {
+        if (outcome.ranking[r].function_index == outcome.candidates[c]) {
+          record.distance = outcome.ranking[r].distance;
+          record.rank = static_cast<std::int64_t>(r) + 1;
+          break;
+        }
+      }
+    }
+    outcome.provenance.candidates.push_back(std::move(record));
+  }
+  if (obs::events_enabled()) {
+    obs::EventLog::global().emit(
+        obs::Severity::info, "pipeline.stage1",
+        {obs::Field::text("cve", entry.spec.cve_id),
+         obs::Field::text("query", query_is_patched ? "patched" : "vulnerable"),
+         obs::Field::u64("total", outcome.total),
+         obs::Field::u64("candidates", outcome.candidates.size())});
+    for (const obs::CandidateRecord& record : outcome.provenance.candidates)
+      if (!record.validated)
+        obs::EventLog::global().emit(
+            obs::Severity::debug, "pipeline.candidate_pruned",
+            {obs::Field::text("cve", entry.spec.cve_id),
+             obs::Field::u64("function", record.function_index),
+             obs::Field::i64("crash_env", record.crash_env)});
+    obs::EventLog::global().emit(
+        obs::Severity::info, "pipeline.ranked",
+        {obs::Field::text("cve", entry.spec.cve_id),
+         obs::Field::text("query", query_is_patched ? "patched" : "vulnerable"),
+         obs::Field::u64("executed", outcome.executed),
+         obs::Field::i64("rank_of_target", outcome.rank_of_target)});
+  }
 
   PipelineMetrics& metrics = PipelineMetrics::get();
   metrics.candidates_stage1.add(outcome.candidates.size());
@@ -240,29 +293,54 @@ PatchReport Patchecko::report_from(const CveEntry& entry,
   const DynamicProfile& ref_patch_profile =
       refs != nullptr ? refs->patched_profile : entry.patched_profile;
   std::size_t best = pool.front();
+  std::size_t best_slot = 0;
   double best_distance = std::numeric_limits<double>::infinity();
   std::size_t best_effects = 0;
+  report.pool.reserve(pool.size());
   for (std::size_t index : pool) {
     const DynamicProfile profile =
         profile_function(machine, index, entry.environments);
-    const double distance = std::min(
-        profile_distance(ref_vuln_profile, profile, config_.minkowski_p),
-        profile_distance(ref_patch_profile, profile, config_.minkowski_p));
+    obs::PatchCandidateRecord member;
+    member.function_index = index;
+    member.distance_vulnerable =
+        profile_distance(ref_vuln_profile, profile, config_.minkowski_p);
+    member.distance_patched =
+        profile_distance(ref_patch_profile, profile, config_.minkowski_p);
+    member.effect_matches_vulnerable =
+        effect_matches(ref_vuln_profile, profile);
+    member.effect_matches_patched = effect_matches(ref_patch_profile, profile);
+    const double distance =
+        std::min(member.distance_vulnerable, member.distance_patched);
     // Trace-distance ties (count-identical lookalikes) break on memory-
     // effect agreement with either reference: only the true match computes
     // the same values, not just the same instruction counts.
     const std::size_t effects =
-        std::max(effect_matches(ref_vuln_profile, profile),
-                 effect_matches(ref_patch_profile, profile));
+        std::max<std::size_t>(member.effect_matches_vulnerable,
+                              member.effect_matches_patched);
     if (distance < best_distance ||
         (distance == best_distance && effects > best_effects)) {
       best_distance = distance;
       best_effects = effects;
       best = index;
+      best_slot = report.pool.size();
     }
+    report.pool.push_back(member);
   }
+  report.pool[best_slot].chosen = true;
   report.matched_function = best;
   report.decision = analyze_patch(entry, target, best);
+  if (obs::events_enabled()) {
+    const PatchDecision& decision = *report.decision;
+    obs::EventLog::global().emit(
+        obs::Severity::info, "pipeline.patch_verdict",
+        {obs::Field::text("cve", entry.spec.cve_id),
+         obs::Field::u64("function", best),
+         obs::Field::text("verdict", decision.verdict == PatchVerdict::patched
+                                         ? "patched"
+                                         : "vulnerable"),
+         obs::Field::f64("votes_vulnerable", decision.votes_vulnerable),
+         obs::Field::f64("votes_patched", decision.votes_patched)});
+  }
   PipelineMetrics::get().patch_seconds.record(watch.elapsed_seconds());
   return report;
 }

@@ -9,6 +9,7 @@
 
 #include "core/cve_database.h"
 #include "dl/similarity_model.h"
+#include "obs/decision.h"
 
 namespace patchecko {
 
@@ -60,6 +61,12 @@ struct DetectionOutcome {
   int rank_of_target = -1;   ///< 1-based; -1 when the target was missed
   double da_seconds = 0.0;
 
+  /// Decision provenance: why each Stage-1 candidate was kept or pruned.
+  /// Always filled (it is deterministic and costs one pass over data the
+  /// stages computed anyway) and round-trips through the result cache, so
+  /// cold and warm scans produce bitwise-identical records.
+  obs::StageRecord provenance;
+
   double false_positive_rate() const {
     const int negatives = true_negatives + false_positives;
     return negatives == 0 ? 0.0
@@ -73,6 +80,10 @@ struct PatchReport {
   std::string cve_id;
   std::optional<std::size_t> matched_function;  ///< top-ranked candidate
   std::optional<PatchDecision> decision;        ///< absent if nothing matched
+  /// Differential-pool provenance: every pooled candidate scored against
+  /// both reference profiles, with the chosen one flagged. Recomputed
+  /// deterministically each run (patch jobs are never cached).
+  std::vector<obs::PatchCandidateRecord> pool;
 };
 
 class Patchecko {

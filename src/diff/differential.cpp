@@ -102,6 +102,23 @@ PatchDecision detect_patch(const StaticFeatureVector& vulnerable_features,
               static_cast<double>(vulnerable_signature.cyclomatic),
               static_cast<double>(patched_signature.cyclomatic), 2.0,
               decision);
+  // Guard deltas: a patch that adds a bounds check shows up as extra
+  // conditional branches. Worth an evidence note — analysts reading the
+  // decision chain look for exactly this marker.
+  if (vulnerable_signature.conditional_branches !=
+      patched_signature.conditional_branches) {
+    const int ct = target_signature.conditional_branches;
+    const int cv = vulnerable_signature.conditional_branches;
+    const int cp = patched_signature.conditional_branches;
+    if (std::abs(ct - cv) != std::abs(ct - cp)) {
+      std::ostringstream note;
+      note << "guard count " << ct << " (vulnerable=" << cv
+           << ", patched=" << cp << ") -> "
+           << (std::abs(ct - cv) < std::abs(ct - cp) ? "vulnerable"
+                                                     : "patched");
+      decision.evidence.push_back(note.str());
+    }
+  }
   vote_closer(target_signature.conditional_branches,
               vulnerable_signature.conditional_branches,
               patched_signature.conditional_branches, 1.5, decision);

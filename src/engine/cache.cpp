@@ -119,7 +119,9 @@ struct Reader {
 
 constexpr std::uint8_t kFeatureMagic[4] = {'P', 'K', 'F', 'E'};
 constexpr std::uint8_t kOutcomeMagic[4] = {'P', 'K', 'D', 'O'};
-constexpr std::uint64_t kFormatVersion = 1;
+// v2: outcome entries carry the decision-provenance StageRecord. Old v1
+// entries fail the version check and are simply recomputed.
+constexpr std::uint64_t kFormatVersion = 2;
 
 bool check_magic(Reader& reader, const std::uint8_t (&magic)[4]) {
   std::uint8_t found[4] = {};
@@ -339,6 +341,26 @@ std::vector<std::uint8_t> serialize_outcome(const DetectionOutcome& outcome) {
   }
   append_i64(out, outcome.rank_of_target);
   append_double(out, outcome.da_seconds);
+  // Provenance doubles serialize as raw bits (append_double memcpys), so
+  // NaN/inf sentinels and every finite value round-trip bitwise — a warm
+  // scan reproduces byte-identical provenance.
+  const obs::StageRecord& provenance = outcome.provenance;
+  append_double(out, provenance.threshold);
+  append_double(out, provenance.minkowski_p);
+  append_u64(out, provenance.total);
+  append_u64(out, provenance.executed);
+  append_u64(out, provenance.candidates.size());
+  for (const obs::CandidateRecord& candidate : provenance.candidates) {
+    append_u64(out, candidate.function_index);
+    append_double(out, candidate.dl_score);
+    append_u64(out, candidate.validated ? 1 : 0);
+    append_i64(out, candidate.crash_env);
+    append_u64(out, candidate.env_distances.size());
+    for (double distance : candidate.env_distances)
+      append_double(out, distance);
+    append_double(out, candidate.distance);
+    append_i64(out, candidate.rank);
+  }
   return out;
 }
 
@@ -374,6 +396,29 @@ std::optional<DetectionOutcome> deserialize_outcome(
   }
   outcome.rank_of_target = static_cast<int>(reader.read_i64());
   outcome.da_seconds = reader.read_double();
+  obs::StageRecord& provenance = outcome.provenance;
+  provenance.threshold = reader.read_double();
+  provenance.minkowski_p = reader.read_double();
+  provenance.total = reader.read_u64();
+  provenance.executed = reader.read_u64();
+  const std::uint64_t record_count = reader.read_u64();
+  if (!reader.ok || record_count > (bytes.size() - reader.pos) / 8)
+    return std::nullopt;
+  provenance.candidates.resize(static_cast<std::size_t>(record_count));
+  for (obs::CandidateRecord& candidate : provenance.candidates) {
+    candidate.function_index = reader.read_u64();
+    candidate.dl_score = reader.read_double();
+    candidate.validated = reader.read_u64() != 0;
+    candidate.crash_env = reader.read_i64();
+    const std::uint64_t env_count = reader.read_u64();
+    if (!reader.ok || env_count > (bytes.size() - reader.pos) / sizeof(double))
+      return std::nullopt;
+    candidate.env_distances.resize(static_cast<std::size_t>(env_count));
+    for (double& distance : candidate.env_distances)
+      distance = reader.read_double();
+    candidate.distance = reader.read_double();
+    candidate.rank = reader.read_i64();
+  }
   if (!reader.ok || reader.pos != bytes.size()) return std::nullopt;
   return outcome;
 }

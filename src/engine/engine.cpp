@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "engine/thread_pool.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -176,6 +177,40 @@ std::string ScanReport::summary_text() const {
   return out.str();
 }
 
+obs::DecisionRecord decision_record(const CveScanResult& result) {
+  obs::DecisionRecord record;
+  record.cve_id = result.cve_id;
+  record.library = result.library;
+  record.library_missing = result.library_missing;
+  if (result.library_missing) return record;
+  record.from_vulnerable = result.from_vulnerable.provenance;
+  record.from_patched = result.from_patched.provenance;
+  record.pool = result.report.pool;
+  if (result.report.matched_function)
+    record.matched_function =
+        static_cast<std::uint64_t>(*result.report.matched_function);
+  if (result.report.decision) {
+    const PatchDecision& decision = *result.report.decision;
+    record.has_verdict = true;
+    record.verdict_patched = decision.verdict == PatchVerdict::patched;
+    record.votes_vulnerable = decision.votes_vulnerable;
+    record.votes_patched = decision.votes_patched;
+    record.dynamic_distance_vulnerable = decision.dynamic_distance_vulnerable;
+    record.dynamic_distance_patched = decision.dynamic_distance_patched;
+    record.evidence = decision.evidence;
+  }
+  return record;
+}
+
+std::string ScanReport::provenance_jsonl() const {
+  std::string out = "{\"type\":\"meta\",\"format\":\"patchecko-provenance\","
+                    "\"version\":1,\"results\":" +
+                    std::to_string(results.size()) + "}\n";
+  for (const CveScanResult& result : results)
+    out += obs::decision_jsonl_line(decision_record(result)) + "\n";
+  return out;
+}
+
 ScanEngine::ScanEngine(EngineConfig config)
     : config_(std::move(config)),
       cache_(config_.cache_dir, config_.use_cache) {}
@@ -265,6 +300,13 @@ ScanReport ScanEngine::run(const ScanRequest& request,
   std::mutex event_mutex;
   const auto emit = [&](JobKind kind, std::string label, double seconds,
                         bool cache_hit) {
+    if (obs::events_enabled())
+      obs::EventLog::global().emit(
+          obs::Severity::info, "engine.job",
+          {obs::Field::text("kind", std::string(job_kind_name(kind))),
+           obs::Field::text("label", label),
+           obs::Field::f64("seconds", seconds),
+           obs::Field::u64("cache_hit", cache_hit ? 1 : 0)});
     std::lock_guard<std::mutex> lock(event_mutex);
     report.timings.push_back(JobTiming{kind, label, seconds, cache_hit});
     if (progress)

@@ -91,7 +91,19 @@ struct ScanReport {
 
   /// Human-readable summary: verdict table plus timing and cache counters.
   std::string summary_text() const;
+
+  /// Decision-provenance JSONL: one meta line, then one "decision" line per
+  /// result in `results` order. Like canonical_text(), every line is
+  /// deterministic (no wall-clock, no thread ids) — byte-identical across
+  /// job counts and cache temperatures. The `--events` sink appends the
+  /// wall-clock "event" lines after these.
+  std::string provenance_jsonl() const;
 };
+
+/// Assembles the full decision chain of one scan result from the provenance
+/// the pipeline recorded (detect-stage StageRecords survive the result
+/// cache; the patch pool is recomputed each run).
+obs::DecisionRecord decision_record(const CveScanResult& result);
 
 class ScanEngine {
  public:

@@ -207,12 +207,14 @@ std::vector<CallEnv> generate_environments(const LibraryBinary& library,
 }
 
 bool validate_candidate(const Machine& machine, std::size_t function_index,
-                        const std::vector<CallEnv>& environments) {
+                        const std::vector<CallEnv>& environments,
+                        std::size_t* first_crash_env) {
   FuzzMetrics::get().candidates_validated.add();
-  for (const CallEnv& env : environments) {
-    const RunResult result = machine.run(function_index, env);
+  for (std::size_t i = 0; i < environments.size(); ++i) {
+    const RunResult result = machine.run(function_index, environments[i]);
     if (result.status != ExecStatus::ok) {
       FuzzMetrics::get().candidates_crash_pruned.add();
+      if (first_crash_env != nullptr) *first_crash_env = i;
       return false;
     }
   }

@@ -56,8 +56,12 @@ std::vector<CallEnv> generate_environments(const LibraryBinary& library,
                                            const FuzzConfig& config);
 
 /// Paper's "candidate functions execution validation": true iff the
-/// candidate returns normally on every environment.
+/// candidate returns normally on every environment. On failure,
+/// `first_crash_env` (when non-null) receives the index of the first
+/// environment that crashed — decision provenance records it as the prune
+/// reason.
 bool validate_candidate(const Machine& machine, std::size_t function_index,
-                        const std::vector<CallEnv>& environments);
+                        const std::vector<CallEnv>& environments,
+                        std::size_t* first_crash_env = nullptr);
 
 }  // namespace patchecko

@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace patchecko::obs {
 
 namespace {
@@ -48,7 +50,8 @@ void join(std::ostringstream& out, std::size_t n, const Fn& fn) {
 
 }  // namespace
 
-std::string export_json(const Registry& registry, const Tracer& tracer) {
+std::string export_json(const Registry& registry, const Tracer& tracer,
+                        const EventLog* events) {
   std::ostringstream out;
   out << "{\"version\":1,\"counters\":{";
   const auto counters = registry.counter_snapshots();
@@ -83,11 +86,19 @@ std::string export_json(const Registry& registry, const Tracer& tracer) {
         << span.thread << ",\"start_s\":" << fmt_double(span.start_seconds)
         << ",\"end_s\":" << fmt_double(span.end_seconds) << '}';
   });
-  out << "]}}";
+  out << "]}";
+  if (events != nullptr) {
+    const std::uint64_t emitted = events->emitted();
+    const std::uint64_t overflow = events->overflowed();
+    out << ",\"events\":{\"emitted\":" << emitted << ",\"overflow\":"
+        << overflow << ",\"retained\":" << emitted - overflow << '}';
+  }
+  out << '}';
   return out.str();
 }
 
-std::string summary_line(const Registry& registry) {
+std::string summary_line(const Registry& registry, const Tracer* tracer,
+                         const EventLog* events) {
   std::map<std::string, std::uint64_t> counters;
   for (const CounterSnapshot& snapshot : registry.counter_snapshots())
     counters[snapshot.name] = snapshot.value;
@@ -131,7 +142,67 @@ std::string summary_line(const Registry& registry) {
       static_cast<unsigned long long>(counter("pool.completed")),
       static_cast<unsigned long long>(counter("vm.runs")),
       static_cast<unsigned long long>(counter("vm.traps")));
-  return line;
+  std::string out = line;
+  const std::uint64_t spans_dropped = tracer != nullptr ? tracer->dropped() : 0;
+  const std::uint64_t events_lost = events != nullptr ? events->overflowed() : 0;
+  if (spans_dropped != 0 || events_lost != 0) {
+    std::snprintf(line, sizeof(line),
+                  " | lost: %llu spans dropped, %llu events overwritten",
+                  static_cast<unsigned long long>(spans_dropped),
+                  static_cast<unsigned long long>(events_lost));
+    out += line;
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const Tracer& tracer, const EventLog* events) {
+  // Spans and structured events live on separate steady-clock epochs (each
+  // resets at its own clear()); for the global instances both start at first
+  // use, so the shared timeline lines up to well under a millisecond —
+  // plenty for visual triage in Perfetto.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : tracer.spans()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    json::append_string(out, span.name);
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(span.thread);
+    out += ",\"ts\":";
+    json::append_double(out, span.start_seconds * 1e6);
+    out += ",\"dur\":";
+    json::append_double(out, (span.end_seconds - span.start_seconds) * 1e6);
+    out += ",\"args\":{\"id\":" + std::to_string(span.id) +
+           ",\"parent\":" + std::to_string(span.parent) + "}}";
+  }
+  if (events != nullptr) {
+    for (const Event& event : events->events()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":";
+      json::append_string(out, event.name);
+      out += ",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" +
+             std::to_string(event.thread);
+      out += ",\"ts\":";
+      json::append_double(out, event.t_seconds * 1e6);
+      out += ",\"args\":{";
+      for (std::size_t i = 0; i < event.fields.size(); ++i) {
+        const Field& field = event.fields[i];
+        if (i != 0) out += ',';
+        json::append_string(out, field.key);
+        out += ':';
+        switch (field.kind) {
+          case Field::Kind::u64: out += std::to_string(field.u); break;
+          case Field::Kind::i64: out += std::to_string(field.i); break;
+          case Field::Kind::f64: json::append_double(out, field.f); break;
+          case Field::Kind::text: json::append_string(out, field.s); break;
+        }
+      }
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace patchecko::obs

@@ -9,19 +9,35 @@
 
 #include <string>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace patchecko::obs {
 
 /// Full JSON document: {"version", "counters", "gauges", "histograms",
-/// "spans"}. Keys are sorted (registry maps) and spans are id-ordered, so
-/// the *shape* is stable even though timing values are not.
-std::string export_json(const Registry& registry, const Tracer& tracer);
+/// "spans"[, "events"]}. Keys are sorted (registry maps) and spans are
+/// id-ordered, so the *shape* is stable even though timing values are not.
+/// When `events` is given, an "events" section reports the ring's emitted /
+/// overflow / retained counts so truncation is visible, not silent.
+std::string export_json(const Registry& registry, const Tracer& tracer,
+                        const EventLog* events = nullptr);
 
 /// One line for the end of a scan: stage timings, cache hit rate, candidate
 /// pruning, work-steal counts — assembled from the well-known metric names
 /// the pipeline/engine publish. Metrics that never registered render as 0.
-std::string summary_line(const Registry& registry);
+/// When `tracer`/`events` are given and anything was dropped or overwritten,
+/// a " | lost: ..." tail makes the loss explicit.
+std::string summary_line(const Registry& registry,
+                         const Tracer* tracer = nullptr,
+                         const EventLog* events = nullptr);
+
+/// Chrome trace_event JSON (loadable in Perfetto / chrome://tracing):
+/// every finished span as a complete event (ph "X", microsecond ts/dur,
+/// tid = thread ordinal) and, when `events` is given, every retained
+/// structured event as a thread-scoped instant (ph "i") with its fields
+/// under "args".
+std::string chrome_trace_json(const Tracer& tracer,
+                              const EventLog* events = nullptr);
 
 }  // namespace patchecko::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace patchecko::obs {
@@ -11,13 +12,6 @@ namespace {
 /// Per-thread stack of open span ids: the top is the parent of the next
 /// span opened on this thread.
 thread_local std::vector<std::uint64_t> t_span_stack;
-
-std::uint32_t thread_ordinal() {
-  static std::atomic<std::uint32_t> next{0};
-  thread_local const std::uint32_t ordinal =
-      next.fetch_add(1, std::memory_order_relaxed);
-  return ordinal;
-}
 
 }  // namespace
 

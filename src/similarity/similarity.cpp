@@ -82,6 +82,19 @@ double profile_distance(const DynamicProfile& a, const DynamicProfile& b,
   return total / static_cast<double>(used);
 }
 
+std::vector<double> per_env_distances(const DynamicProfile& a,
+                                      const DynamicProfile& b, double p) {
+  const std::size_t k = std::min(a.per_env.size(), b.per_env.size());
+  std::vector<double> distances(k,
+                                std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!a.per_env[i].has_value() || !b.per_env[i].has_value()) continue;
+    distances[i] = minkowski_distance(a.per_env[i]->to_array(),
+                                      b.per_env[i]->to_array(), p);
+  }
+  return distances;
+}
+
 std::vector<RankedCandidate> rank_by_similarity(
     const DynamicProfile& reference,
     const std::vector<CandidateProfile>& candidates, double p) {

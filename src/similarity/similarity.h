@@ -45,6 +45,13 @@ DynamicProfile profile_function(const Machine& machine,
 double profile_distance(const DynamicProfile& a, const DynamicProfile& b,
                         double p = 3.0);
 
+/// Eq. (1) per environment: the Minkowski-p distance in each environment,
+/// NaN where either profile failed to terminate there. profile_distance()
+/// is the mean of the non-NaN entries; exposing them individually feeds
+/// decision provenance (why *this* environment pulled the aggregate up).
+std::vector<double> per_env_distances(const DynamicProfile& a,
+                                      const DynamicProfile& b, double p = 3.0);
+
 struct RankedCandidate {
   std::size_t function_index = 0;
   double distance = 0.0;

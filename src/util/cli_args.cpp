@@ -82,17 +82,27 @@ void require_known_options(const Args& args,
   }
 }
 
-MetricsSpec metrics_spec_from(const Args& args) {
-  MetricsSpec spec;
-  if (!args.has("metrics")) return spec;
+OutputSpec output_spec_from(const Args& args, const std::string& key,
+                            bool value_required) {
+  OutputSpec spec;
+  if (!args.has(key)) return spec;
   spec.enabled = true;
-  spec.file = args.get("metrics", "");
+  spec.file = args.get(key, "");
   // "-something" is almost certainly a mistyped flag, not an output path;
   // reject it now, before the scan runs for minutes and then fails to save.
   if (!spec.file.empty() && spec.file.front() == '-')
-    throw UsageError("--metrics expects an output file path, got '" +
-                     spec.file + "' (use bare --metrics for stdout)");
+    throw UsageError("--" + key + " expects an output file path, got '" +
+                     spec.file + "'" +
+                     (value_required ? "" : " (use bare --" + key +
+                                               " for stdout)"));
+  if (value_required && spec.file.empty())
+    throw UsageError("--" + key + " requires an output file path (--" + key +
+                     "=FILE)");
   return spec;
+}
+
+MetricsSpec metrics_spec_from(const Args& args) {
+  return output_spec_from(args, "metrics");
 }
 
 }  // namespace patchecko::cli

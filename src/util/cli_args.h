@@ -57,15 +57,25 @@ Args parse_args(int argc, char** argv);
 void require_known_options(const Args& args,
                            std::initializer_list<const char*> known);
 
-/// Parsed `--metrics[=FILE]`: absent = disabled; bare `--metrics` = enabled,
-/// JSON to stdout; `--metrics=FILE` = enabled, JSON written to FILE.
-struct MetricsSpec {
+/// Parsed `--KEY[=FILE]` output option: absent = disabled; bare `--KEY` =
+/// enabled, written to stdout; `--KEY=FILE` = enabled, written to FILE.
+struct OutputSpec {
   bool enabled = false;
   std::string file;  ///< empty = stdout
 };
 
-/// Validates the `--metrics` value up front (with the other option checks):
+/// `--metrics[=FILE]` keeps its historical name at call sites.
+using MetricsSpec = OutputSpec;
+
+/// Validates an output option up front (with the other option checks):
 /// values that look like a flag ("-...") are rejected before any work runs.
+/// With `value_required`, bare `--KEY` is also an error (e.g. --trace-out
+/// has no sensible stdout mode — the Chrome trace would interleave with the
+/// report).
+OutputSpec output_spec_from(const Args& args, const std::string& key,
+                            bool value_required = false);
+
+/// Validates `--metrics[=FILE]`; equivalent to output_spec_from("metrics").
 MetricsSpec metrics_spec_from(const Args& args);
 
 }  // namespace patchecko::cli

@@ -99,5 +99,41 @@ TEST(CliArgs, MetricsSpecRejectsFlagLikeValues) {
                UsageError);
 }
 
+TEST(CliArgs, OutputSpecGeneralizesToOtherKeys) {
+  const cli::OutputSpec absent =
+      cli::output_spec_from(parse_args({"scan"}), "events");
+  EXPECT_FALSE(absent.enabled);
+
+  const cli::OutputSpec bare =
+      cli::output_spec_from(parse_args({"scan", "--events"}), "events");
+  EXPECT_TRUE(bare.enabled);
+  EXPECT_TRUE(bare.file.empty());  // stdout
+
+  const cli::OutputSpec to_file = cli::output_spec_from(
+      parse_args({"scan", "--events=prov.jsonl"}), "events");
+  EXPECT_EQ(to_file.file, "prov.jsonl");
+
+  EXPECT_THROW(cli::output_spec_from(
+                   parse_args({"scan", "--events=-bogus"}), "events"),
+               UsageError);
+}
+
+TEST(CliArgs, OutputSpecValueRequiredRejectsBareFlag) {
+  // --trace-out has no stdout mode (a Chrome trace on stdout would tangle
+  // with the report), so the bare flag is a usage error up front.
+  EXPECT_THROW(cli::output_spec_from(parse_args({"scan", "--trace-out"}),
+                                     "trace-out", /*value_required=*/true),
+               UsageError);
+  EXPECT_THROW(cli::output_spec_from(
+                   parse_args({"scan", "--trace-out=-x.json"}), "trace-out",
+                   /*value_required=*/true),
+               UsageError);
+  const cli::OutputSpec ok = cli::output_spec_from(
+      parse_args({"scan", "--trace-out=trace.json"}), "trace-out",
+      /*value_required=*/true);
+  EXPECT_TRUE(ok.enabled);
+  EXPECT_EQ(ok.file, "trace.json");
+}
+
 }  // namespace
 }  // namespace patchecko

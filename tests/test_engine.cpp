@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -21,6 +23,8 @@
 #include "engine/cache.h"
 #include "engine/engine.h"
 #include "engine/thread_pool.h"
+#include "obs/decision.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -296,6 +300,50 @@ TEST(Cache, OutcomeSerializationRoundTripsByteIdentical) {
   }
   EXPECT_EQ(restored->rank_of_target, outcome.rank_of_target);
   EXPECT_EQ(restored->da_seconds, outcome.da_seconds);
+  EXPECT_EQ(serialize_outcome(*restored), bytes);
+}
+
+TEST(Cache, ProvenanceRoundTripsBitExactIncludingNonFinite) {
+  // Decision provenance rides inside the cached outcome; the doubles are
+  // serialized as raw bits, so NaN env distances and +inf aggregates must
+  // survive — a warm-cache scan has to re-render byte-identical JSONL.
+  DetectionOutcome outcome;
+  outcome.cve_id = "CVE-2018-9412";
+  outcome.provenance.threshold = 0.4;
+  outcome.provenance.minkowski_p = 3.0;
+  outcome.provenance.total = 64;
+  outcome.provenance.executed = 1;
+  obs::CandidateRecord kept;
+  kept.function_index = 12;
+  kept.dl_score = 0.875;
+  kept.validated = true;
+  kept.env_distances = {0.25, std::numeric_limits<double>::quiet_NaN(),
+                        0.0078125};
+  kept.distance = 0.4375;
+  kept.rank = 1;
+  obs::CandidateRecord pruned;
+  pruned.function_index = 31;
+  pruned.dl_score = 0.5;
+  pruned.crash_env = 2;
+  pruned.distance = std::numeric_limits<double>::infinity();
+  outcome.provenance.candidates = {kept, pruned};
+
+  const std::vector<std::uint8_t> bytes = serialize_outcome(outcome);
+  const auto restored = deserialize_outcome(bytes);
+  ASSERT_TRUE(restored.has_value());
+  const obs::StageRecord& stage = restored->provenance;
+  EXPECT_EQ(stage.threshold, 0.4);
+  EXPECT_EQ(stage.total, 64u);
+  EXPECT_EQ(stage.executed, 1u);
+  ASSERT_EQ(stage.candidates.size(), 2u);
+  EXPECT_EQ(stage.candidates[0].function_index, 12u);
+  EXPECT_TRUE(stage.candidates[0].validated);
+  ASSERT_EQ(stage.candidates[0].env_distances.size(), 3u);
+  EXPECT_TRUE(std::isnan(stage.candidates[0].env_distances[1]));
+  EXPECT_EQ(stage.candidates[0].env_distances[2], 0.0078125);
+  EXPECT_EQ(stage.candidates[0].rank, 1);
+  EXPECT_EQ(stage.candidates[1].crash_env, 2);
+  EXPECT_TRUE(std::isinf(stage.candidates[1].distance));
   EXPECT_EQ(serialize_outcome(*restored), bytes);
 }
 
@@ -578,6 +626,60 @@ TEST(Engine, CanonicalReportIsUnaffectedByMetrics) {
   ASSERT_FALSE(off_text.empty());
   EXPECT_EQ(seq_text, off_text);
   EXPECT_EQ(par_text, off_text);
+}
+
+TEST(Engine, ProvenanceIsDeterministicAcrossJobCounts) {
+  // Decision lines carry no wall-clock or thread fields, so the provenance
+  // export must stay byte-identical between jobs=1 and jobs=8 even with the
+  // event log recording — and enabling events must not perturb the
+  // canonical report either.
+  const EngineUniverse& u = universe();
+  EngineConfig sequential;
+  sequential.jobs = 1;
+  sequential.use_cache = false;
+  EngineConfig parallel;
+  parallel.jobs = 8;
+  parallel.use_cache = false;
+
+  std::string off_text;
+  {
+    const obs::EventsEnabledScope off(false);
+    off_text = ScanEngine(parallel).run(u.request()).canonical_text();
+  }
+  const obs::EventsEnabledScope on(true);
+  const ScanReport seq = ScanEngine(sequential).run(u.request());
+  const ScanReport par = ScanEngine(parallel).run(u.request());
+  ASSERT_FALSE(seq.results.empty());
+  EXPECT_EQ(seq.canonical_text(), off_text);
+  EXPECT_EQ(par.canonical_text(), off_text);
+
+  const std::string seq_prov = seq.provenance_jsonl();
+  EXPECT_FALSE(seq_prov.empty());
+  EXPECT_EQ(par.provenance_jsonl(), seq_prov);
+  // Every line is one JSON object; decisions cover every scanned CVE pair.
+  std::size_t decisions = 0, start = 0;
+  while (start < seq_prov.size()) {
+    const std::size_t end = seq_prov.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = seq_prov.substr(start, end - start);
+    if (obs::parse_decision_line(line).has_value()) ++decisions;
+    start = end + 1;
+  }
+  EXPECT_EQ(decisions, seq.results.size());
+}
+
+TEST(Engine, ProvenanceSurvivesCacheRoundTrip) {
+  // A warm run replays outcomes from the cache; the embedded StageRecords
+  // must reproduce the cold run's provenance byte-for-byte (raw-bit double
+  // serialization — no decimal round-trip drift).
+  const EngineUniverse& u = universe();
+  EngineConfig config;
+  config.jobs = 4;  // memory-only cache
+  ScanEngine engine(config);
+  const std::string cold = engine.run(u.request()).provenance_jsonl();
+  const ScanReport warm_report = engine.run(u.request());
+  EXPECT_EQ(warm_report.cache.misses(), 0u);  // really served from cache
+  EXPECT_EQ(warm_report.provenance_jsonl(), cold);
 }
 
 }  // namespace

@@ -8,9 +8,12 @@
 //   patchecko disasm  --firmware fw.img --library NAME --function INDEX
 //   patchecko scan   --model model.bin --firmware fw.img [--cve ID]
 //                    [--scale S] [--seed N] [--threads N] [--metrics[=FILE]]
+//                    [--events[=FILE]] [--trace-out=FILE]
 //   patchecko batch-scan --model model.bin --firmware fw.img [--cve ID]
 //                    [--jobs N] [--cache-dir DIR] [--no-cache]
 //                    [--scale S] [--seed N] [--verbose] [--metrics[=FILE]]
+//                    [--events[=FILE]] [--trace-out=FILE]
+//   patchecko explain --provenance FILE [--cve ID] [--function INDEX]
 //
 // `scan` rebuilds the vulnerability database deterministically from the
 // corpus seed, loads the stripped firmware image from disk, and runs the
@@ -20,16 +23,22 @@
 // with analyze/detect results served from a content-addressed cache.
 // `--metrics` turns on the observability layer (src/obs): a one-line stage/
 // cache/pruning summary plus the full JSON metrics document on stdout (or
-// written to FILE).
+// written to FILE). `--events` records decision provenance and structured
+// events as JSONL; `--trace-out` writes a Chrome trace_event file loadable
+// in Perfetto; `explain` renders the human-readable decision chain from a
+// prior scan's provenance file.
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "core/pipeline.h"
 #include "dl/trainer.h"
 #include "engine/engine.h"
+#include "obs/decision.h"
+#include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -41,56 +50,95 @@ using namespace patchecko;
 using cli::Args;
 using cli::UsageError;
 using cli::metrics_spec_from;
+using cli::output_spec_from;
 using cli::parse_args;
 using cli::require_known_options;
 
 namespace {
 
+int write_text_file(const std::string& path, const std::string& content,
+                    const char* what) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot write %s to %s\n", what, path.c_str());
+    return 1;
+  }
+  std::printf("%s written to %s\n", what, path.c_str());
+  return 0;
+}
+
 /// Emits the end-of-run metrics artifacts: summary line on stdout, JSON on
 /// stdout or to the requested file. No-op when --metrics was not given.
 int emit_metrics(const cli::MetricsSpec& spec) {
   if (!spec.enabled) return 0;
-  std::printf("%s\n", obs::summary_line(obs::Registry::global()).c_str());
+  std::printf("%s\n",
+              obs::summary_line(obs::Registry::global(),
+                                &obs::Tracer::global(),
+                                &obs::EventLog::global()).c_str());
   const std::string json =
-      obs::export_json(obs::Registry::global(), obs::Tracer::global());
+      obs::export_json(obs::Registry::global(), obs::Tracer::global(),
+                       &obs::EventLog::global());
   if (spec.file.empty()) {
     std::printf("%s\n", json.c_str());
     return 0;
   }
-  std::ofstream out(spec.file, std::ios::trunc);
-  out << json << '\n';
-  if (!out.good()) {
-    std::fprintf(stderr, "error: cannot write metrics to %s\n",
-                 spec.file.c_str());
-    return 1;
+  return write_text_file(spec.file, json + "\n", "metrics");
+}
+
+/// Emits the provenance JSONL: deterministic meta + decision lines first
+/// (byte-identical across runs for unchanged inputs), wall-clock event
+/// lines after. No-op when --events was not given.
+int emit_events(const cli::OutputSpec& spec, const ScanReport& report) {
+  if (!spec.enabled) return 0;
+  std::string out = report.provenance_jsonl();
+  for (const obs::Event& event : obs::EventLog::global().events())
+    out += obs::event_jsonl_line(event) + "\n";
+  if (spec.file.empty()) {
+    std::printf("%s", out.c_str());
+    return 0;
   }
-  std::printf("metrics written to %s\n", spec.file.c_str());
-  return 0;
+  return write_text_file(spec.file, out, "events");
+}
+
+/// Emits the Chrome trace_event file. No-op when --trace-out was not given.
+int emit_trace(const cli::OutputSpec& spec) {
+  if (!spec.enabled) return 0;
+  return write_text_file(
+      spec.file,
+      obs::chrome_trace_json(obs::Tracer::global(), &obs::EventLog::global()) +
+          "\n",
+      "trace");
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  patchecko train --out model.bin [--libraries N] "
-               "[--functions N] [--epochs N]\n"
+               "[--functions N] [--epochs N] [--metrics[=FILE]]\n"
                "  patchecko build-firmware --device things|pixel --out "
-               "fw.img [--scale S] [--seed N]\n"
-               "  patchecko inspect --firmware fw.img\n"
+               "fw.img [--scale S] [--seed N] [--metrics[=FILE]]\n"
+               "  patchecko inspect --firmware fw.img [--metrics[=FILE]]\n"
                "  patchecko disasm --firmware fw.img --library NAME "
-               "--function INDEX\n"
+               "--function INDEX [--metrics[=FILE]]\n"
                "  patchecko scan --model model.bin --firmware fw.img "
                "[--cve ID] [--scale S] [--seed N] [--threads N]\n"
-               "                 [--metrics[=FILE]]\n"
+               "                 [--metrics[=FILE]] [--events[=FILE]] "
+               "[--trace-out=FILE]\n"
                "  patchecko batch-scan --model model.bin --firmware fw.img "
                "[--cve ID] [--jobs N] [--cache-dir DIR] [--no-cache]\n"
                "                 [--scale S] [--seed N] [--verbose] "
-               "[--metrics[=FILE]]\n");
+               "[--metrics[=FILE]] [--events[=FILE]] [--trace-out=FILE]\n"
+               "  patchecko explain --provenance FILE [--cve ID] "
+               "[--function INDEX]\n");
   return 2;
 }
 
 int cmd_train(const Args& args) {
-  require_known_options(
-      args, {"out", "libraries", "functions", "epochs", "scale", "seed"});
+  require_known_options(args, {"out", "libraries", "functions", "epochs",
+                               "scale", "seed", "metrics"});
+  const cli::MetricsSpec metrics = metrics_spec_from(args);
+  obs::set_enabled(metrics.enabled);
   const std::string out = args.get("out", "");
   if (out.empty()) return usage();
   TrainerConfig config;
@@ -111,7 +159,7 @@ int cmd_train(const Args& args) {
     return 1;
   }
   std::printf("model written to %s\n", out.c_str());
-  return 0;
+  return emit_metrics(metrics);
 }
 
 EvalConfig eval_config_from(const Args& args) {
@@ -125,7 +173,9 @@ EvalConfig eval_config_from(const Args& args) {
 }
 
 int cmd_build_firmware(const Args& args) {
-  require_known_options(args, {"out", "device", "scale", "seed"});
+  require_known_options(args, {"out", "device", "scale", "seed", "metrics"});
+  const cli::MetricsSpec metrics = metrics_spec_from(args);
+  obs::set_enabled(metrics.enabled);
   const std::string out = args.get("out", "");
   if (out.empty()) return usage();
   const std::string device_name = args.get("device", "things");
@@ -145,11 +195,13 @@ int cmd_build_firmware(const Args& args) {
   }
   std::printf("%zu libraries, %zu functions -> %s\n", image.libraries.size(),
               image.total_functions(), out.c_str());
-  return 0;
+  return emit_metrics(metrics);
 }
 
 int cmd_inspect(const Args& args) {
-  require_known_options(args, {"firmware"});
+  require_known_options(args, {"firmware", "metrics"});
+  const cli::MetricsSpec metrics = metrics_spec_from(args);
+  obs::set_enabled(metrics.enabled);
   const auto image = load_firmware(args.get("firmware", ""));
   if (!image) {
     std::fprintf(stderr, "error: cannot load firmware image\n");
@@ -164,11 +216,13 @@ int cmd_inspect(const Args& args) {
                 std::string(opt_level_name(lib.opt)).c_str(),
                 lib.function_count(), lib.stripped ? "yes" : "no");
   std::printf("total: %zu functions\n", image->total_functions());
-  return 0;
+  return emit_metrics(metrics);
 }
 
 int cmd_disasm(const Args& args) {
-  require_known_options(args, {"firmware", "library", "function"});
+  require_known_options(args, {"firmware", "library", "function", "metrics"});
+  const cli::MetricsSpec metrics = metrics_spec_from(args);
+  obs::set_enabled(metrics.enabled);
   const auto image = load_firmware(args.get("firmware", ""));
   if (!image) {
     std::fprintf(stderr, "error: cannot load firmware image\n");
@@ -192,7 +246,7 @@ int cmd_disasm(const Args& args) {
                 static_cast<long long>(fn.frame_size));
     for (std::size_t i = 0; i < fn.code.size(); ++i)
       std::printf("%4zu  %s\n", i, to_string(fn.code[i]).c_str());
-    return 0;
+    return emit_metrics(metrics);
   }
   std::fprintf(stderr, "error: no library named %s\n", library.c_str());
   return 1;
@@ -201,9 +255,13 @@ int cmd_disasm(const Args& args) {
 int cmd_scan(const Args& args) {
   require_known_options(
       args, {"model", "firmware", "cve", "scale", "seed", "threads",
-             "metrics"});
+             "metrics", "events", "trace-out"});
   const cli::MetricsSpec metrics = metrics_spec_from(args);
-  obs::set_enabled(metrics.enabled);
+  const cli::OutputSpec events = output_spec_from(args, "events");
+  const cli::OutputSpec trace_out =
+      output_spec_from(args, "trace-out", /*value_required=*/true);
+  obs::set_enabled(metrics.enabled || trace_out.enabled);
+  obs::set_events_enabled(events.enabled || trace_out.enabled);
   const auto model = SimilarityModel::load(args.get("model", ""));
   if (!model) {
     std::fprintf(stderr, "error: cannot load model (run `patchecko train`)\n");
@@ -232,25 +290,41 @@ int cmd_scan(const Args& args) {
 
   Stopwatch total;
   int vulnerable = 0, patched = 0, missing = 0;
+  ScanReport provenance;  ///< results only; feeds --events rendering
   std::map<std::size_t, AnalyzedLibrary> analyzed_cache;
   for (const CveEntry& entry : database.entries()) {
     if (!only_cve.empty() && entry.spec.cve_id != only_cve) continue;
+    CveScanResult result;
+    result.cve_id = entry.spec.cve_id;
+    result.library = entry.spec.library;
     const auto lib_it = by_name.find(entry.spec.library);
     if (lib_it == by_name.end()) {
       std::printf("%-16s %-18s library not in image\n",
                   entry.spec.cve_id.c_str(), entry.spec.library.c_str());
       ++missing;
+      result.library_missing = true;
+      provenance.results.push_back(std::move(result));
       continue;
     }
     auto [cached, inserted] = analyzed_cache.try_emplace(entry.library_index);
     if (inserted)
       cached->second = analyze_library(*lib_it->second,
                                        pipeline_config.worker_threads);
-    const PatchReport report = pipeline.full_report(entry, cached->second);
+    // Both query directions run explicitly (full_report's exact workflow)
+    // so the outcomes — and their decision provenance — are in hand.
+    result.from_vulnerable =
+        pipeline.detect(entry, cached->second, /*query_is_patched=*/false);
+    result.from_patched =
+        pipeline.detect(entry, cached->second, /*query_is_patched=*/true);
+    result.report = pipeline.report_from(entry, cached->second,
+                                         result.from_vulnerable,
+                                         result.from_patched);
+    const PatchReport& report = result.report;
     if (!report.decision) {
       std::printf("%-16s %-18s no match\n", entry.spec.cve_id.c_str(),
                   entry.spec.library.c_str());
       ++missing;
+      provenance.results.push_back(std::move(result));
       continue;
     }
     const bool is_patched =
@@ -262,20 +336,28 @@ int cmd_scan(const Args& args) {
     for (const std::string& note : report.decision->evidence)
       std::printf("                   evidence: %s\n", note.c_str());
     (is_patched ? patched : vulnerable) += 1;
+    provenance.results.push_back(std::move(result));
   }
   std::printf("\nscan finished in %.1fs: %d vulnerable, %d patched, %d "
               "unresolved\n",
               total.elapsed_seconds(), vulnerable, patched, missing);
-  return emit_metrics(metrics);
+  int status = emit_metrics(metrics);
+  if (const int rc = emit_events(events, provenance); rc != 0) status = rc;
+  if (const int rc = emit_trace(trace_out); rc != 0) status = rc;
+  return status;
 }
 
 int cmd_batch_scan(const Args& args) {
   // Validate every option before the expensive corpus/database build.
   require_known_options(args, {"model", "firmware", "cve", "jobs", "cache-dir",
                                "no-cache", "scale", "seed", "verbose",
-                               "metrics"});
+                               "metrics", "events", "trace-out"});
   const cli::MetricsSpec metrics = metrics_spec_from(args);
-  obs::set_enabled(metrics.enabled);
+  const cli::OutputSpec events = output_spec_from(args, "events");
+  const cli::OutputSpec trace_out =
+      output_spec_from(args, "trace-out", /*value_required=*/true);
+  obs::set_enabled(metrics.enabled || trace_out.enabled);
+  obs::set_events_enabled(events.enabled || trace_out.enabled);
   EngineConfig engine_config;
   engine_config.jobs = static_cast<unsigned>(
       args.get_count("jobs", static_cast<long>(default_worker_threads())));
@@ -340,7 +422,54 @@ int cmd_batch_scan(const Args& args) {
       std::printf("                   evidence: %s\n", note.c_str());
   }
   std::printf("\n%s", report.summary_text().c_str());
-  return emit_metrics(metrics);
+  int status = emit_metrics(metrics);
+  if (const int rc = emit_events(events, report); rc != 0) status = rc;
+  if (const int rc = emit_trace(trace_out); rc != 0) status = rc;
+  return status;
+}
+
+int cmd_explain(const Args& args) {
+  require_known_options(args, {"provenance", "cve", "function"});
+  const std::string path = args.get("provenance", "");
+  if (path.empty()) return usage();
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read provenance file %s\n",
+                 path.c_str());
+    return 1;
+  }
+  const std::string only_cve = args.get("cve", "");
+  const bool by_function = args.has("function");
+  const long function_arg = args.get_long("function", 0);
+  if (by_function && function_arg < 0)
+    throw UsageError("--function must be >= 0");
+  const auto wanted_function = static_cast<std::uint64_t>(function_arg);
+
+  std::size_t shown = 0;
+  std::vector<std::string> available;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto record = obs::parse_decision_line(line);
+    if (!record) continue;  // meta or event line
+    available.push_back(record->cve_id);
+    if (!only_cve.empty() && record->cve_id != only_cve) continue;
+    if (by_function &&
+        !(record->matched_function == wanted_function))
+      continue;
+    if (shown != 0) std::printf("\n");
+    std::printf("%s", obs::explain_text(*record).c_str());
+    ++shown;
+  }
+  if (shown != 0) return 0;
+  std::fprintf(stderr, "no matching decision record in %s\n", path.c_str());
+  if (!available.empty()) {
+    std::fprintf(stderr, "recorded CVEs:");
+    for (const std::string& cve : available)
+      std::fprintf(stderr, " %s", cve.c_str());
+    std::fprintf(stderr, "\n");
+  }
+  return 1;
 }
 
 }  // namespace
@@ -354,6 +483,7 @@ int main(int argc, char** argv) {
     if (args.command == "disasm") return cmd_disasm(args);
     if (args.command == "scan") return cmd_scan(args);
     if (args.command == "batch-scan") return cmd_batch_scan(args);
+    if (args.command == "explain") return cmd_explain(args);
     return usage();
   } catch (const UsageError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
