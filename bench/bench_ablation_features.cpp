@@ -41,6 +41,7 @@ int main() {
       "=== Ablation: on-device (arch-matched) vs cross-arch reference "
       "profiles ===\n");
   TextTable ref_table({"references", "top-1", "top-3", "found"});
+  std::vector<bench::BenchRow> json_rows;
   for (const bool cross_arch : {false, true}) {
     int top1 = 0, top3 = 0, found = 0;
     for (const CveEntry& entry : ctx.database->entries()) {
@@ -58,6 +59,10 @@ int main() {
                                   : "arch-matched (on-device)",
                        std::to_string(top1), std::to_string(top3),
                        std::to_string(found)});
+    json_rows.emplace_back(cross_arch ? "cross_arch" : "arch_matched",
+                           std::vector<std::pair<std::string, double>>{
+                               {"top1", static_cast<double>(top1)},
+                               {"top3", static_cast<double>(top3)}});
   }
   std::printf("%s\n", ref_table.render().c_str());
 
@@ -128,5 +133,7 @@ int main() {
       "noise swamps patch-sized deltas); no single feature family is "
       "irreplaceable, but instruction counts and hot-site frequencies carry "
       "the most signal (the paper's Table III observation).\n");
-  return 0;
+  const bool wrote = bench::write_bench_json("ablation_features", json_rows,
+                                             {"top1", "top3"});
+  return wrote ? 0 : 1;
 }

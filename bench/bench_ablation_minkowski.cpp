@@ -61,12 +61,17 @@ int main() {
 
   std::printf("=== Ablation: Minkowski order p (K=%zu environments) ===\n",
               k_full);
+  std::vector<bench::BenchRow> json_rows;
   TextTable p_table({"p", "top-1", "top-3", "found", "total"});
   for (double p : {1.0, 2.0, 3.0, 4.0}) {
     const RankStats stats = rank_stats(ctx, p, k_full);
     p_table.add_row({fmt_double(p, 0), std::to_string(stats.top1),
                      std::to_string(stats.top3), std::to_string(stats.found),
                      std::to_string(stats.total)});
+    json_rows.emplace_back("p" + fmt_double(p, 0),
+                           std::vector<std::pair<std::string, double>>{
+                               {"top1", static_cast<double>(stats.top1)},
+                               {"top3", static_cast<double>(stats.top3)}});
   }
   std::printf("%s\n", p_table.render().c_str());
 
@@ -82,5 +87,7 @@ int main() {
   std::printf(
       "Shape check: ranking quality is stable in p (the paper's p=3 is not "
       "load-bearing) and improves/stabilizes with more environments.\n");
-  return 0;
+  const bool wrote = bench::write_bench_json("ablation_minkowski", json_rows,
+                                             {"top1", "top3"});
+  return wrote ? 0 : 1;
 }

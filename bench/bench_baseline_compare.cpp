@@ -145,5 +145,17 @@ int main() {
       "\nShape check (paper, Section VI): pure static similarity leaves a "
       "large candidate set to triage; graph matching is accurate but does "
       "not scale; the hybrid pipeline is both accurate (top-3) and fast.\n");
-  return 0;
+  const auto json_row = [](const char* name, double seconds, int rank1_wins) {
+    return bench::BenchRow(
+        name, {{"total_seconds", seconds},
+               {"rank1_hits", static_cast<double>(rank1_wins)}});
+  };
+  const bool wrote = bench::write_bench_json(
+      "baseline_compare",
+      {json_row("static_only", sums[0], wins[0]),
+       json_row("bindiff", sums[1], wins[1]),
+       json_row("graph_embed", sums[2], wins[2]),
+       json_row("patchecko", sums[3], wins[3])},
+      {"rank1_hits"});
+  return wrote ? 0 : 1;
 }

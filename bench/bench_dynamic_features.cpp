@@ -8,6 +8,7 @@
 
 #include "compiler/compiler.h"
 #include "fuzz/fuzzer.h"
+#include "harness.h"
 #include "similarity/similarity.h"
 #include "source/generator.h"
 #include "util/table.h"
@@ -95,7 +96,5 @@ int main(int argc, char** argv) {
                    fmt_double(values[i], 2)});
   std::printf("%s\n", table.render().c_str());
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_gbench_to_json("dynamic_features", &argc, argv);
 }

@@ -60,7 +60,15 @@ int main() {
   add("fresh engine (disk)", 1, replay, cold.total_seconds);
   std::printf("%s\n", table.render().c_str());
 
-  bool ok = true;
+  const auto json_row = [](const char* name, const ScanReport& report) {
+    return bench::BenchRow(
+        name, {{"seconds", report.total_seconds},
+               {"cache_misses", static_cast<double>(report.cache.misses())}});
+  };
+  bool ok = bench::write_bench_json(
+      "engine_cache",
+      {json_row("cold", cold), json_row("warm_memory", warm),
+       json_row("replay_disk", replay)});
   if (warm.canonical_text() != cold.canonical_text()) {
     std::printf("FAIL: warm report differs from cold report\n");
     ok = false;

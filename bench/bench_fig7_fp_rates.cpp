@@ -43,5 +43,12 @@ int main() {
       "\nShape check (paper): FP rates sit in the 0.5%%-17%% band; for a "
       "CVE that is patched on the device, the *patched* query tends to show "
       "the lower FP rate, and vice versa.\n");
-  return 0;
+  const bool wrote = bench::write_bench_json(
+      "fig7_fp_rates",
+      {bench::BenchRow("average_fp_rate",
+                       {{"things_vulnerable", sums[0] / 25.0},
+                        {"things_patched", sums[1] / 25.0},
+                        {"pixel2_vulnerable", sums[2] / 25.0},
+                        {"pixel2_patched", sums[3] / 25.0}})});
+  return wrote ? 0 : 1;
 }

@@ -39,5 +39,12 @@ int main() {
               fmt_double(run.test_accuracy, 4).c_str());
   std::printf("test AUC      : %s (paper cites 0.971 AUC for [41])\n",
               fmt_double(run.test_auc, 4).c_str());
-  return 0;
+  const bool wrote = bench::write_bench_json(
+      "fig8_training",
+      {bench::BenchRow("model", {{"test_accuracy", run.test_accuracy},
+                                 {"test_auc", run.test_auc},
+                                 {"final_train_loss",
+                                  run.train_history.back().loss}})},
+      {"test_accuracy", "test_auc"});
+  return wrote ? 0 : 1;
 }

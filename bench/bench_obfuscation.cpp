@@ -19,6 +19,7 @@ int main() {
   TextTable table({"strength", "found", "top-3", "avg FP rate",
                    "avg candidates"});
 
+  std::vector<bench::BenchRow> json_rows;
   for (double strength : {0.0, 0.1, 0.25, 0.5, 1.0}) {
     int found = 0, top3 = 0, total = 0;
     double fp_rate_sum = 0.0;
@@ -46,6 +47,10 @@ int main() {
                    std::to_string(top3),
                    fmt_percent(fp_rate_sum / total),
                    fmt_double(candidates_sum / total, 1)});
+    json_rows.emplace_back("strength_" + fmt_double(strength, 2),
+                           std::vector<std::pair<std::string, double>>{
+                               {"found", static_cast<double>(found)},
+                               {"top3", static_cast<double>(top3)}});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(
@@ -53,5 +58,7 @@ int main() {
       "survives the pipeline — the dynamic stage is semantics-based — while "
       "heavy CFG trampolining erodes the *static* stage's candidate recall, "
       "which is exactly why the paper scopes obfuscated binaries out.\n");
-  return 0;
+  const bool wrote = bench::write_bench_json("obfuscation", json_rows,
+                                             {"found", "top3"});
+  return wrote ? 0 : 1;
 }

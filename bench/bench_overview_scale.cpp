@@ -53,5 +53,12 @@ int main() {
       "but the static stage alone leaves hundreds of candidates per CVE "
       "(paper: 600+ for a 3000-function binary); the dynamic stage exists "
       "to prune them automatically.\n");
-  return 0;
+  const double fns = static_cast<double>(lib.function_count());
+  const bool wrote = bench::write_bench_json(
+      "overview_scale",
+      {bench::BenchRow("static_stage",
+                       {{"extract_fns_per_s", fns / extract_seconds},
+                        {"score_pairs_per_s", fns / score_seconds}})},
+      {"extract_fns_per_s", "score_pairs_per_s"});
+  return wrote ? 0 : 1;
 }

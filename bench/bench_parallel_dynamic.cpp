@@ -27,6 +27,7 @@ int main() {
 
   double baseline = 0.0;
   const unsigned hw = default_worker_threads();
+  std::vector<bench::BenchRow> json_rows;
   for (unsigned threads : {1u, 2u, 4u, hw}) {
     PipelineConfig config;
     config.worker_threads = threads;
@@ -39,6 +40,9 @@ int main() {
                    fmt_double(baseline / outcome.da_seconds, 2) + "x",
                    std::to_string(outcome.executed),
                    std::to_string(outcome.rank_of_target)});
+    json_rows.emplace_back("threads_" + std::to_string(threads),
+                           std::vector<std::pair<std::string, double>>{
+                               {"da_seconds", outcome.da_seconds}});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(
@@ -49,5 +53,5 @@ int main() {
         "NOTE: this host exposes a single hardware thread, so no speedup is "
         "observable here; on a multi-core analysis server the stage scales "
         "with the candidate count.\n");
-  return 0;
+  return bench::write_bench_json("parallel_dynamic", json_rows) ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "compiler/compiler.h"
 #include "features/static_features.h"
+#include "harness.h"
 #include "source/generator.h"
 #include "util/table.h"
 
@@ -73,7 +74,5 @@ int main(int argc, char** argv) {
                    fmt_double(example[i], 2)});
   std::printf("%s\n", table.render().c_str());
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::run_gbench_to_json("static_features", &argc, argv);
 }

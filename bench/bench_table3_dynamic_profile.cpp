@@ -69,5 +69,11 @@ int main() {
   for (std::size_t f = 0; f < DynamicFeatures::count; ++f)
     std::printf("  F%-2zu %s\n", f + 1,
                 std::string(DynamicFeatures::name(f)).c_str());
-  return 0;
+  const bool wrote = bench::write_bench_json(
+      "table3_dynamic_profile",
+      {bench::BenchRow(
+          "cve_2018_9412",
+          {{"survivors", static_cast<double>(outcome.executed)},
+           {"candidates", static_cast<double>(outcome.candidates.size())}})});
+  return wrote ? 0 : 1;
 }

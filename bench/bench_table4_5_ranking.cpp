@@ -11,8 +11,8 @@ using namespace patchecko;
 
 namespace {
 
-void run_ranking(const bench::EvalContext& ctx, const CveEntry& entry,
-                 bool query_is_patched) {
+int run_ranking(const bench::EvalContext& ctx, const CveEntry& entry,
+                bool query_is_patched) {
   const Patchecko pipeline(&ctx.model);
   const AnalyzedLibrary& target = ctx.analyzed_for(entry, false);
   const DetectionOutcome outcome =
@@ -34,6 +34,7 @@ void run_ranking(const bench::EvalContext& ctx, const CveEntry& entry,
   std::printf("%s", table.render().c_str());
   std::printf("(target rank: %d; %zu candidates executed)\n\n",
               outcome.rank_of_target, outcome.executed);
+  return outcome.rank_of_target;
 }
 
 }  // namespace
@@ -45,17 +46,25 @@ int main() {
   std::printf(
       "=== Table IV: function similarity for CVE-2018-9412, vulnerable "
       "query (top 10) ===\n");
-  run_ranking(ctx, entry, /*query_is_patched=*/false);
+  const int vulnerable_rank = run_ranking(ctx, entry,
+                                          /*query_is_patched=*/false);
 
   std::printf(
       "=== Table V: function similarity for CVE-2018-9412, patched query "
       "(top 10) ===\n");
-  run_ranking(ctx, entry, /*query_is_patched=*/true);
+  const int patched_rank = run_ranking(ctx, entry, /*query_is_patched=*/true);
 
   std::printf(
       "Shape check (paper): with the vulnerable query the target tops the "
       "list with a clear gap to rank 2; with the patched query it lands in "
       "the top 2 but without a decisive margin — the unpatched target is "
       "*near* the patched reference but not identical.\n");
-  return 0;
+  const bool wrote = bench::write_bench_json(
+      "table4_5_ranking",
+      {bench::BenchRow("cve_2018_9412",
+                       {{"vulnerable_query_rank",
+                         static_cast<double>(vulnerable_rank)},
+                        {"patched_query_rank",
+                         static_cast<double>(patched_rank)}})});
+  return wrote ? 0 : 1;
 }

@@ -12,7 +12,13 @@ using namespace patchecko;
 
 namespace {
 
-void run_table(const bench::EvalContext& ctx, bool query_is_patched) {
+struct TableSummary {
+  double mean_fp_rate = 0.0;
+  double mean_dl_seconds = 0.0;
+  double mean_da_seconds = 0.0;
+};
+
+TableSummary run_table(const bench::EvalContext& ctx, bool query_is_patched) {
   const Patchecko pipeline(&ctx.model);
   TextTable table({"CVE", "TP", "TN", "FP", "FN", "Total", "FP(%)",
                    "Execution", "Ranking", "DP(s)", "DA(s)"});
@@ -59,6 +65,8 @@ void run_table(const bench::EvalContext& ctx, bool query_is_patched) {
       "Target ranked in top 3 for %d of %d detected CVEs (paper: 100%% of "
       "detected; one N/A where the DL stage misses a patched target)\n\n",
       found_in_top3, found);
+  const double n = static_cast<double>(rows);
+  return TableSummary{fp_rate_sum / n, dp_sum / n, da_sum / n};
 }
 
 }  // namespace
@@ -69,11 +77,20 @@ int main() {
   std::printf(
       "=== Table VI: detection on Android Things, vulnerable-function query "
       "===\n");
-  run_table(ctx, /*query_is_patched=*/false);
+  const TableSummary vulnerable = run_table(ctx, /*query_is_patched=*/false);
 
   std::printf(
       "=== Table VII: detection on Android Things, patched-function query "
       "===\n");
-  run_table(ctx, /*query_is_patched=*/true);
-  return 0;
+  const TableSummary patched = run_table(ctx, /*query_is_patched=*/true);
+
+  const auto json_row = [](const char* name, const TableSummary& summary) {
+    return bench::BenchRow(name, {{"mean_fp_rate", summary.mean_fp_rate},
+                                  {"mean_dl_seconds", summary.mean_dl_seconds},
+                                  {"mean_da_seconds", summary.mean_da_seconds}});
+  };
+  const bool wrote = bench::write_bench_json(
+      "table6_7_accuracy", {json_row("vulnerable_query", vulnerable),
+                            json_row("patched_query", patched)});
+  return wrote ? 0 : 1;
 }

@@ -47,5 +47,11 @@ int main() {
       "on CVE-2018-9470, a one-integer patch)\n",
       correct, total,
       fmt_percent(static_cast<double>(correct) / total).c_str());
-  return 0;
+  const bool wrote = bench::write_bench_json(
+      "table8_patch_detection",
+      {bench::BenchRow("android_things",
+                       {{"accuracy", static_cast<double>(correct) / total},
+                        {"cves", static_cast<double>(total)}})},
+      {"accuracy", "cves"});
+  return wrote ? 0 : 1;
 }

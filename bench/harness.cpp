@@ -1,10 +1,15 @@
 #include "harness.h"
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
+
+#include "obs/json.h"
 
 namespace patchecko::bench {
 
@@ -89,29 +94,75 @@ const EvalContext& shared_eval_context() {
 }
 
 bool write_bench_json(const std::string& bench,
-                      const std::vector<BenchRow>& rows) {
+                      const std::vector<BenchRow>& rows,
+                      const std::vector<std::string>& higher_is_better) {
   const std::string dir = env_string("PATCHECKO_BENCH_DIR", ".");
   const std::string path = dir + "/BENCH_" + bench + ".json";
-  std::ostringstream out;
-  out << "{\"bench\":\"" << bench << "\",\"rows\":[";
+  std::string out;
+  out += "{\"bench\":";
+  obs::json::append_string(out, bench);
+  out += ",\"rows\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    if (i != 0) out << ',';
-    char buf[64];
-    out << "{\"name\":\"" << rows[i].name << "\",\"enabled_ns\":";
-    std::snprintf(buf, sizeof(buf), "%.4f", rows[i].enabled_ns);
-    out << buf << ",\"disabled_ns\":";
-    std::snprintf(buf, sizeof(buf), "%.4f", rows[i].disabled_ns);
-    out << buf << '}';
+    if (i != 0) out += ',';
+    out += "{\"name\":";
+    obs::json::append_string(out, rows[i].name);
+    out += ",\"metrics\":{";
+    for (std::size_t m = 0; m < rows[i].metrics.size(); ++m) {
+      if (m != 0) out += ',';
+      obs::json::append_string(out, rows[i].metrics[m].first);
+      out += ':';
+      obs::json::append_double(out, rows[i].metrics[m].second);
+    }
+    out += "}}";
   }
-  out << "]}\n";
+  out += "],\"higher_is_better\":[";
+  for (std::size_t i = 0; i < higher_is_better.size(); ++i) {
+    if (i != 0) out += ',';
+    obs::json::append_string(out, higher_is_better[i]);
+  }
+  out += "]}\n";
   std::ofstream file(path, std::ios::trunc);
-  file << out.str();
+  file << out;
   if (!file.good()) {
     std::fprintf(stderr, "[harness] warning: cannot write %s\n", path.c_str());
     return false;
   }
   std::fprintf(stderr, "[harness] wrote %s\n", path.c_str());
   return true;
+}
+
+namespace {
+
+/// Console reporter that also collects per-benchmark timings for the
+/// BENCH_*.json trajectory file.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      BenchRow row;
+      row.name = run.benchmark_name();
+      row.set("real_ns", run.GetAdjustedRealTime());
+      row.set("cpu_ns", run.GetAdjustedCPUTime());
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<BenchRow> rows_;
+};
+
+}  // namespace
+
+int run_gbench_to_json(const std::string& bench, int* argc, char** argv) {
+  benchmark::Initialize(argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(*argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return write_bench_json(bench, reporter.rows()) ? 0 : 1;
 }
 
 }  // namespace patchecko::bench

@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cve_database.h"
@@ -55,18 +56,42 @@ struct EvalContext {
 
 const EvalContext& shared_eval_context();
 
-/// One measured row of a benchmark table.
+/// One measured row of a benchmark table: a name plus named metric values.
+/// Metric order is preserved in the JSON output.
 struct BenchRow {
   std::string name;
-  double enabled_ns = 0.0;
-  double disabled_ns = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  BenchRow() = default;
+  BenchRow(std::string row_name,
+           std::vector<std::pair<std::string, double>> row_metrics)
+      : name(std::move(row_name)), metrics(std::move(row_metrics)) {}
+  /// Back-compat shape for the enabled-vs-disabled micro-benches.
+  BenchRow(std::string row_name, double enabled_ns, double disabled_ns)
+      : name(std::move(row_name)),
+        metrics{{"enabled_ns", enabled_ns}, {"disabled_ns", disabled_ns}} {}
+
+  BenchRow& set(std::string key, double value) {
+    metrics.emplace_back(std::move(key), value);
+    return *this;
+  }
 };
 
-/// Writes BENCH_<bench>.json — {"bench","rows":[{name,enabled_ns,
-/// disabled_ns}]} — so the perf trajectory is machine-trackable across PRs.
-/// Directory from $PATCHECKO_BENCH_DIR (default "."). Returns false (after
-/// printing a warning) when the file cannot be written.
+/// Writes BENCH_<bench>.json — {"bench","rows":[{"name",..,"metrics":{K:V}}],
+/// "higher_is_better":[K,..]} — so the perf trajectory is machine-trackable
+/// across PRs (bench-diff consumes these). Metrics listed in
+/// `higher_is_better` regress when they *drop* (accuracy, throughput);
+/// everything else regresses when it grows (latency, misses). Directory from
+/// $PATCHECKO_BENCH_DIR (default "."). Returns false (after printing a
+/// warning) when the file cannot be written.
 bool write_bench_json(const std::string& bench,
-                      const std::vector<BenchRow>& rows);
+                      const std::vector<BenchRow>& rows,
+                      const std::vector<std::string>& higher_is_better = {});
+
+/// Runs google-benchmark (Initialize + RunSpecifiedBenchmarks) and captures
+/// each benchmark's real/CPU ns into BENCH_<bench>.json alongside the normal
+/// console output. Returns the process exit status (nonzero when the JSON
+/// could not be written).
+int run_gbench_to_json(const std::string& bench, int* argc, char** argv);
 
 }  // namespace patchecko::bench

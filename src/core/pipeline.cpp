@@ -41,6 +41,10 @@ struct PipelineMetrics {
   }
 };
 
+inline bool is_cancelled(const std::atomic<bool>* cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
 AnalyzedLibrary analyze_library(const LibraryBinary& library,
@@ -63,7 +67,8 @@ Patchecko::Patchecko(const SimilarityModel* model, PipelineConfig config)
 
 DetectionOutcome Patchecko::detect(const CveEntry& entry,
                                    const AnalyzedLibrary& target,
-                                   bool query_is_patched) const {
+                                   bool query_is_patched,
+                                   const std::atomic<bool>* cancel) const {
   DetectionOutcome outcome;
   outcome.cve_id = entry.spec.cve_id;
   outcome.query_is_patched = query_is_patched;
@@ -88,6 +93,10 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
   {
     const obs::ScopedSpan dl_span("pipeline.detect.dl");
     for (std::size_t i = 0; i < target.features.size(); ++i) {
+      if (is_cancelled(cancel)) {
+        outcome.cancelled = true;
+        break;
+      }
       const float score = model_->score(query_features, target.features[i]);
       const bool is_target =
           target.binary->functions[i].source_uid == entry.target_uid;
@@ -121,6 +130,9 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
     const obs::ScopedSpan exec_span("pipeline.detect.exec");
     parallel_for(outcome.candidates.size(), config_.worker_threads,
                  [&](std::size_t c) {
+                   // Cooperative cancellation: already-claimed candidates
+                   // drain as no-ops so parallel_for still joins cleanly.
+                   if (is_cancelled(cancel)) return;
                    const std::size_t index = outcome.candidates[c];
                    std::size_t crash_env = 0;
                    if (!validate_candidate(machine, index, entry.environments,
@@ -151,6 +163,7 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
     }
   }
   outcome.da_seconds = da_watch.elapsed_seconds();
+  if (is_cancelled(cancel)) outcome.cancelled = true;
 
   // --- decision provenance ---------------------------------------------------
   outcome.provenance.threshold = config_.detection_threshold;
@@ -262,7 +275,8 @@ PatchReport Patchecko::full_report(const CveEntry& entry,
 PatchReport Patchecko::report_from(const CveEntry& entry,
                                    const AnalyzedLibrary& target,
                                    const DetectionOutcome& from_vulnerable,
-                                   const DetectionOutcome& from_patched) const {
+                                   const DetectionOutcome& from_patched,
+                                   const std::atomic<bool>* cancel) const {
   const obs::ScopedSpan span("pipeline.patch");
   const Stopwatch watch;
   PatchReport report;
@@ -298,6 +312,7 @@ PatchReport Patchecko::report_from(const CveEntry& entry,
   std::size_t best_effects = 0;
   report.pool.reserve(pool.size());
   for (std::size_t index : pool) {
+    if (is_cancelled(cancel)) break;
     const DynamicProfile profile =
         profile_function(machine, index, entry.environments);
     obs::PatchCandidateRecord member;
@@ -325,6 +340,11 @@ PatchReport Patchecko::report_from(const CveEntry& entry,
       best_slot = report.pool.size();
     }
     report.pool.push_back(member);
+  }
+  if (report.pool.empty()) {
+    // Cancelled before any pool member was profiled; no verdict to render.
+    PipelineMetrics::get().patch_seconds.record(watch.elapsed_seconds());
+    return report;
   }
   report.pool[best_slot].chosen = true;
   report.matched_function = best;

@@ -3,6 +3,7 @@
 // analysis over a stripped target library.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -67,6 +68,11 @@ struct DetectionOutcome {
   /// cold and warm scans produce bitwise-identical records.
   obs::StageRecord provenance;
 
+  /// The cooperative cancel flag fired mid-detect (watchdog hard deadline):
+  /// the outcome covers only the work finished before cancellation. Never
+  /// serialized — the engine refuses to cache cancelled outcomes.
+  bool cancelled = false;
+
   double false_positive_rate() const {
     const int negatives = true_negatives + false_positives;
     return negatives == 0 ? 0.0
@@ -92,10 +98,13 @@ class Patchecko {
 
   /// Stages 1+2 for one CVE against an analyzed target library.
   /// `query_is_patched` selects which reference drives the search
-  /// (Table VI = vulnerable, Table VII = patched).
+  /// (Table VI = vulnerable, Table VII = patched). `cancel`, when given, is
+  /// the watchdog's cooperative stop flag: both stages poll it and abandon
+  /// remaining work once it reads true (outcome.cancelled records that).
   DetectionOutcome detect(const CveEntry& entry,
                           const AnalyzedLibrary& target,
-                          bool query_is_patched) const;
+                          bool query_is_patched,
+                          const std::atomic<bool>* cancel = nullptr) const;
 
   /// Differential stage on one matched target function.
   PatchDecision analyze_patch(const CveEntry& entry,
@@ -112,7 +121,8 @@ class Patchecko {
   /// cache-served) outcomes of its detect jobs through this entry point.
   PatchReport report_from(const CveEntry& entry, const AnalyzedLibrary& target,
                           const DetectionOutcome& from_vulnerable,
-                          const DetectionOutcome& from_patched) const;
+                          const DetectionOutcome& from_patched,
+                          const std::atomic<bool>* cancel = nullptr) const;
 
   const PipelineConfig& config() const { return config_; }
 

@@ -1,17 +1,21 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "engine/thread_pool.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -31,6 +35,15 @@ struct EngineMetrics {
       obs::Registry::global().histogram("engine.job_seconds.detect");
   obs::Histogram& patch_seconds =
       obs::Registry::global().histogram("engine.job_seconds.patch");
+  obs::Histogram& analyze_cpu_seconds =
+      obs::Registry::global().histogram("engine.job_cpu_seconds.analyze");
+  obs::Histogram& detect_cpu_seconds =
+      obs::Registry::global().histogram("engine.job_cpu_seconds.detect");
+  obs::Histogram& patch_cpu_seconds =
+      obs::Registry::global().histogram("engine.job_cpu_seconds.patch");
+  obs::Counter& job_allocations =
+      obs::Registry::global().counter("engine.job_allocations");
+  obs::Gauge& rss_kb = obs::Registry::global().gauge("process.rss_kb");
 
   obs::Histogram& job_histogram(JobKind kind) {
     switch (kind) {
@@ -39,6 +52,15 @@ struct EngineMetrics {
       case JobKind::patch: return patch_seconds;
     }
     return analyze_seconds;
+  }
+
+  obs::Histogram& cpu_histogram(JobKind kind) {
+    switch (kind) {
+      case JobKind::analyze: return analyze_cpu_seconds;
+      case JobKind::detect: return detect_cpu_seconds;
+      case JobKind::patch: return patch_cpu_seconds;
+    }
+    return analyze_cpu_seconds;
   }
 
   static EngineMetrics& get() {
@@ -147,9 +169,13 @@ std::string ScanReport::summary_text() const {
     (result.report.decision->verdict == PatchVerdict::patched ? patched
                                                               : vulnerable)++;
   }
+  int stalled = 0;
+  for (const CveScanResult& result : results) stalled += result.stalled ? 1 : 0;
   out << results.size() << " CVEs scanned across " << analyzed_libraries
       << " libraries: " << vulnerable << " vulnerable, " << patched
-      << " patched, " << unresolved << " unresolved\n";
+      << " patched, " << unresolved << " unresolved";
+  if (stalled != 0) out << " (" << stalled << " stalled by watchdog)";
+  out << "\n";
   char line[160];
   std::snprintf(line, sizeof(line),
                 "wall time %.2fs over %zu jobs; cache: %llu hits / %llu "
@@ -182,6 +208,7 @@ obs::DecisionRecord decision_record(const CveScanResult& result) {
   record.cve_id = result.cve_id;
   record.library = result.library;
   record.library_missing = result.library_missing;
+  record.stalled = result.stalled;
   if (result.library_missing) return record;
   record.from_vulnerable = result.from_vulnerable.provenance;
   record.from_patched = result.from_patched.provenance;
@@ -297,32 +324,85 @@ ScanReport ScanEngine::run(const ScanRequest& request,
   const Digest config_digest =
       caching ? digest_pipeline_config(pipeline_config) : Digest{};
 
+  // --- run-health instrumentation ------------------------------------------
+  // The watchdog exists only when a deadline was configured; the heartbeat
+  // is caller-owned and merely driven from here. The guard finishes the
+  // heartbeat even when a job throws, so the stream always ends with a
+  // terminal snapshot.
+  std::optional<obs::StallWatchdog> watchdog;
+  if (config_.watchdog.soft_deadline_seconds > 0.0 ||
+      config_.watchdog.hard_deadline_seconds > 0.0) {
+    watchdog.emplace(config_.watchdog);
+    watchdog->start();
+  }
+  obs::Heartbeat* const heartbeat = config_.heartbeat;
+  struct HeartbeatGuard {
+    obs::Heartbeat* heartbeat;
+    ~HeartbeatGuard() {
+      if (heartbeat != nullptr) heartbeat->finish();
+    }
+  } heartbeat_guard{heartbeat};
+  if (heartbeat != nullptr) heartbeat->begin(jobs.size());
+
   std::mutex event_mutex;
   const auto emit = [&](JobKind kind, std::string label, double seconds,
-                        bool cache_hit) {
+                        bool cache_hit, const obs::ResourceSample& resources,
+                        bool stalled) {
+    if (heartbeat != nullptr) heartbeat->job_done();
     if (obs::events_enabled())
       obs::EventLog::global().emit(
           obs::Severity::info, "engine.job",
           {obs::Field::text("kind", std::string(job_kind_name(kind))),
            obs::Field::text("label", label),
            obs::Field::f64("seconds", seconds),
-           obs::Field::u64("cache_hit", cache_hit ? 1 : 0)});
+           obs::Field::u64("cache_hit", cache_hit ? 1 : 0),
+           obs::Field::f64("cpu_s", resources.cpu_seconds),
+           obs::Field::u64("allocs", resources.allocations),
+           obs::Field::u64("stalled", stalled ? 1 : 0)});
     std::lock_guard<std::mutex> lock(event_mutex);
-    report.timings.push_back(JobTiming{kind, label, seconds, cache_hit});
+    report.timings.push_back(JobTiming{kind, label, seconds, cache_hit,
+                                       resources.cpu_seconds,
+                                       resources.allocations, stalled});
     if (progress)
       progress(JobEvent{kind, std::move(label), seconds, cache_hit,
-                        report.timings.size() - 1, jobs.size()});
+                        report.timings.size() - 1, jobs.size(),
+                        resources.cpu_seconds, resources.allocations,
+                        stalled});
   };
 
   const auto execute = [&](std::size_t id) {
     const Job& job = jobs[id];
     const obs::ScopedSpan span(job_span_name(job.kind));
-    const Stopwatch watch;
-    bool cache_hit = false;
+
+    // Label first: the watchdog needs it while the job is still running.
     std::string label;
+    if (job.kind == JobKind::analyze)
+      label = libs[job.target].binary->name;
+    else
+      label = report.results[job.target].cve_id;
+
+    obs::StallWatchdog::Job watchdog_job;
+    if (watchdog.has_value())
+      watchdog_job = watchdog->job_started(job_kind_name(job.kind), label);
+    const std::atomic<bool>* cancel =
+        watchdog_job.cancel ? watchdog_job.cancel.get() : nullptr;
+
+    if (job.kind == JobKind::detect && !job.skipped &&
+        config_.stall_inject_seconds > 0.0 &&
+        label == config_.stall_inject_label)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config_.stall_inject_seconds));
+
+    const Stopwatch watch;
+    // Resource sampling honors the no-op contract: with obs off, no extra
+    // clock reads and no /proc access per job.
+    const bool obs_on = obs::enabled();
+    const obs::ResourceSample resources_start =
+        obs_on ? obs::resource_sample() : obs::ResourceSample{};
+    bool cache_hit = false;
+    bool stalled = false;
     if (job.kind == JobKind::analyze) {
       LibSlot& slot = libs[job.target];
-      label = slot.binary->name;
       std::string key;
       if (caching) {
         slot.digest = digest_library(*slot.binary);
@@ -343,7 +423,6 @@ ScanReport ScanEngine::run(const ScanRequest& request,
       const CveEntry& entry = *entries[job.target];
       const LibSlot& slot = libs[entry_lib[job.target]];
       CveScanResult& result = report.results[job.target];
-      label = entry.spec.cve_id;
       const Digest entry_digest = caching ? digest_entry(entry) : Digest{};
       cache_hit = true;
       for (const bool query_is_patched : {false, true}) {
@@ -359,25 +438,43 @@ ScanReport ScanEngine::run(const ScanRequest& request,
           }
         }
         cache_hit = false;
-        outcome = pipeline.detect(entry, slot.analyzed, query_is_patched);
-        if (caching) cache_.store_outcome(key, outcome);
+        outcome = pipeline.detect(entry, slot.analyzed, query_is_patched,
+                                  cancel);
+        // A cancelled outcome is partial; caching it would poison every
+        // later warm run with the truncated result.
+        if (caching && !outcome.cancelled) cache_.store_outcome(key, outcome);
+      }
+      if (result.from_vulnerable.cancelled || result.from_patched.cancelled) {
+        result.stalled = true;
+        stalled = true;
       }
     } else if (job.kind == JobKind::patch && !job.skipped) {
       const CveEntry& entry = *entries[job.target];
       const LibSlot& slot = libs[entry_lib[job.target]];
       CveScanResult& result = report.results[job.target];
-      label = entry.spec.cve_id;
       result.report = pipeline.report_from(entry, slot.analyzed,
                                            result.from_vulnerable,
-                                           result.from_patched);
-    } else {
-      label = report.results[job.target].cve_id;
+                                           result.from_patched, cancel);
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        result.stalled = true;
+        stalled = true;
+      }
     }
     const double seconds = watch.elapsed_seconds();
+    const obs::ResourceSample resources =
+        obs_on ? obs::resource_delta(resources_start, obs::resource_sample())
+               : obs::ResourceSample{};
+    if (watchdog.has_value()) watchdog->job_finished(watchdog_job);
     EngineMetrics::get().job_histogram(job.kind).record(seconds);
+    if (obs_on) {
+      EngineMetrics::get().cpu_histogram(job.kind).record(
+          resources.cpu_seconds);
+      EngineMetrics::get().job_allocations.add(resources.allocations);
+      EngineMetrics::get().rss_kb.set(obs::process_rss_kb());
+    }
     EngineMetrics::get().jobs_completed.add();
     if (cache_hit) EngineMetrics::get().job_cache_hits.add();
-    emit(job.kind, std::move(label), seconds, cache_hit);
+    emit(job.kind, std::move(label), seconds, cache_hit, resources, stalled);
   };
 
   // --- scheduler -----------------------------------------------------------

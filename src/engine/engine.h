@@ -23,6 +23,7 @@
 #include "core/cve_database.h"
 #include "core/pipeline.h"
 #include "engine/cache.h"
+#include "obs/health.h"
 
 namespace patchecko {
 
@@ -34,6 +35,23 @@ struct EngineConfig {
   /// Directory for persisted cache entries; empty = in-memory only.
   std::string cache_dir;
   PipelineConfig pipeline;
+
+  /// Stall watchdog deadlines; both 0 (the default) = no watchdog at all.
+  /// Past the soft deadline a job is flagged once (warning event + stderr);
+  /// past the hard deadline its cooperative cancel flag is set and the scan
+  /// records a `stalled` outcome for that CVE.
+  obs::WatchdogConfig watchdog;
+
+  /// Optional heartbeat publisher, owned by the caller. The engine drives
+  /// it: begin(total) once the job graph is built, job_done() per finished
+  /// job, finish() when run() returns (also on exception unwind).
+  obs::Heartbeat* heartbeat = nullptr;
+
+  /// Test hook (--stall-inject): sleep this long at the start of the detect
+  /// job with this CVE label, so watchdog deadlines fire deterministically
+  /// in CI without a genuinely pathological input.
+  std::string stall_inject_label;
+  double stall_inject_seconds = 0.0;
 };
 
 enum class JobKind : std::uint8_t { analyze, detect, patch };
@@ -48,6 +66,9 @@ struct JobEvent {
   bool cache_hit = false;  ///< job fully served from cache
   std::size_t sequence = 0;     ///< completion order, 0-based
   std::size_t total_jobs = 0;   ///< graph size, for progress display
+  double cpu_seconds = 0.0;     ///< thread CPU of the job body; 0 if unsupported
+  std::uint64_t allocations = 0;  ///< heap allocations in the job body
+  bool stalled = false;         ///< cancelled by the watchdog hard deadline
 };
 
 using ProgressFn = std::function<void(const JobEvent&)>;
@@ -64,6 +85,9 @@ struct CveScanResult {
   std::string cve_id;
   std::string library;
   bool library_missing = false;
+  /// The watchdog hard deadline cancelled the detect or patch job; the
+  /// outcomes below cover only the work finished before cancellation.
+  bool stalled = false;
   DetectionOutcome from_vulnerable;
   DetectionOutcome from_patched;
   PatchReport report;
@@ -74,6 +98,9 @@ struct JobTiming {
   std::string label;
   double seconds = 0.0;
   bool cache_hit = false;
+  double cpu_seconds = 0.0;       ///< thread CPU of the job body
+  std::uint64_t allocations = 0;  ///< heap allocations in the job body
+  bool stalled = false;
 };
 
 struct ScanReport {

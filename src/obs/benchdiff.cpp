@@ -1,0 +1,237 @@
+#include "obs/benchdiff.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace patchecko::obs {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+std::string format_value(double value) {
+  char buf[64];
+  // %g keeps nanosecond latencies and 0..1 ratios readable in one column.
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string format_delta_percent(double old_value, double new_value) {
+  if (old_value == 0.0) return new_value == 0.0 ? "+0.0%" : "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                (new_value - old_value) / old_value * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+const double* BenchRowData::find(const std::string& metric) const {
+  for (const auto& [name, value] : metrics)
+    if (name == metric) return &value;
+  return nullptr;
+}
+
+const BenchRowData* BenchFile::find(const std::string& row) const {
+  for (const BenchRowData& candidate : rows)
+    if (candidate.name == row) return &candidate;
+  return nullptr;
+}
+
+std::optional<BenchFile> parse_bench_json(std::string_view text,
+                                          std::string* error) {
+  const std::optional<json::Value> document = json::parse(text);
+  if (!document.has_value() ||
+      document->kind() != json::Value::Kind::object) {
+    set_error(error, "not a JSON object");
+    return std::nullopt;
+  }
+  BenchFile out;
+  out.bench = document->get("bench").as_string();
+  if (out.bench.empty()) {
+    set_error(error, "missing \"bench\" name");
+    return std::nullopt;
+  }
+  for (const json::Value& entry :
+       document->get("higher_is_better").as_array())
+    out.higher_is_better.insert(entry.as_string());
+  const json::Value& rows = document->get("rows");
+  if (rows.kind() != json::Value::Kind::array) {
+    set_error(error, "missing \"rows\" array");
+    return std::nullopt;
+  }
+  for (const json::Value& row : rows.as_array()) {
+    BenchRowData data;
+    data.name = row.get("name").as_string();
+    if (data.name.empty()) {
+      set_error(error, "row without a \"name\"");
+      return std::nullopt;
+    }
+    const json::Value& metrics = row.get("metrics");
+    if (metrics.kind() == json::Value::Kind::object) {
+      for (const auto& [key, value] : metrics.as_object())
+        if (value.kind() == json::Value::Kind::number)
+          data.metrics.emplace_back(key, value.as_number());
+    } else {
+      // v1 schema: every numeric member of the row object is a metric.
+      for (const auto& [key, value] : row.as_object())
+        if (value.kind() == json::Value::Kind::number)
+          data.metrics.emplace_back(key, value.as_number());
+    }
+    out.rows.push_back(std::move(data));
+  }
+  return out;
+}
+
+std::optional<BenchFile> load_bench_file(const std::string& path,
+                                         std::string* error) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    set_error(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  std::string parse_error;
+  std::optional<BenchFile> parsed =
+      parse_bench_json(text.str(), &parse_error);
+  if (!parsed.has_value()) set_error(error, path + ": " + parse_error);
+  return parsed;
+}
+
+std::string_view delta_status_name(DeltaStatus status) {
+  switch (status) {
+    case DeltaStatus::ok: return "ok";
+    case DeltaStatus::improved: return "improved";
+    case DeltaStatus::regressed: return "REGRESSED";
+    case DeltaStatus::added: return "added";
+    case DeltaStatus::removed: return "removed";
+  }
+  return "?";
+}
+
+BenchDiff diff_bench(const BenchFile& old_file, const BenchFile& new_file,
+                     const Tolerance& tolerance) {
+  BenchDiff diff;
+  diff.bench = new_file.bench.empty() ? old_file.bench : new_file.bench;
+  std::set<std::string> higher = old_file.higher_is_better;
+  higher.insert(new_file.higher_is_better.begin(),
+                new_file.higher_is_better.end());
+
+  auto classify = [&](double old_value, double new_value,
+                      bool higher_better) {
+    const double rel = std::max(tolerance.rel, 0.0);
+    const double abs = std::max(tolerance.abs, 0.0);
+    if (higher_better) {
+      if (new_value < old_value * (1.0 - rel) - abs)
+        return DeltaStatus::regressed;
+      if (new_value > old_value * (1.0 + rel) + abs)
+        return DeltaStatus::improved;
+    } else {
+      if (new_value > old_value * (1.0 + rel) + abs)
+        return DeltaStatus::regressed;
+      if (new_value < old_value * (1.0 - rel) - abs)
+        return DeltaStatus::improved;
+    }
+    return DeltaStatus::ok;
+  };
+
+  // Old-file order first (so the table tracks the baseline layout), then
+  // anything only the new file has.
+  for (const BenchRowData& old_row : old_file.rows) {
+    const BenchRowData* new_row = new_file.find(old_row.name);
+    for (const auto& [metric, old_value] : old_row.metrics) {
+      MetricDelta delta;
+      delta.row = old_row.name;
+      delta.metric = metric;
+      delta.old_value = old_value;
+      delta.higher_is_better = higher.count(metric) != 0;
+      const double* new_value =
+          new_row != nullptr ? new_row->find(metric) : nullptr;
+      if (new_value == nullptr) {
+        delta.status = DeltaStatus::removed;
+      } else {
+        delta.new_value = *new_value;
+        delta.status =
+            classify(old_value, *new_value, delta.higher_is_better);
+      }
+      if (delta.status == DeltaStatus::regressed) ++diff.regressions;
+      if (delta.status == DeltaStatus::improved) ++diff.improvements;
+      diff.deltas.push_back(std::move(delta));
+    }
+  }
+  for (const BenchRowData& new_row : new_file.rows) {
+    const BenchRowData* old_row = old_file.find(new_row.name);
+    for (const auto& [metric, new_value] : new_row.metrics) {
+      if (old_row != nullptr && old_row->find(metric) != nullptr) continue;
+      MetricDelta delta;
+      delta.row = new_row.name;
+      delta.metric = metric;
+      delta.new_value = new_value;
+      delta.higher_is_better = higher.count(metric) != 0;
+      delta.status = DeltaStatus::added;
+      diff.deltas.push_back(std::move(delta));
+    }
+  }
+  return diff;
+}
+
+std::string render_diff_table(const BenchDiff& diff) {
+  // Hand-rolled fixed-width rendering: pk_obs is a leaf library and cannot
+  // reach the util text-table helper without creating a layer cycle.
+  const char* headers[5] = {"row/metric", "old", "new", "delta", "status"};
+  std::vector<std::array<std::string, 5>> lines;
+  lines.reserve(diff.deltas.size());
+  for (const MetricDelta& delta : diff.deltas) {
+    std::array<std::string, 5> line;
+    line[0] = delta.row + "." + delta.metric;
+    line[1] = delta.status == DeltaStatus::added
+                  ? "-"
+                  : format_value(delta.old_value);
+    line[2] = delta.status == DeltaStatus::removed
+                  ? "-"
+                  : format_value(delta.new_value);
+    line[3] = delta.status == DeltaStatus::added ||
+                      delta.status == DeltaStatus::removed
+                  ? "-"
+                  : format_delta_percent(delta.old_value, delta.new_value);
+    line[4] = std::string(delta_status_name(delta.status));
+    if (delta.higher_is_better) line[4] += " (higher better)";
+    lines.push_back(std::move(line));
+  }
+
+  std::size_t widths[5];
+  for (std::size_t c = 0; c < 5; ++c) {
+    widths[c] = std::string(headers[c]).size();
+    for (const auto& line : lines) widths[c] = std::max(widths[c],
+                                                        line[c].size());
+  }
+  std::string out = "bench-diff: " + diff.bench + "\n";
+  auto append_row = [&](const std::array<std::string, 5>& cells) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      out += cells[c];
+      if (c + 1 < 5) out.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  append_row({headers[0], headers[1], headers[2], headers[3], headers[4]});
+  for (const auto& line : lines) append_row(line);
+  out += diff.regressions == 0
+             ? "result: ok"
+             : "result: " + std::to_string(diff.regressions) +
+                   " regression(s)";
+  if (diff.improvements != 0)
+    out += ", " + std::to_string(diff.improvements) + " improvement(s)";
+  out += '\n';
+  return out;
+}
+
+}  // namespace patchecko::obs

@@ -1,0 +1,95 @@
+// Observability: benchmark trajectory comparison.
+//
+// Every bench_* target writes BENCH_<name>.json; this module loads two of
+// those files (an old baseline and a new run), lines their metrics up, and
+// classifies each delta against a tolerance band. CI runs the comparison as
+// a soft gate: the rendered table is uploaded as an artifact and a nonzero
+// exit marks a regression without blocking the merge.
+//
+// Two schema generations are accepted:
+//   v1 — {"bench":B,"rows":[{"name":N,"enabled_ns":X,"disabled_ns":Y}]}
+//   v2 — {"bench":B,"rows":[{"name":N,"metrics":{K:V,...}}],
+//         "higher_is_better":[K,...]}
+// Metrics are lower-is-better unless listed in higher_is_better (e.g. an
+// accuracy). Rows or metrics present on only one side are reported but are
+// never regressions — benches gain and lose rows across PRs routinely.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace patchecko::obs {
+
+struct BenchRowData {
+  std::string name;
+  /// Insertion order preserved so tables render in the bench's own order.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  const double* find(const std::string& metric) const;
+};
+
+struct BenchFile {
+  std::string bench;
+  std::vector<BenchRowData> rows;
+  std::set<std::string> higher_is_better;
+
+  const BenchRowData* find(const std::string& row) const;
+};
+
+/// Parses one BENCH_*.json document (either schema). On failure returns
+/// nullopt and, when `error` is non-null, stores a one-line reason.
+std::optional<BenchFile> parse_bench_json(std::string_view text,
+                                          std::string* error = nullptr);
+
+/// Reads and parses a file; IO errors report through `error` too.
+std::optional<BenchFile> load_bench_file(const std::string& path,
+                                         std::string* error = nullptr);
+
+struct Tolerance {
+  /// Allowed fractional change in the bad direction (0.25 = +25% slower).
+  double rel = 0.25;
+  /// Allowed absolute change in the bad direction, in the metric's own
+  /// unit; absorbs noise on near-zero baselines.
+  double abs = 0.0;
+};
+
+enum class DeltaStatus : std::uint8_t {
+  ok,        ///< within tolerance
+  improved,  ///< moved in the good direction beyond tolerance
+  regressed, ///< moved in the bad direction beyond tolerance
+  added,     ///< metric/row only in the new file
+  removed,   ///< metric/row only in the old file
+};
+
+std::string_view delta_status_name(DeltaStatus status);
+
+struct MetricDelta {
+  std::string row;
+  std::string metric;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  bool higher_is_better = false;
+  DeltaStatus status = DeltaStatus::ok;
+};
+
+struct BenchDiff {
+  std::string bench;
+  std::vector<MetricDelta> deltas;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+};
+
+/// Compares new against old. A lower-is-better metric regresses when
+/// new > old * (1 + rel) + abs; higher-is-better mirrors the band. The
+/// higher_is_better set is the union of both files'.
+BenchDiff diff_bench(const BenchFile& old_file, const BenchFile& new_file,
+                     const Tolerance& tolerance);
+
+/// Fixed-width text table of every delta plus a summary line; ends with a
+/// newline. Stable output — CI archives it as the comparison artifact.
+std::string render_diff_table(const BenchDiff& diff);
+
+}  // namespace patchecko::obs

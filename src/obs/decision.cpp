@@ -127,6 +127,8 @@ std::string decision_jsonl_line(const DecisionRecord& record) {
   append_string(out, record.library);
   out += ",\"library_missing\":";
   out += record.library_missing ? "true" : "false";
+  out += ",\"stalled\":";
+  out += record.stalled ? "true" : "false";
   out += ",\"from_vulnerable\":";
   append_stage(out, record.from_vulnerable);
   out += ",\"from_patched\":";
@@ -183,6 +185,7 @@ std::optional<DecisionRecord> parse_decision_line(std::string_view line) {
   record.cve_id = parsed->get("cve").as_string();
   record.library = parsed->get("library").as_string();
   record.library_missing = parsed->get("library_missing").as_bool();
+  record.stalled = parsed->get("stalled").as_bool();
   record.from_vulnerable = parse_stage(parsed->get("from_vulnerable"));
   record.from_patched = parse_stage(parsed->get("from_patched"));
   for (const json::Value& member : parsed->get("pool").as_array()) {
@@ -229,6 +232,9 @@ std::string explain_text(const DecisionRecord& record) {
     out += "  library not present in the firmware image\n";
     return out;
   }
+  if (record.stalled)
+    out += "  STALLED: cancelled by the watchdog hard deadline; partial "
+           "record\n";
   explain_stage(out, "vulnerable", record.from_vulnerable);
   explain_stage(out, "patched", record.from_patched);
   out += "  differential pool (top candidates of both rankings):\n";

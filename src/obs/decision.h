@@ -66,6 +66,9 @@ struct DecisionRecord {
   std::string cve_id;
   std::string library;
   bool library_missing = false;
+  /// The watchdog's hard deadline cancelled this scan mid-flight; the rest
+  /// of the record covers only the work finished before cancellation.
+  bool stalled = false;
 
   StageRecord from_vulnerable;  ///< detect() with the vulnerable query
   StageRecord from_patched;     ///< detect() with the patched query

@@ -155,6 +155,35 @@ std::string summary_line(const Registry& registry, const Tracer* tracer,
   return out;
 }
 
+int write_metrics_artifacts(const Registry& registry, const Tracer& tracer,
+                            const EventLog* events, const std::string& file,
+                            std::FILE* json_stream,
+                            std::FILE* summary_stream) {
+  std::fprintf(summary_stream, "%s\n",
+               summary_line(registry, &tracer, events).c_str());
+  const std::string json = export_json(registry, tracer, events);
+  if (file.empty()) {
+    std::fprintf(json_stream, "%s\n", json.c_str());
+    return 0;
+  }
+  std::FILE* out = std::fopen(file.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(summary_stream, "error: cannot write metrics to %s\n",
+                 file.c_str());
+    return 1;
+  }
+  const bool ok = std::fputs(json.c_str(), out) >= 0 &&
+                  std::fputc('\n', out) != EOF;
+  const bool closed = std::fclose(out) == 0;
+  if (!ok || !closed) {
+    std::fprintf(summary_stream, "error: cannot write metrics to %s\n",
+                 file.c_str());
+    return 1;
+  }
+  std::fprintf(summary_stream, "metrics written to %s\n", file.c_str());
+  return 0;
+}
+
 std::string chrome_trace_json(const Tracer& tracer, const EventLog* events) {
   // Spans and structured events live on separate steady-clock epochs (each
   // resets at its own clear()); for the global instances both start at first

@@ -7,6 +7,7 @@
 // Registry::canonical_text(), which excludes those fields.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 #include "obs/events.h"
@@ -31,6 +32,18 @@ std::string export_json(const Registry& registry, const Tracer& tracer,
 std::string summary_line(const Registry& registry,
                          const Tracer* tracer = nullptr,
                          const EventLog* events = nullptr);
+
+/// Emits the end-of-run `--metrics` artifacts: the summary line (plus any
+/// file notice or error) goes to `summary_stream`, the JSON document to
+/// `file` when non-empty, otherwise to `json_stream`. The CLI passes
+/// stderr as the summary stream so human-oriented text can never corrupt
+/// piped report/JSONL output on stdout; the split streams make that
+/// routing unit-testable with tmpfile(). Returns 0, or 1 when `file`
+/// cannot be written.
+int write_metrics_artifacts(const Registry& registry, const Tracer& tracer,
+                            const EventLog* events, const std::string& file,
+                            std::FILE* json_stream,
+                            std::FILE* summary_stream);
 
 /// Chrome trace_event JSON (loadable in Perfetto / chrome://tracing):
 /// every finished span as a complete event (ph "X", microsecond ts/dur,

@@ -1,0 +1,258 @@
+// Observability: live run-health telemetry.
+//
+// A batch scan runs thousands of (CVE, library) jobs for minutes with no
+// output until the final report; this header adds the two live signals a
+// production service needs:
+//
+//   * Heartbeat — a publisher that appends deterministic-schema JSONL
+//     snapshots (jobs done/total, per-stage counts, sliding-window rate and
+//     ETA, cache hit ratio, queue depths, event-ring overflow, process RSS)
+//     to a file or stderr on a fixed interval. Snapshots are *sampled* from
+//     the existing metrics registry — no new instrumentation on any hot
+//     path, so the no-op contract of obs is untouched. The schema contains
+//     no thread ids or worker counts: with a fake clock the same scan
+//     produces byte-identical snapshots at any --jobs value.
+//
+//   * StallWatchdog — a poller that tracks per-job start times registered
+//     by the engine scheduler, emits exactly one `watchdog.stall` warning
+//     per job that exceeds the soft deadline, and (optionally) flips the
+//     job's cooperative cancel flag past the hard deadline so the pipeline
+//     abandons the job and the scan records a `stalled` outcome instead of
+//     hanging forever.
+//
+// Both run their own thread with a *real* interval, or no thread at all
+// when the interval is 0 — tests then drive poll() by hand against a
+// ManualClock, which keeps every timing assertion deterministic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace patchecko::obs {
+
+/// Monotonic seconds source. The indirection exists so heartbeat/watchdog
+/// behavior is testable without sleeping: production uses real(), tests a
+/// ManualClock they advance explicitly.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() const = 0;
+
+  /// std::chrono::steady_clock-backed singleton.
+  static const Clock& real();
+};
+
+/// Hand-advanced clock for deterministic tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(double start_seconds = 0.0) : now_(start_seconds) {}
+  double now() const override { return now_.load(std::memory_order_relaxed); }
+  void set(double seconds) { now_.store(seconds, std::memory_order_relaxed); }
+  void advance(double seconds) {
+    now_.store(now_.load(std::memory_order_relaxed) + seconds,
+               std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> now_;
+};
+
+/// One heartbeat sample. Only scheduling-independent values are included:
+/// gauge *current* levels rather than high-water marks (those are racy
+/// across job counts and stay in the --metrics export), counts rather than
+/// wall-clock sums. Process RSS is machine-dependent and therefore behind
+/// its own flag.
+struct HealthSnapshot {
+  std::uint64_t seq = 0;
+  double t_seconds = 0.0;  ///< since begin(), from the configured clock
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_total = 0;
+  std::uint64_t analyze_done = 0;  ///< per-stage completions (registry delta)
+  std::uint64_t detect_done = 0;
+  std::uint64_t patch_done = 0;
+  double rate_per_second = 0.0;  ///< sliding-window completion rate
+  double eta_seconds = 0.0;      ///< NaN (rendered null) when rate is 0
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_ratio = 0.0;  ///< 0 when no lookups yet
+  std::int64_t ready_depth = 0;      ///< engine.ready_depth current level
+  std::int64_t pool_queue_depth = 0; ///< pool.queue_depth current level
+  std::uint64_t events_emitted = 0;
+  std::uint64_t events_overflowed = 0;
+  std::uint64_t stalled_jobs = 0;  ///< watchdog soft flags so far
+  std::int64_t rss_kb = -1;        ///< only rendered with include_process
+  std::int64_t peak_rss_kb = -1;
+};
+
+/// One JSONL line (no trailing newline), fixed key order, doubles via the
+/// shared %.17g writer (non-finite -> null). `include_process` appends the
+/// machine-dependent "process" object; the deterministic test schema omits
+/// it.
+std::string health_snapshot_jsonl(const HealthSnapshot& snapshot,
+                                  bool include_process);
+
+struct HeartbeatConfig {
+  std::string file;  ///< empty = stderr
+  /// Publisher tick. 0 disables the ticker thread entirely; begin() and
+  /// finish() still emit their snapshots and tests call poll() by hand.
+  double interval_seconds = 1.0;
+  const Clock* clock = nullptr;       ///< null = Clock::real()
+  const Registry* registry = nullptr; ///< null = Registry::global()
+  bool include_process = true;        ///< RSS fields in the rendered lines
+};
+
+/// Appends HealthSnapshot JSONL lines over the life of one engine run.
+/// begin() emits snapshot 0 and finish() always emits a final snapshot, so
+/// every run produces at least two lines and the last one reports
+/// jobs_done == jobs_total. Thread-safe: job_done() is called from worker
+/// threads, poll() from the ticker thread or tests.
+class Heartbeat {
+ public:
+  explicit Heartbeat(HeartbeatConfig config = {});
+  ~Heartbeat();
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// Captures the registry baseline (so a long-lived process can run many
+  /// scans), emits snapshot 0, and starts the ticker thread (interval > 0).
+  void begin(std::uint64_t jobs_total);
+
+  /// One job completed; lock-free.
+  void job_done();
+
+  /// Emits one snapshot now.
+  void poll();
+
+  /// Stops the ticker and emits the final snapshot. Idempotent; also run by
+  /// the destructor so an exception unwinding through the engine still
+  /// closes the stream with a terminal snapshot.
+  void finish();
+
+  std::uint64_t snapshots_written() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Baseline {
+    std::uint64_t analyze = 0, detect = 0, patch = 0;
+    std::uint64_t cache_hits = 0, cache_misses = 0;
+    std::uint64_t events_emitted = 0, events_overflowed = 0;
+    std::uint64_t stall_flags = 0;
+  };
+
+  HealthSnapshot sample_locked();
+  void emit_locked();
+  Baseline read_counters() const;
+
+  HeartbeatConfig config_;
+  const Clock* clock_;
+  const Registry* registry_;
+
+  mutable std::mutex mutex_;
+  std::FILE* stream_ = nullptr;  ///< owned unless it is stderr
+  bool owns_stream_ = false;
+  bool active_ = false;
+  double start_time_ = 0.0;
+  Baseline baseline_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::pair<double, std::uint64_t>> window_;  ///< (t, done)
+  std::atomic<std::uint64_t> jobs_done_{0};
+  std::uint64_t jobs_total_ = 0;
+  std::atomic<std::uint64_t> snapshots_{0};
+
+  std::thread ticker_;
+  std::mutex ticker_mutex_;
+  std::condition_variable ticker_cv_;
+  bool stop_ = false;
+};
+
+struct WatchdogConfig {
+  /// A job running longer than this is flagged once (warning event +
+  /// stderr line). 0 disables flagging.
+  double soft_deadline_seconds = 0.0;
+  /// A job running longer than this gets its cooperative cancel flag set;
+  /// the pipeline abandons remaining work and the scan records a `stalled`
+  /// outcome. 0 disables cancellation.
+  double hard_deadline_seconds = 0.0;
+  /// Deadline sweep cadence. 0 disables the poller thread (tests call
+  /// poll() by hand).
+  double poll_interval_seconds = 0.25;
+  const Clock* clock = nullptr;  ///< null = Clock::real()
+  bool warn_stderr = true;       ///< also print flagged jobs to stderr
+};
+
+/// Tracks in-flight jobs by start time and enforces the two deadlines.
+/// Publishes watchdog.soft_flags / watchdog.cancelled counters and emits
+/// `watchdog.stall` / `watchdog.cancel` warning events (when events are
+/// enabled) carrying the job kind and label (CVE id or library name).
+class StallWatchdog {
+ public:
+  /// Per-job registration token. `cancel` is shared with the engine, which
+  /// threads it into the pipeline stages as the cooperative cancel flag.
+  struct Job {
+    std::uint64_t id = 0;
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+
+  explicit StallWatchdog(WatchdogConfig config = {});
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Starts the poller thread (no-op when poll_interval_seconds == 0).
+  void start();
+  /// Stops the poller; run by the destructor.
+  void stop();
+
+  Job job_started(std::string_view kind, std::string_view label);
+  void job_finished(const Job& job);
+
+  /// One deadline sweep over the in-flight jobs.
+  void poll();
+
+  std::uint64_t soft_flagged() const {
+    return soft_flagged_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Active {
+    std::string kind;
+    std::string label;
+    double started = 0.0;
+    bool flagged = false;
+    bool cancelled = false;
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+
+  WatchdogConfig config_;
+  const Clock* clock_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Active> active_;
+  std::uint64_t next_id_ = 1;
+  std::atomic<std::uint64_t> soft_flagged_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+
+  std::thread poller_;
+  std::mutex poller_mutex_;
+  std::condition_variable poller_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace patchecko::obs

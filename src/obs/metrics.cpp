@@ -109,12 +109,26 @@ std::vector<CounterSnapshot> Registry::counter_snapshots() const {
   return out;
 }
 
+namespace {
+
+// Gauge::add() bumps the value before raising the high-water mark, so a
+// reader racing with a writer can see value > max for a moment. The pair is
+// repaired at read time instead of serializing writers: read max *after*
+// value and clamp it up.
+GaugeSnapshot read_gauge(const std::string& name, const Gauge& gauge) {
+  const std::int64_t value = gauge.value();
+  const std::int64_t max = std::max(gauge.max(), value);
+  return {name, value, max};
+}
+
+}  // namespace
+
 std::vector<GaugeSnapshot> Registry::gauge_snapshots() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<GaugeSnapshot> out;
   out.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_)
-    out.push_back({name, gauge->value(), gauge->max()});
+    out.push_back(read_gauge(name, *gauge));
   return out;
 }
 
@@ -125,6 +139,23 @@ std::vector<HistogramSnapshot> Registry::histogram_snapshots() const {
   for (const auto& [name, histogram] : histograms_)
     out.push_back({name, histogram->bounds(), histogram->bucket_counts(),
                    histogram->count(), histogram->sum()});
+  return out;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    out.counters.push_back({name, counter->value()});
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_)
+    out.gauges.push_back(read_gauge(name, *gauge));
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    out.histograms.push_back({name, histogram->bounds(),
+                              histogram->bucket_counts(), histogram->count(),
+                              histogram->sum()});
   return out;
 }
 

@@ -148,6 +148,14 @@ struct HistogramSnapshot {
   double sum = 0.0;  ///< seconds; wall-clock — JSON only, never canonical
 };
 
+/// All three metric kinds captured under one registry lock, so a consumer
+/// (heartbeat, export) sees one consistent registration set.
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
 /// Thread-safe named-metric registry. Lookup registers on first use and
 /// returns a stable reference; repeated lookups return the same object.
 class Registry {
@@ -168,6 +176,12 @@ class Registry {
   std::vector<CounterSnapshot> counter_snapshots() const;
   std::vector<GaugeSnapshot> gauge_snapshots() const;
   std::vector<HistogramSnapshot> histogram_snapshots() const;
+
+  /// Everything under a single lock acquisition. Gauge snapshots never
+  /// tear value/max: Gauge::add() bumps the value before raising the
+  /// high-water mark, so a concurrent reader can observe value > max;
+  /// snapshots clamp max up to the value read.
+  RegistrySnapshot snapshot() const;
 
   /// Deterministic rendering: sorted by kind then name, one metric per
   /// line, wall-clock fields (histogram sums / bucket spreads) excluded.

@@ -1,0 +1,217 @@
+#include "obs/resource.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <new>
+
+#include "obs/metrics.h"
+
+// The allocation hook replaces the global operator new/delete. Sanitizers
+// interpose the allocator themselves, so the hook is compiled out there and
+// the counters simply stay at zero.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PK_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define PK_ALLOC_HOOK 0
+#else
+#define PK_ALLOC_HOOK 1
+#endif
+#else
+#define PK_ALLOC_HOOK 1
+#endif
+
+namespace patchecko::obs {
+
+namespace {
+
+// Plain (non-atomic) thread locals: each thread only mutates its own.
+thread_local std::uint64_t t_alloc_count = 0;
+thread_local std::uint64_t t_alloc_bytes = 0;
+
+#if defined(__linux__)
+std::int64_t proc_status_kb(const char* key) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return -1;
+  char line[256];
+  std::int64_t result = -1;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0) continue;
+    result = std::strtoll(line + key_len, nullptr, 10);
+    break;
+  }
+  std::fclose(file);
+  return result;
+}
+#endif
+
+}  // namespace
+
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+  return -1.0;
+}
+
+std::uint64_t thread_allocation_count() { return t_alloc_count; }
+std::uint64_t thread_allocation_bytes() { return t_alloc_bytes; }
+
+bool allocation_counting_available() { return PK_ALLOC_HOOK != 0; }
+
+std::int64_t process_rss_kb() {
+#if defined(__linux__)
+  return proc_status_kb("VmRSS:");
+#else
+  return -1;
+#endif
+}
+
+std::int64_t process_peak_rss_kb() {
+#if defined(__linux__)
+  return proc_status_kb("VmHWM:");
+#else
+  return -1;
+#endif
+}
+
+ResourceSample resource_sample() {
+  ResourceSample sample;
+  sample.cpu_seconds = thread_cpu_seconds();
+  sample.allocations = t_alloc_count;
+  sample.allocated_bytes = t_alloc_bytes;
+  return sample;
+}
+
+ResourceSample resource_delta(const ResourceSample& start,
+                              const ResourceSample& current) {
+  ResourceSample delta;
+  if (start.cpu_seconds >= 0.0 && current.cpu_seconds >= start.cpu_seconds)
+    delta.cpu_seconds = current.cpu_seconds - start.cpu_seconds;
+  if (current.allocations >= start.allocations)
+    delta.allocations = current.allocations - start.allocations;
+  if (current.allocated_bytes >= start.allocated_bytes)
+    delta.allocated_bytes = current.allocated_bytes - start.allocated_bytes;
+  return delta;
+}
+
+namespace detail {
+
+// Shared by every operator-new overload below. The count advances only
+// while obs is enabled, so disabled-mode cost is one relaxed load and an
+// untaken branch per allocation — the same bar the metric primitives hold.
+inline void count_allocation(std::size_t size) {
+  if (!enabled()) return;
+  ++t_alloc_count;
+  t_alloc_bytes += size;
+}
+
+}  // namespace detail
+
+}  // namespace patchecko::obs
+
+#if PK_ALLOC_HOOK
+
+namespace {
+
+void* pk_alloc_or_throw(std::size_t size) {
+  for (;;) {
+    if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* pk_aligned_alloc_or_throw(std::size_t size, std::size_t alignment) {
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, alignment, size != 0 ? size : alignment) == 0)
+      return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  patchecko::obs::detail::count_allocation(size);
+  return pk_alloc_or_throw(size);
+}
+
+void* operator new[](std::size_t size) {
+  patchecko::obs::detail::count_allocation(size);
+  return pk_alloc_or_throw(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  patchecko::obs::detail::count_allocation(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  patchecko::obs::detail::count_allocation(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  patchecko::obs::detail::count_allocation(size);
+  return pk_aligned_alloc_or_throw(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  patchecko::obs::detail::count_allocation(size);
+  return pk_aligned_alloc_or_throw(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  patchecko::obs::detail::count_allocation(size);
+  void* p = nullptr;
+  return posix_memalign(&p, static_cast<std::size_t>(alignment),
+                        size != 0 ? size : static_cast<std::size_t>(alignment))
+                 == 0
+             ? p
+             : nullptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t& tag) noexcept {
+  return operator new(size, alignment, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // PK_ALLOC_HOOK

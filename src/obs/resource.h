@@ -1,0 +1,59 @@
+// Observability: per-thread and per-process resource accounting.
+//
+// The engine attributes CPU time and allocation churn to individual jobs by
+// sampling these thread-scoped counters before and after each job body.
+// Everything here degrades gracefully off Linux / under sanitizers: an
+// unavailable source reports a sentinel (-1) or stays at zero instead of
+// failing, so call sites never need platform #ifdefs.
+//
+// Caveats (documented in DESIGN.md §12):
+//   * Thread scope means exactly that: work a job fans out to other pool
+//     workers via parallel_for is charged to those workers, not to the job's
+//     thread. Job-level CPU numbers are therefore a lower bound for jobs
+//     that nest data parallelism.
+//   * Allocation counting hooks the global operator new/delete and is
+//     compiled out under ASan/TSan/MSan (the sanitizer owns the allocator);
+//     allocation_counting_available() reports which build this is.
+//   * RSS is a process-wide number read from /proc/self/status; it cannot be
+//     attributed to a job. The heartbeat samples it for trend visibility.
+#pragma once
+
+#include <cstdint>
+
+namespace patchecko::obs {
+
+/// CPU seconds consumed by the *calling thread* (CLOCK_THREAD_CPUTIME_ID).
+/// Returns -1.0 where unsupported.
+double thread_cpu_seconds();
+
+/// Heap allocations performed by the calling thread since it started, via
+/// the global operator-new hook. Counting obeys the metrics no-op contract:
+/// with obs::enabled() false the hook is one relaxed load + untaken branch,
+/// and the counters do not advance. Always 0 when the hook is compiled out.
+std::uint64_t thread_allocation_count();
+std::uint64_t thread_allocation_bytes();
+
+/// False in sanitizer builds (hook compiled out); counts then read 0.
+bool allocation_counting_available();
+
+/// Current / peak resident set of the process in KiB (/proc/self/status
+/// VmRSS / VmHWM). Returns -1 on platforms without procfs.
+std::int64_t process_rss_kb();
+std::int64_t process_peak_rss_kb();
+
+/// Point-in-time sample of the calling thread's resource counters; subtract
+/// two samples to attribute the interval to a job.
+struct ResourceSample {
+  double cpu_seconds = 0.0;        ///< -1.0 when unsupported
+  std::uint64_t allocations = 0;
+  std::uint64_t allocated_bytes = 0;
+};
+
+ResourceSample resource_sample();
+
+/// current - start, clamped to zero; unsupported CPU clocks yield 0 so the
+/// delta is always safe to record into a histogram.
+ResourceSample resource_delta(const ResourceSample& start,
+                              const ResourceSample& current);
+
+}  // namespace patchecko::obs

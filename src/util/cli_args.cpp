@@ -105,4 +105,31 @@ MetricsSpec metrics_spec_from(const Args& args) {
   return output_spec_from(args, "metrics");
 }
 
+HeartbeatSpec heartbeat_spec_from(const Args& args, const std::string& key) {
+  HeartbeatSpec spec;
+  if (!args.has(key)) return spec;
+  spec.enabled = true;
+  std::string value = args.get(key, "");
+  if (const auto colon = value.rfind(':'); colon != std::string::npos) {
+    const std::string interval = value.substr(colon + 1);
+    value = value.substr(0, colon);
+    errno = 0;
+    char* end = nullptr;
+    const long ms = std::strtol(interval.c_str(), &end, 10);
+    if (end == interval.c_str() || *end != '\0' || errno == ERANGE)
+      throw UsageError("--" + key +
+                       " interval expects an integer millisecond count, "
+                       "got '" + interval + "'");
+    if (ms <= 0)
+      throw UsageError("--" + key + " interval must be >= 1 ms, got " +
+                       std::to_string(ms));
+    spec.interval_seconds = static_cast<double>(ms) / 1000.0;
+  }
+  spec.file = value;
+  if (!spec.file.empty() && spec.file.front() == '-')
+    throw UsageError("--" + key + " expects an output file path, got '" +
+                     spec.file + "' (use bare --" + key + " for stderr)");
+  return spec;
+}
+
 }  // namespace patchecko::cli

@@ -78,4 +78,18 @@ OutputSpec output_spec_from(const Args& args, const std::string& key,
 /// Validates `--metrics[=FILE]`; equivalent to output_spec_from("metrics").
 MetricsSpec metrics_spec_from(const Args& args);
 
+/// Parsed `--heartbeat[=FILE][:interval_ms]` option. Accepted value forms:
+/// bare `--heartbeat` (stderr, default interval), `FILE`, `FILE:MS`, and
+/// `:MS` (stderr at MS). The interval splits at the *last* ':'; once a ':'
+/// is present the suffix must be a strictly positive integer millisecond
+/// count — 0, negative, and non-numeric values are usage errors.
+struct HeartbeatSpec {
+  bool enabled = false;
+  std::string file;               ///< empty = stderr
+  double interval_seconds = 1.0;  ///< default 1000ms
+};
+
+HeartbeatSpec heartbeat_spec_from(const Args& args,
+                                  const std::string& key = "heartbeat");
+
 }  // namespace patchecko::cli

@@ -118,6 +118,51 @@ TEST(CliArgs, OutputSpecGeneralizesToOtherKeys) {
                UsageError);
 }
 
+TEST(CliArgs, HeartbeatSpecParsesEveryForm) {
+  const cli::HeartbeatSpec absent =
+      cli::heartbeat_spec_from(parse_args({"batch-scan"}));
+  EXPECT_FALSE(absent.enabled);
+
+  const cli::HeartbeatSpec bare =
+      cli::heartbeat_spec_from(parse_args({"batch-scan", "--heartbeat"}));
+  EXPECT_TRUE(bare.enabled);
+  EXPECT_TRUE(bare.file.empty());  // stderr
+  EXPECT_DOUBLE_EQ(bare.interval_seconds, 1.0);
+
+  const cli::HeartbeatSpec to_file = cli::heartbeat_spec_from(
+      parse_args({"batch-scan", "--heartbeat=hb.jsonl"}));
+  EXPECT_EQ(to_file.file, "hb.jsonl");
+  EXPECT_DOUBLE_EQ(to_file.interval_seconds, 1.0);
+
+  const cli::HeartbeatSpec with_interval = cli::heartbeat_spec_from(
+      parse_args({"batch-scan", "--heartbeat=hb.jsonl:250"}));
+  EXPECT_EQ(with_interval.file, "hb.jsonl");
+  EXPECT_DOUBLE_EQ(with_interval.interval_seconds, 0.25);
+
+  // Interval only, stderr output; the split is at the LAST colon so paths
+  // with colons in them still work.
+  const cli::HeartbeatSpec interval_only = cli::heartbeat_spec_from(
+      parse_args({"batch-scan", "--heartbeat=:500"}));
+  EXPECT_TRUE(interval_only.file.empty());
+  EXPECT_DOUBLE_EQ(interval_only.interval_seconds, 0.5);
+
+  const cli::HeartbeatSpec colon_path = cli::heartbeat_spec_from(
+      parse_args({"batch-scan", "--heartbeat=dir:1/hb.jsonl:100"}));
+  EXPECT_EQ(colon_path.file, "dir:1/hb.jsonl");
+  EXPECT_DOUBLE_EQ(colon_path.interval_seconds, 0.1);
+}
+
+TEST(CliArgs, HeartbeatSpecRejectsBadIntervals) {
+  for (const char* bad :
+       {"--heartbeat=hb.jsonl:0", "--heartbeat=hb.jsonl:-5",
+        "--heartbeat=hb.jsonl:abc", "--heartbeat=hb.jsonl:12x",
+        "--heartbeat=:0", "--heartbeat=-hb.jsonl"}) {
+    EXPECT_THROW(cli::heartbeat_spec_from(parse_args({"batch-scan", bad})),
+                 UsageError)
+        << bad;
+  }
+}
+
 TEST(CliArgs, OutputSpecValueRequiredRejectsBareFlag) {
   // --trace-out has no stdout mode (a Chrome trace on stdout would tangle
   // with the report), so the bare flag is a usage error up front.

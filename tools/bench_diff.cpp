@@ -1,0 +1,40 @@
+// bench_diff — standalone benchmark trajectory comparison.
+//
+//   bench_diff OLD.json NEW.json [--rel-tol F] [--abs-tol F]
+//   bench_diff --old baselines/ --new fresh/ [--rel-tol F]
+//
+// Thin wrapper over the shared bench-diff driver; `patchecko bench-diff`
+// runs the same code. Exits 0 when every metric is within tolerance, 1 on
+// a regression, 2 on usage or IO errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/bench_diff_cmd.h"
+
+int main(int argc, char** argv) {
+  using patchecko::cli::parse_args;
+  using patchecko::cli::UsageError;
+  // Split positional paths from --options up front (parse_args rejects bare
+  // tokens), mirroring its value-binding rule: a non-"--" token right after
+  // a value-less "--key" is that option's value, not a positional.
+  std::vector<std::string> option_tokens = {"bench-diff"};
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional.push_back(token);
+      continue;
+    }
+    option_tokens.push_back(token);
+    if (token.find('=') == std::string::npos && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0)
+      option_tokens.push_back(argv[++i]);
+  }
+  try {
+    return patchecko::run_bench_diff(parse_args(option_tokens), positional);
+  } catch (const UsageError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

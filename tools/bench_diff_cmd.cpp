@@ -1,0 +1,94 @@
+#include "tools/bench_diff_cmd.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/benchdiff.h"
+
+namespace patchecko {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct DiffPair {
+  std::string label;  ///< file name shown in errors / table headers
+  std::string old_path;
+  std::string new_path;
+};
+
+}  // namespace
+
+int run_bench_diff(const cli::Args& args,
+                   const std::vector<std::string>& positional) {
+  cli::require_known_options(args, {"old", "new", "rel-tol", "abs-tol"});
+  if (positional.size() > 2)
+    throw cli::UsageError("bench-diff takes at most two paths (old, new)");
+  std::string old_path = args.get("old", "");
+  std::string new_path = args.get("new", "");
+  if (old_path.empty() && !positional.empty()) old_path = positional[0];
+  if (new_path.empty() && positional.size() > 1) new_path = positional[1];
+  if (old_path.empty() || new_path.empty())
+    throw cli::UsageError(
+        "bench-diff needs an old and a new BENCH_*.json file (or two "
+        "baseline directories): bench-diff OLD NEW or --old OLD --new NEW");
+
+  obs::Tolerance tolerance;
+  tolerance.rel = args.get_double("rel-tol", 0.25);
+  tolerance.abs = args.get_double("abs-tol", 0.0);
+  if (tolerance.rel < 0.0 || tolerance.abs < 0.0)
+    throw cli::UsageError("tolerances must be >= 0");
+
+  std::vector<DiffPair> pairs;
+  if (fs::is_directory(old_path)) {
+    if (!fs::is_directory(new_path))
+      throw cli::UsageError("--old is a directory, so --new must be one too");
+    for (const fs::directory_entry& entry : fs::directory_iterator(old_path)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) != 0 ||
+          entry.path().extension() != ".json")
+        continue;
+      pairs.push_back({name, entry.path().string(),
+                       (fs::path(new_path) / name).string()});
+    }
+    // directory_iterator order is unspecified; sort for stable output.
+    std::sort(pairs.begin(), pairs.end(),
+              [](const DiffPair& a, const DiffPair& b) {
+                return a.label < b.label;
+              });
+    if (pairs.empty()) {
+      std::fprintf(stderr, "error: no BENCH_*.json files in %s\n",
+                   old_path.c_str());
+      return 2;
+    }
+  } else {
+    pairs.push_back({fs::path(old_path).filename().string(), old_path,
+                     new_path});
+  }
+
+  bool io_error = false;
+  std::size_t regressions = 0;
+  for (const DiffPair& pair : pairs) {
+    std::string error;
+    const auto old_file = obs::load_bench_file(pair.old_path, &error);
+    if (!old_file) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      io_error = true;
+      continue;
+    }
+    const auto new_file = obs::load_bench_file(pair.new_path, &error);
+    if (!new_file) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      io_error = true;
+      continue;
+    }
+    const obs::BenchDiff diff = diff_bench(*old_file, *new_file, tolerance);
+    std::fputs(render_diff_table(diff).c_str(), stdout);
+    regressions += diff.regressions;
+  }
+  if (io_error) return 2;
+  return regressions == 0 ? 0 : 1;
+}
+
+}  // namespace patchecko

@@ -1,0 +1,28 @@
+// Shared driver behind `patchecko bench-diff` and the standalone
+// `bench_diff` tool: option handling, single-file vs baseline-directory
+// dispatch, table rendering, and the exit-status contract
+//
+//   0 — every metric within tolerance
+//   1 — at least one metric regressed
+//   2 — usage or IO error (missing/unparseable input)
+//
+// CI runs it as a soft gate: the rendered tables are archived as an
+// artifact and a nonzero status marks the regression without blocking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/cli_args.h"
+
+namespace patchecko {
+
+/// Options: --old PATH --new PATH [--rel-tol F] [--abs-tol F]. PATH pairs
+/// may also arrive positionally (old first) via `positional` — the
+/// standalone tool accepts `bench_diff OLD.json NEW.json`. When --old is a
+/// directory, --new must be one too and every BENCH_*.json in the old
+/// directory is compared against its same-named counterpart.
+int run_bench_diff(const cli::Args& args,
+                   const std::vector<std::string>& positional = {});
+
+}  // namespace patchecko

@@ -13,7 +13,11 @@
 //                    [--jobs N] [--cache-dir DIR] [--no-cache]
 //                    [--scale S] [--seed N] [--verbose] [--metrics[=FILE]]
 //                    [--events[=FILE]] [--trace-out=FILE]
+//                    [--heartbeat[=FILE][:interval_ms]]
+//                    [--watchdog-soft S] [--watchdog-hard S]
+//                    [--stall-inject LABEL:SECONDS]
 //   patchecko explain --provenance FILE [--cve ID] [--function INDEX]
+//   patchecko bench-diff --old PATH --new PATH [--rel-tol F] [--abs-tol F]
 //
 // `scan` rebuilds the vulnerability database deterministically from the
 // corpus seed, loads the stripped firmware image from disk, and runs the
@@ -22,14 +26,18 @@
 // the batch engine: a dependency-aware job graph on the shared thread pool,
 // with analyze/detect results served from a content-addressed cache.
 // `--metrics` turns on the observability layer (src/obs): a one-line stage/
-// cache/pruning summary plus the full JSON metrics document on stdout (or
-// written to FILE). `--events` records decision provenance and structured
-// events as JSONL; `--trace-out` writes a Chrome trace_event file loadable
-// in Perfetto; `explain` renders the human-readable decision chain from a
-// prior scan's provenance file.
+// cache/pruning summary on stderr plus the full JSON metrics document on
+// stdout (or written to FILE). `--events` records decision provenance and
+// structured events as JSONL; `--trace-out` writes a Chrome trace_event
+// file loadable in Perfetto; `explain` renders the human-readable decision
+// chain from a prior scan's provenance file. `--heartbeat` appends live
+// JSONL run-health snapshots during batch-scan; `--watchdog-soft/-hard`
+// flag and cancel stalled jobs; `bench-diff` compares two BENCH_*.json
+// files (or baseline directories) and exits nonzero on a perf regression.
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -40,8 +48,10 @@
 #include "obs/decision.h"
 #include "obs/events.h"
 #include "obs/export.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tools/bench_diff_cmd.h"
 #include "util/cli_args.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -64,26 +74,20 @@ int write_text_file(const std::string& path, const std::string& content,
     std::fprintf(stderr, "error: cannot write %s to %s\n", what, path.c_str());
     return 1;
   }
-  std::printf("%s written to %s\n", what, path.c_str());
+  // The notice goes to stderr with the other progress text — stdout is
+  // reserved for the report (or the JSONL itself in stdout mode).
+  std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
   return 0;
 }
 
-/// Emits the end-of-run metrics artifacts: summary line on stdout, JSON on
-/// stdout or to the requested file. No-op when --metrics was not given.
+/// Emits the end-of-run metrics artifacts: summary line on stderr (it must
+/// never corrupt piped report/JSONL output), JSON on stdout or to the
+/// requested file. No-op when --metrics was not given.
 int emit_metrics(const cli::MetricsSpec& spec) {
   if (!spec.enabled) return 0;
-  std::printf("%s\n",
-              obs::summary_line(obs::Registry::global(),
-                                &obs::Tracer::global(),
-                                &obs::EventLog::global()).c_str());
-  const std::string json =
-      obs::export_json(obs::Registry::global(), obs::Tracer::global(),
-                       &obs::EventLog::global());
-  if (spec.file.empty()) {
-    std::printf("%s\n", json.c_str());
-    return 0;
-  }
-  return write_text_file(spec.file, json + "\n", "metrics");
+  return obs::write_metrics_artifacts(
+      obs::Registry::global(), obs::Tracer::global(),
+      &obs::EventLog::global(), spec.file, stdout, stderr);
 }
 
 /// Emits the provenance JSONL: deterministic meta + decision lines first
@@ -129,8 +133,13 @@ int usage() {
                "[--cve ID] [--jobs N] [--cache-dir DIR] [--no-cache]\n"
                "                 [--scale S] [--seed N] [--verbose] "
                "[--metrics[=FILE]] [--events[=FILE]] [--trace-out=FILE]\n"
+               "                 [--heartbeat[=FILE][:interval_ms]] "
+               "[--watchdog-soft S] [--watchdog-hard S]\n"
+               "                 [--stall-inject LABEL:SECONDS]\n"
                "  patchecko explain --provenance FILE [--cve ID] "
-               "[--function INDEX]\n");
+               "[--function INDEX]\n"
+               "  patchecko bench-diff --old PATH --new PATH [--rel-tol F] "
+               "[--abs-tol F]\n");
   return 2;
 }
 
@@ -351,13 +360,25 @@ int cmd_batch_scan(const Args& args) {
   // Validate every option before the expensive corpus/database build.
   require_known_options(args, {"model", "firmware", "cve", "jobs", "cache-dir",
                                "no-cache", "scale", "seed", "verbose",
-                               "metrics", "events", "trace-out"});
+                               "metrics", "events", "trace-out", "heartbeat",
+                               "watchdog-soft", "watchdog-hard",
+                               "stall-inject"});
   const cli::MetricsSpec metrics = metrics_spec_from(args);
   const cli::OutputSpec events = output_spec_from(args, "events");
   const cli::OutputSpec trace_out =
       output_spec_from(args, "trace-out", /*value_required=*/true);
-  obs::set_enabled(metrics.enabled || trace_out.enabled);
-  obs::set_events_enabled(events.enabled || trace_out.enabled);
+  const cli::HeartbeatSpec heartbeat = cli::heartbeat_spec_from(args);
+  const double watchdog_soft = args.get_double("watchdog-soft", 0.0);
+  const double watchdog_hard = args.get_double("watchdog-hard", 0.0);
+  if ((args.has("watchdog-soft") && watchdog_soft <= 0.0) ||
+      (args.has("watchdog-hard") && watchdog_hard <= 0.0))
+    throw UsageError("watchdog deadlines must be > 0 seconds");
+  const bool watchdog_on = watchdog_soft > 0.0 || watchdog_hard > 0.0;
+  // Heartbeat/watchdog *sample* the registry and event log, so they need
+  // the obs flags on even without --metrics/--events.
+  obs::set_enabled(metrics.enabled || trace_out.enabled || heartbeat.enabled ||
+                   watchdog_on);
+  obs::set_events_enabled(events.enabled || trace_out.enabled || watchdog_on);
   EngineConfig engine_config;
   engine_config.jobs = static_cast<unsigned>(
       args.get_count("jobs", static_cast<long>(default_worker_threads())));
@@ -365,6 +386,31 @@ int cmd_batch_scan(const Args& args) {
   engine_config.use_cache = !args.has("no-cache");
   if (args.has("no-cache") && args.has("cache-dir"))
     throw UsageError("--no-cache and --cache-dir are mutually exclusive");
+  engine_config.watchdog.soft_deadline_seconds = watchdog_soft;
+  engine_config.watchdog.hard_deadline_seconds = watchdog_hard;
+  if (args.has("stall-inject")) {
+    // LABEL:SECONDS — the test hook that makes a detect job oversleep.
+    const std::string value = args.get("stall-inject", "");
+    const auto colon = value.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+      throw UsageError("--stall-inject expects LABEL:SECONDS");
+    engine_config.stall_inject_label = value.substr(0, colon);
+    try {
+      engine_config.stall_inject_seconds = std::stod(value.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw UsageError("--stall-inject expects LABEL:SECONDS");
+    }
+    if (engine_config.stall_inject_seconds <= 0.0)
+      throw UsageError("--stall-inject seconds must be > 0");
+  }
+  std::optional<obs::Heartbeat> heartbeat_publisher;
+  if (heartbeat.enabled) {
+    obs::HeartbeatConfig heartbeat_config;
+    heartbeat_config.file = heartbeat.file;
+    heartbeat_config.interval_seconds = heartbeat.interval_seconds;
+    heartbeat_publisher.emplace(std::move(heartbeat_config));
+    engine_config.heartbeat = &*heartbeat_publisher;
+  }
 
   const auto model = SimilarityModel::load(args.get("model", ""));
   if (!model) {
@@ -484,6 +530,7 @@ int main(int argc, char** argv) {
     if (args.command == "scan") return cmd_scan(args);
     if (args.command == "batch-scan") return cmd_batch_scan(args);
     if (args.command == "explain") return cmd_explain(args);
+    if (args.command == "bench-diff") return patchecko::run_bench_diff(args);
     return usage();
   } catch (const UsageError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
