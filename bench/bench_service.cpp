@@ -1,0 +1,165 @@
+// Scan-service acceptance bench: a cold one-shot batch scan (fresh engine,
+// fresh cache) is the reference; a resident daemon serving the same request
+// over its Unix-domain socket must return a byte-identical report, and the
+// warm repeat — model, corpus, and result cache all resident — must be at
+// least 2x faster than the cold one-shot, protocol overhead included.
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "firmware/firmware.h"
+#include "harness.h"
+#include "obs/json.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/parallel.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace patchecko;
+namespace svc = patchecko::service;
+namespace json = patchecko::obs::json;
+
+namespace {
+
+struct TimedResult {
+  double seconds = 0.0;
+  std::string report;
+  double cache_hits = 0.0;
+};
+
+/// Submits one scan over the socket and returns client-observed wall time
+/// plus the report text extracted from the result frame.
+std::optional<TimedResult> submit(svc::ServiceClient& client,
+                                  const std::string& firmware_path) {
+  const Stopwatch watch;
+  if (!client.send(svc::scan_request_json(firmware_path, {}, false)))
+    return std::nullopt;
+  const auto accepted = client.receive();
+  if (!accepted) return std::nullopt;
+  const auto result = client.receive();
+  if (!result) return std::nullopt;
+  TimedResult timed;
+  timed.seconds = watch.elapsed_seconds();
+  const auto doc = json::parse(*result);
+  if (!doc || doc->get("type").as_string() != "result") {
+    std::printf("FAIL: unexpected frame: %s\n", result->c_str());
+    return std::nullopt;
+  }
+  timed.report = doc->get("report").as_string();
+  timed.cache_hits = doc->get("cache").get("hits").as_number();
+  return timed;
+}
+
+}  // namespace
+
+int main() {
+  const bench::EvalContext& ctx = bench::shared_eval_context();
+  const FirmwareImage firmware = ctx.corpus->build_firmware(ctx.things);
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "pk_bench_service";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string firmware_path = (dir / "fw.img").string();
+  if (!save_firmware(firmware, firmware_path)) {
+    std::printf("FAIL: cannot save firmware image\n");
+    return 1;
+  }
+
+  // Reference: what a from-scratch `patchecko batch-scan` pays per request.
+  ScanRequest oneshot;
+  oneshot.model = &ctx.model;
+  oneshot.firmware = &firmware;
+  oneshot.database = ctx.database.get();
+  EngineConfig cold_config;
+  cold_config.jobs = default_worker_threads();
+  const Stopwatch cold_watch;
+  const ScanReport cold = ScanEngine(cold_config).run(oneshot);
+  const double cold_seconds = cold_watch.elapsed_seconds();
+  const std::string cold_report = cold.canonical_text();
+
+  svc::ServiceConfig config;
+  config.socket_path = (dir / "svc.sock").string();
+  config.model = &ctx.model;
+  config.eval = ctx.config.eval;
+  config.engine.jobs = default_worker_threads();
+  svc::ScanService service(config);
+  service.start();
+
+  auto client = svc::ServiceClient::connect_unix(config.socket_path);
+  if (!client.connected()) {
+    std::printf("FAIL: cannot connect to service socket\n");
+    return 1;
+  }
+
+  const auto first = submit(client, firmware_path);
+  const auto warm = submit(client, firmware_path);
+  if (!first || !warm) {
+    std::printf("FAIL: scan request over the socket failed\n");
+    return 1;
+  }
+
+  // Warm throughput: repeat requests against the resident cache.
+  constexpr int kWarmRequests = 8;
+  const Stopwatch burst_watch;
+  for (int i = 0; i < kWarmRequests; ++i)
+    if (!submit(client, firmware_path)) {
+      std::printf("FAIL: warm burst request %d failed\n", i);
+      return 1;
+    }
+  const double burst_seconds = burst_watch.elapsed_seconds();
+  const double requests_per_sec = kWarmRequests / burst_seconds;
+  service.stop();
+
+  std::printf("=== Scan service: warm daemon vs cold one-shot (%zu CVEs) ===\n",
+              ctx.database->entries().size());
+  TextTable table({"run", "seconds", "speedup vs cold"});
+  const auto add = [&](const char* name, double seconds) {
+    table.add_row({name, fmt_double(seconds, 3),
+                   fmt_double(cold_seconds / seconds, 2) + "x"});
+  };
+  add("cold one-shot", cold_seconds);
+  add("daemon first", first->seconds);
+  add("daemon warm", warm->seconds);
+  std::printf("%s\n", table.render().c_str());
+  std::printf("warm burst: %d requests in %.3fs (%.1f req/s)\n",
+              kWarmRequests, burst_seconds, requests_per_sec);
+
+  bool ok = bench::write_bench_json(
+      "service",
+      {bench::BenchRow("cold_oneshot", {{"seconds", cold_seconds}}),
+       bench::BenchRow("daemon_first", {{"seconds", first->seconds}}),
+       bench::BenchRow("daemon_warm",
+                       {{"seconds", warm->seconds},
+                        {"requests_per_sec", requests_per_sec}})},
+      {"requests_per_sec"});
+
+  if (first->report != cold_report) {
+    std::printf("FAIL: daemon report differs from one-shot report\n");
+    ok = false;
+  }
+  if (warm->report != cold_report) {
+    std::printf("FAIL: warm daemon report differs from one-shot report\n");
+    ok = false;
+  }
+  if (warm->cache_hits == 0.0) {
+    std::printf("FAIL: warm request hit the result cache zero times\n");
+    ok = false;
+  }
+  if (warm->seconds * 2.0 > cold_seconds) {
+    std::printf("FAIL: warm daemon scan not >= 2x faster (%.3fs vs %.3fs)\n",
+                warm->seconds, cold_seconds);
+    ok = false;
+  }
+  if (ok)
+    std::printf(
+        "daemon reports byte-identical to one-shot; warm speedup %.1fx; "
+        "%.1f warm req/s.\n",
+        cold_seconds / warm->seconds, requests_per_sec);
+  return ok ? 0 : 1;
+}

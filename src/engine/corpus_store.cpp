@@ -1,0 +1,46 @@
+#include "engine/corpus_store.h"
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace patchecko {
+
+CorpusStore::CorpusStore(const EvalConfig& eval,
+                         const DatabaseConfig& database_config)
+    : database_config_(database_config) {
+  current_ = std::make_shared<const CorpusSnapshot>(next_version_++, eval,
+                                                    database_config_);
+}
+
+std::shared_ptr<const CorpusSnapshot> CorpusStore::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::shared_ptr<const CorpusSnapshot> CorpusStore::reload(
+    const EvalConfig& eval) {
+  // One reload at a time; the build runs outside mutex_ so current() stays
+  // responsive (and in-flight scans keep their captured generation).
+  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  std::uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    version = next_version_++;
+  }
+  const Stopwatch watch;
+  auto snapshot =
+      std::make_shared<const CorpusSnapshot>(version, eval, database_config_);
+  obs::Registry::global().counter("corpus.reloads").add();
+  if (obs::events_enabled())
+    obs::EventLog::global().emit(
+        obs::Severity::info, "corpus.reload",
+        {obs::Field::u64("version", version),
+         obs::Field::f64("build_s", watch.elapsed_seconds()),
+         obs::Field::u64("cves", snapshot->database.entries().size())});
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = snapshot;
+  return snapshot;
+}
+
+}  // namespace patchecko

@@ -1,0 +1,68 @@
+// Hot-reloadable corpus state for long-lived scan processes.
+//
+// A one-shot `batch-scan` rebuilds the CVE database on every invocation;
+// the scan service keeps it resident instead. The database (plus the
+// corpus it was derived from) is held as one immutable CorpusSnapshot
+// behind a shared_ptr: every admitted scan request captures the snapshot
+// it will run against, so a reload — SIGHUP or a `reload` request — can
+// build a replacement off to the side and swap the store's current pointer
+// without invalidating anything an in-flight job is reading. Old snapshots
+// die with their last in-flight reference; zero jobs are dropped.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/cve_database.h"
+#include "firmware/firmware.h"
+
+namespace patchecko {
+
+/// One immutable generation of the resident corpus: the deterministic
+/// evaluation corpus plus the CVE database built from it. Construction is
+/// the expensive amortizable step the service exists to avoid repeating.
+struct CorpusSnapshot {
+  std::uint64_t version = 0;  ///< store generation, 1-based
+  EvalConfig eval;
+  DatabaseConfig database_config;
+  EvalCorpus corpus;
+  CveDatabase database;
+
+  CorpusSnapshot(std::uint64_t snapshot_version, const EvalConfig& eval_config,
+                 const DatabaseConfig& db_config)
+      : version(snapshot_version),
+        eval(eval_config),
+        database_config(db_config),
+        corpus(eval_config),
+        database(corpus, db_config) {}
+};
+
+/// Thread-safe holder of the current CorpusSnapshot. current() is cheap
+/// (one mutex-guarded shared_ptr copy); reload() builds the new snapshot
+/// outside the lock — readers keep serving the old generation while the
+/// replacement compiles — and swaps it in atomically. Concurrent reloads
+/// are serialized so generations observe strictly increasing versions.
+class CorpusStore {
+ public:
+  explicit CorpusStore(const EvalConfig& eval,
+                       const DatabaseConfig& database_config = {});
+
+  /// The latest generation; never null.
+  std::shared_ptr<const CorpusSnapshot> current() const;
+
+  /// Builds a new generation from `eval` (same DatabaseConfig as
+  /// construction) and makes it current. Returns the new snapshot.
+  std::shared_ptr<const CorpusSnapshot> reload(const EvalConfig& eval);
+
+  std::uint64_t version() const { return current()->version; }
+
+ private:
+  DatabaseConfig database_config_;
+  mutable std::mutex mutex_;          ///< guards current_
+  std::mutex reload_mutex_;           ///< serializes concurrent reloads
+  std::shared_ptr<const CorpusSnapshot> current_;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace patchecko

@@ -176,6 +176,9 @@ std::string ScanReport::summary_text() const {
       << " patched, " << unresolved << " unresolved";
   if (stalled != 0) out << " (" << stalled << " stalled by watchdog)";
   out << "\n";
+  if (interrupted)
+    out << "INTERRUPTED: run cancelled mid-flight, " << jobs_cancelled
+        << " queued jobs dropped; results above are partial\n";
   char line[160];
   std::snprintf(line, sizeof(line),
                 "wall time %.2fs over %zu jobs; cache: %llu hits / %llu "
@@ -300,18 +303,19 @@ ScanReport ScanEngine::run(const ScanRequest& request,
     std::vector<std::size_t> dependents;
     int unmet = 0;
     bool skipped = false;  // missing library: no work to do
+    bool done = false;     // executed (set by the job body; read post-drain)
   };
   const std::size_t lib_jobs = libs.size();
   std::vector<Job> jobs(lib_jobs + 2 * entries.size());
   for (std::size_t l = 0; l < lib_jobs; ++l)
-    jobs[l] = Job{JobKind::analyze, l, {}, 0, false};
+    jobs[l] = Job{JobKind::analyze, l, {}, 0, false, false};
   for (std::size_t e = 0; e < entries.size(); ++e) {
     const std::size_t detect_id = lib_jobs + 2 * e;
     const std::size_t patch_id = detect_id + 1;
     const bool missing = report.results[e].library_missing;
     jobs[detect_id] = Job{JobKind::detect, e, {patch_id}, missing ? 0 : 1,
-                          missing};
-    jobs[patch_id] = Job{JobKind::patch, e, {}, 1, missing};
+                          missing, false};
+    jobs[patch_id] = Job{JobKind::patch, e, {}, 1, missing, false};
     if (!missing) jobs[entry_lib[e]].dependents.push_back(detect_id);
   }
 
@@ -335,7 +339,12 @@ ScanReport ScanEngine::run(const ScanRequest& request,
     watchdog.emplace(config_.watchdog);
     watchdog->start();
   }
-  obs::Heartbeat* const heartbeat = config_.heartbeat;
+  const std::atomic<bool>* const interrupt = config_.interrupt;
+  const auto interrupted = [interrupt] {
+    return interrupt != nullptr && interrupt->load(std::memory_order_relaxed);
+  };
+  obs::Heartbeat* const heartbeat =
+      request.heartbeat != nullptr ? request.heartbeat : config_.heartbeat;
   struct HeartbeatGuard {
     obs::Heartbeat* heartbeat;
     ~HeartbeatGuard() {
@@ -371,7 +380,8 @@ ScanReport ScanEngine::run(const ScanRequest& request,
   };
 
   const auto execute = [&](std::size_t id) {
-    const Job& job = jobs[id];
+    Job& job = jobs[id];
+    job.done = true;  // own-job write; read only after the graph drains
     const obs::ScopedSpan span(job_span_name(job.kind));
 
     // Label first: the watchdog needs it while the job is still running.
@@ -384,8 +394,11 @@ ScanReport ScanEngine::run(const ScanRequest& request,
     obs::StallWatchdog::Job watchdog_job;
     if (watchdog.has_value())
       watchdog_job = watchdog->job_started(job_kind_name(job.kind), label);
+    // The per-job cooperative cancel token: the watchdog's when one exists,
+    // otherwise the run-wide interrupt flag doubles as the token so a
+    // SIGINT/SIGTERM (or service shutdown) aborts in-flight stages too.
     const std::atomic<bool>* cancel =
-        watchdog_job.cancel ? watchdog_job.cancel.get() : nullptr;
+        watchdog_job.cancel ? watchdog_job.cancel.get() : interrupt;
 
     if (job.kind == JobKind::detect && !job.skipped &&
         config_.stall_inject_seconds > 0.0 &&
@@ -445,8 +458,13 @@ ScanReport ScanEngine::run(const ScanRequest& request,
         if (caching && !outcome.cancelled) cache_.store_outcome(key, outcome);
       }
       if (result.from_vulnerable.cancelled || result.from_patched.cancelled) {
-        result.stalled = true;
-        stalled = true;
+        // An interrupt and a watchdog hard deadline share the cooperative
+        // cancel mechanism; attribute the outcome to whichever fired.
+        if (interrupted())
+          result.cancelled = true;
+        else
+          result.stalled = true;
+        stalled = result.stalled;
       }
     } else if (job.kind == JobKind::patch && !job.skipped) {
       const CveEntry& entry = *entries[job.target];
@@ -456,8 +474,11 @@ ScanReport ScanEngine::run(const ScanRequest& request,
                                            result.from_vulnerable,
                                            result.from_patched, cancel);
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-        result.stalled = true;
-        stalled = true;
+        if (interrupted())
+          result.cancelled = true;
+        else
+          result.stalled = true;
+        stalled = result.stalled;
       }
     }
     const double seconds = watch.elapsed_seconds();
@@ -492,6 +513,13 @@ ScanReport ScanEngine::run(const ScanRequest& request,
 
   if (config_.jobs <= 1) {
     while (!ready.empty()) {
+      if (interrupted()) {
+        // Queued jobs are dropped, not run: the interrupt is the run-wide
+        // cancel signal and the partial report must return promptly.
+        ready_depth.add(-static_cast<std::int64_t>(ready.size()));
+        ready.clear();
+        break;
+      }
       const std::size_t id = ready.front();
       ready.pop_front();
       ready_depth.add(-1);
@@ -516,6 +544,11 @@ ScanReport ScanEngine::run(const ScanRequest& request,
     std::function<void(std::size_t)> run_job;
     const auto pump = [&] {
       // Caller holds sched_mutex (this also serializes group.run calls).
+      if (interrupted()) {
+        ready_depth.add(-static_cast<std::int64_t>(ready.size()));
+        ready.clear();
+        return;
+      }
       while (running < config_.jobs && !ready.empty()) {
         const std::size_t id = ready.front();
         ready.pop_front();
@@ -549,6 +582,16 @@ ScanReport ScanEngine::run(const ScanRequest& request,
     }
     group.wait();
     if (first_error) std::rethrow_exception(first_error);
+  }
+
+  if (interrupted()) {
+    report.interrupted = true;
+    for (const Job& job : jobs) {
+      if (job.done) continue;
+      ++report.jobs_cancelled;
+      if (job.kind != JobKind::analyze)
+        report.results[job.target].cancelled = true;
+    }
   }
 
   report.cache = stats_delta(cache_.stats(), stats_before);

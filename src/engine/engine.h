@@ -52,6 +52,15 @@ struct EngineConfig {
   /// in CI without a genuinely pathological input.
   std::string stall_inject_label;
   double stall_inject_seconds = 0.0;
+
+  /// Cooperative run-wide interrupt (SIGINT/SIGTERM handler or service
+  /// shutdown), owned by the caller. Once it reads true the scheduler stops
+  /// launching queued jobs and — when no watchdog owns the per-job cancel
+  /// token — the flag itself is threaded into the pipeline stages as that
+  /// token, so in-flight jobs abandon remaining work at their next
+  /// cooperative check. The run then returns a partial report with
+  /// `interrupted` set instead of dropping output on the floor.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 enum class JobKind : std::uint8_t { analyze, detect, patch };
@@ -79,6 +88,11 @@ struct ScanRequest {
   const CveDatabase* database = nullptr;
   /// CVE ids to scan; empty = every database entry.
   std::vector<std::string> cve_ids;
+  /// Per-run heartbeat override. A long-lived service runs many requests
+  /// through one engine concurrently, so the publisher must travel with the
+  /// request, not the engine config; when set it takes precedence over
+  /// EngineConfig::heartbeat.
+  obs::Heartbeat* heartbeat = nullptr;
 };
 
 struct CveScanResult {
@@ -88,6 +102,9 @@ struct CveScanResult {
   /// The watchdog hard deadline cancelled the detect or patch job; the
   /// outcomes below cover only the work finished before cancellation.
   bool stalled = false;
+  /// A run-wide interrupt cancelled or skipped this entry's jobs; like
+  /// `stalled`, the outcomes cover only the work finished before that.
+  bool cancelled = false;
   DetectionOutcome from_vulnerable;
   DetectionOutcome from_patched;
   PatchReport report;
@@ -109,6 +126,10 @@ struct ScanReport {
   CacheStats cache;                    ///< this run only (delta, not lifetime)
   std::size_t analyzed_libraries = 0;
   double total_seconds = 0.0;
+  /// The configured interrupt flag fired mid-run: queued jobs were dropped
+  /// (`jobs_cancelled` of them) and the results above are partial.
+  bool interrupted = false;
+  std::size_t jobs_cancelled = 0;
 
   /// Deterministic rendering of every analysis result: excludes wall-clock
   /// times and cache statistics, so byte-equality across runs == result
@@ -141,6 +162,7 @@ class ScanEngine {
   ScanReport run(const ScanRequest& request, const ProgressFn& progress = {});
 
   ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
   const EngineConfig& config() const { return config_; }
 
  private:

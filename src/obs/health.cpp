@@ -141,7 +141,10 @@ void Heartbeat::begin(std::uint64_t jobs_total) {
     window_.clear();
     start_time_ = clock_->now();
     baseline_ = read_counters();
-    if (config_.file.empty()) {
+    if (!config_.write_lines) {
+      stream_ = nullptr;
+      owns_stream_ = false;
+    } else if (config_.file.empty()) {
       stream_ = stderr;
       owns_stream_ = false;
     } else {
@@ -238,11 +241,19 @@ HealthSnapshot Heartbeat::sample_locked() {
 
 void Heartbeat::emit_locked() {
   const HealthSnapshot snapshot = sample_locked();
-  const std::string line =
-      health_snapshot_jsonl(snapshot, config_.include_process);
-  std::fprintf(stream_, "%s\n", line.c_str());
-  std::fflush(stream_);
+  last_ = snapshot;
+  if (stream_ != nullptr) {
+    const std::string line =
+        health_snapshot_jsonl(snapshot, config_.include_process);
+    std::fprintf(stream_, "%s\n", line.c_str());
+    std::fflush(stream_);
+  }
   snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<HealthSnapshot> Heartbeat::last_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_;
 }
 
 void Heartbeat::poll() {

@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -110,6 +111,10 @@ struct HeartbeatConfig {
   const Clock* clock = nullptr;       ///< null = Clock::real()
   const Registry* registry = nullptr; ///< null = Registry::global()
   bool include_process = true;        ///< RSS fields in the rendered lines
+  /// When false, snapshots are sampled (and kept for last_snapshot()) but
+  /// no JSONL line is written anywhere — the scan service uses this to feed
+  /// its health endpoint without spamming the daemon's stderr.
+  bool write_lines = true;
 };
 
 /// Appends HealthSnapshot JSONL lines over the life of one engine run.
@@ -144,6 +149,12 @@ class Heartbeat {
     return snapshots_.load(std::memory_order_relaxed);
   }
 
+  /// The most recently emitted snapshot (begin(), a tick, or finish());
+  /// nullopt before the first begin(). The service health endpoint reads
+  /// this instead of forcing an out-of-band sample (which would perturb the
+  /// deterministic seq numbering of the JSONL stream).
+  std::optional<HealthSnapshot> last_snapshot() const;
+
  private:
   struct Baseline {
     std::uint64_t analyze = 0, detect = 0, patch = 0;
@@ -161,6 +172,7 @@ class Heartbeat {
   const Registry* registry_;
 
   mutable std::mutex mutex_;
+  std::optional<HealthSnapshot> last_;
   std::FILE* stream_ = nullptr;  ///< owned unless it is stderr
   bool owns_stream_ = false;
   bool active_ = false;

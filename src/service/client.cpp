@@ -1,0 +1,111 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace patchecko::service {
+
+ServiceClient ServiceClient::connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) return ServiceClient();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ServiceClient();
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return ServiceClient();
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient ServiceClient::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ServiceClient();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return ServiceClient();
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient::~ServiceClient() { close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool ServiceClient::send(std::string_view payload) {
+  if (fd_ < 0) return false;
+  const std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> ServiceClient::receive() {
+  if (fd_ < 0) return std::nullopt;
+  std::string payload;
+  char buffer[4096];
+  for (;;) {
+    const FrameStatus status = reader_.next(payload);
+    if (status == FrameStatus::ok) return payload;
+    // The client trusts its own server; an oversized response frame means
+    // the connection state is unrecoverable, not that framing should skip.
+    if (status == FrameStatus::oversized) {
+      close();
+      return std::nullopt;
+    }
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n == 0) return std::nullopt;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return std::nullopt;
+    }
+    reader_.push(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<std::string> ServiceClient::call(std::string_view payload) {
+  if (!send(payload)) return std::nullopt;
+  return receive();
+}
+
+}  // namespace patchecko::service

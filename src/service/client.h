@@ -1,0 +1,52 @@
+// Client transport for the scan service: connect, frame, send, receive.
+//
+// Deliberately protocol-agnostic — it moves framed payloads, nothing more.
+// Request construction and response interpretation live in protocol.h so
+// the CLI, the tests, and the bench all speak through the same builders.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/protocol.h"
+
+namespace patchecko::service {
+
+class ServiceClient {
+ public:
+  /// Both return a disconnected (fail-state) client on error; check
+  /// connected(). TCP targets 127.0.0.1 only, matching the server.
+  static ServiceClient connect_unix(const std::string& socket_path);
+  static ServiceClient connect_tcp(int port);
+
+  ServiceClient() = default;
+  ~ServiceClient();
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Frames and writes one payload; false on a dead connection.
+  bool send(std::string_view payload);
+
+  /// Blocks for the next response payload; nullopt on EOF/error. Responses
+  /// arrive in server-send order, so a scan yields "accepted" first, then
+  /// "result" (possibly much later).
+  std::optional<std::string> receive();
+
+  /// send() + receive() for strict request/response exchanges (health,
+  /// status, reload, ping, drain).
+  std::optional<std::string> call(std::string_view payload);
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+  void close();
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace patchecko::service

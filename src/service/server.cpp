@@ -1,0 +1,502 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "firmware/firmware.h"
+#include "obs/json.h"
+#include "obs/resource.h"
+
+namespace patchecko::service {
+
+namespace obs_json = patchecko::obs::json;
+
+// --- connection ------------------------------------------------------------
+
+/// One accepted socket. Reads happen only on the session thread; writes can
+/// come from the session thread (errors, health) *and* dispatcher threads
+/// (scan results), so every write serializes on write_mutex and a failed
+/// write just marks the connection dead — a vanished client must never take
+/// the daemon down with it.
+struct ScanService::Connection {
+  explicit Connection(int descriptor) : fd(descriptor) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  bool send_frame_locked(std::string_view payload) {
+    if (!open.load(std::memory_order_relaxed)) return false;
+    const std::string frame = encode_frame(payload);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        open.store(false, std::memory_order_relaxed);
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool send_frame(std::string_view payload) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    return send_frame_locked(payload);
+  }
+
+  int fd = -1;
+  std::mutex write_mutex;
+  std::atomic<bool> open{true};
+};
+
+// --- listeners -------------------------------------------------------------
+
+namespace {
+
+int make_unix_listener(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("cannot create unix socket");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a crashed predecessor
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot bind unix socket " + path);
+  }
+  return fd;
+}
+
+int make_tcp_listener(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("cannot create tcp socket");
+  const int yes = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: the daemon's trust model is "local clients"; exposing
+  // the scan API beyond the host is an explicit reverse-proxy decision.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot bind tcp port " + std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+/// poll() for readability with a short timeout so loops notice the stop
+/// flag; returns false on fatal socket error.
+bool wait_readable(int fd, const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc > 0) {
+      if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// --- lifecycle -------------------------------------------------------------
+
+ScanService::ScanService(ServiceConfig config)
+    : config_(std::move(config)),
+      store_(config_.eval),
+      engine_(config_.engine),
+      queue_(config_.queue_limit) {}
+
+ScanService::~ScanService() { stop(); }
+
+void ScanService::start() {
+  if (started_) return;
+  started_ = true;
+  if (!config_.socket_path.empty())
+    unix_fd_ = make_unix_listener(config_.socket_path);
+  if (config_.tcp_port >= 0)
+    tcp_listen_fd_ = make_tcp_listener(config_.tcp_port, &tcp_port_);
+  if (unix_fd_ < 0 && tcp_listen_fd_ < 0)
+    throw std::runtime_error(
+        "service needs a listener: set socket_path and/or tcp_port");
+  uptime_.restart();
+  const unsigned dispatchers = std::max(1u, config_.dispatchers);
+  dispatchers_.reserve(dispatchers);
+  for (unsigned i = 0; i < dispatchers; ++i)
+    dispatchers_.emplace_back([this] { dispatch_loop(); });
+  if (unix_fd_ >= 0)
+    acceptors_.emplace_back([this] { accept_loop(unix_fd_); });
+  if (tcp_listen_fd_ >= 0)
+    acceptors_.emplace_back([this] { accept_loop(tcp_listen_fd_); });
+}
+
+void ScanService::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // Shed queued work first: dispatchers answer every not-yet-started scan
+  // with a structured cancellation, finish what is in flight (the engine's
+  // interrupt token, when wired, shortens that), then exit.
+  stopping_.store(true, std::memory_order_release);
+  cancel_queued_.store(true, std::memory_order_release);
+  queue_.close();
+  for (std::thread& thread : dispatchers_) thread.join();
+  dispatchers_.clear();
+  for (std::thread& thread : acceptors_) thread.join();
+  acceptors_.clear();
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
+  unix_fd_ = tcp_listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const auto& connection : connections_)
+      ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (std::thread& thread : sessions_) thread.join();
+  sessions_.clear();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    connections_.clear();
+  }
+  if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
+}
+
+std::shared_ptr<const CorpusSnapshot> ScanService::reload(
+    std::optional<double> scale, std::optional<std::uint64_t> seed) {
+  EvalConfig eval = store_.current()->eval;
+  if (scale.has_value()) eval.scale = *scale;
+  if (seed.has_value()) eval.seed = *seed;
+  return store_.reload(eval);
+}
+
+// --- request registry ------------------------------------------------------
+
+void ScanService::set_state(std::uint64_t id, const char* state) {
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  states_[id] = state;
+}
+
+std::optional<std::string> ScanService::state_of(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  const auto it = states_.find(id);
+  if (it == states_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- sessions --------------------------------------------------------------
+
+void ScanService::accept_loop(int listen_fd) {
+  while (wait_readable(listen_fd, stopping_)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    auto connection = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Raced with stop(): the session table is being torn down.
+      continue;
+    }
+    connections_.push_back(connection);
+    sessions_.emplace_back(
+        [this, connection] { session_loop(connection); });
+  }
+}
+
+void ScanService::session_loop(std::shared_ptr<Connection> connection) {
+  FrameReader reader(config_.max_frame_bytes);
+  char buffer[4096];
+  while (wait_readable(connection->fd, stopping_)) {
+    const ssize_t n = ::read(connection->fd, buffer, sizeof(buffer));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    reader.push(buffer, static_cast<std::size_t>(n));
+    std::string payload;
+    for (;;) {
+      std::uint64_t dropped = 0;
+      const FrameStatus status = reader.next(payload, &dropped);
+      if (status == FrameStatus::need_more) break;
+      if (status == FrameStatus::oversized) {
+        // The reader discards the payload as it trickles in, so framing —
+        // and the connection — survive; the client just gets told.
+        connection->send_frame(error_response(
+            413, "frame of " + std::to_string(dropped) +
+                     " bytes exceeds max_frame_bytes " +
+                     std::to_string(config_.max_frame_bytes)));
+        continue;
+      }
+      handle_payload(connection, payload);
+    }
+  }
+  // A session that exits because the service is stopping must leave the
+  // connection writable: dispatchers still owe in-flight results and
+  // queued-scan cancellations, and stop() closes the fd only after those
+  // are on the wire. Only a real peer disconnect marks the link dead.
+  if (!stopping_.load(std::memory_order_acquire))
+    connection->open.store(false, std::memory_order_relaxed);
+}
+
+void ScanService::handle_payload(
+    const std::shared_ptr<Connection>& connection, std::string_view payload) {
+  std::string parse_error;
+  std::optional<Request> request = parse_request(payload, &parse_error);
+  if (!request) {
+    connection->send_frame(error_response(400, parse_error));
+    return;
+  }
+  switch (request->type) {
+    case RequestType::scan:
+      handle_scan(connection, std::move(*request));
+      return;
+    case RequestType::status: {
+      const std::optional<std::string> state = state_of(request->request_id);
+      if (!state) {
+        connection->send_frame(error_response(404, "unknown request_id",
+                                              request->request_id));
+        return;
+      }
+      connection->send_frame(status_response(request->request_id, *state));
+      return;
+    }
+    case RequestType::health:
+      connection->send_frame(health_json());
+      return;
+    case RequestType::reload: {
+      const Stopwatch watch;
+      const auto snapshot = reload(request->scale, request->seed);
+      connection->send_frame(reloaded_response(
+          snapshot->version, snapshot->database.entries().size(),
+          watch.elapsed_seconds()));
+      return;
+    }
+    case RequestType::drain: {
+      // Block this session until every admitted scan has finished; the
+      // response *is* the drain barrier, so a client that sees "drained"
+      // knows the queue is empty.
+      draining_.store(true, std::memory_order_release);
+      queue_.wait_idle();
+      connection->send_frame(drained_response(queue_.stats().completed));
+      drained_.store(true, std::memory_order_release);
+      return;
+    }
+    case RequestType::ping:
+      connection->send_frame(pong_response());
+      return;
+    case RequestType::unknown:
+      connection->send_frame(error_response(
+          400, "unknown request type '" + request->raw_type + "'"));
+      return;
+  }
+}
+
+void ScanService::handle_scan(const std::shared_ptr<Connection>& connection,
+                              Request request) {
+  if (draining_.load(std::memory_order_acquire) ||
+      stopping_.load(std::memory_order_acquire)) {
+    connection->send_frame(error_response(503, "service is draining"));
+    return;
+  }
+  const std::uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  set_state(id, "queued");
+  PendingScan scan;
+  scan.id = id;
+  scan.request = std::move(request);
+  std::weak_ptr<Connection> weak = connection;
+  scan.respond = [weak](const std::string& payload) {
+    if (const auto connection = weak.lock()) connection->send_frame(payload);
+  };
+  // The accepted frame must hit the wire before the result frame, and the
+  // dispatcher may finish arbitrarily fast — admit and acknowledge under
+  // the connection's write lock so the two cannot reorder.
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  if (!queue_.try_admit(std::move(scan))) {
+    {
+      std::lock_guard<std::mutex> states_lock(states_mutex_);
+      states_.erase(id);
+    }
+    connection->send_frame_locked(
+        error_response(429, "scan queue is full (limit " +
+                                std::to_string(config_.queue_limit) + ")"));
+    return;
+  }
+  connection->send_frame_locked(
+      accepted_response(id, queue_.stats().depth));
+}
+
+// --- dispatch --------------------------------------------------------------
+
+void ScanService::dispatch_loop() {
+  while (auto scan = queue_.next()) {
+    if (cancel_queued_.load(std::memory_order_acquire)) {
+      set_state(scan->id, "cancelled");
+      scan->respond(error_response(503, "scan cancelled: service shutting down",
+                                   scan->id));
+    } else {
+      run_scan(*scan);
+    }
+    queue_.job_done();
+  }
+}
+
+void ScanService::run_scan(const PendingScan& scan) {
+  set_state(scan.id, "running");
+  if (config_.scan_delay_seconds > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        config_.scan_delay_seconds));
+
+  // Capture the corpus generation up front: a reload that lands mid-scan
+  // swaps the store pointer, but this shared_ptr keeps our generation
+  // alive until the report is out the door.
+  const std::shared_ptr<const CorpusSnapshot> snapshot = store_.current();
+  const auto image = load_firmware(scan.request.firmware);
+  if (!image) {
+    set_state(scan.id, "failed");
+    scan.respond(error_response(
+        400, "cannot load firmware image '" + scan.request.firmware + "'",
+        scan.id));
+    return;
+  }
+
+  // Every request gets a heartbeat: silent (sampled only, for the health
+  // endpoint) unless --heartbeat asked for per-request JSONL files.
+  obs::HeartbeatConfig heartbeat_config;
+  heartbeat_config.write_lines = config_.heartbeat.enabled;
+  heartbeat_config.interval_seconds =
+      config_.heartbeat.enabled ? config_.heartbeat.interval_seconds : 0.0;
+  if (config_.heartbeat.enabled && !config_.heartbeat.file.empty())
+    heartbeat_config.file =
+        cli::indexed_output_file(config_.heartbeat.file, scan.id);
+  auto heartbeat = std::make_shared<obs::Heartbeat>(heartbeat_config);
+  {
+    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    latest_heartbeat_ = heartbeat;
+  }
+
+  ScanRequest request;
+  request.model = config_.model;
+  request.firmware = &*image;
+  request.database = &snapshot->database;
+  request.cve_ids = scan.request.cve_ids;
+  request.heartbeat = heartbeat.get();
+
+  ScanReport report;
+  try {
+    report = engine_.run(request);
+  } catch (const std::exception& error) {
+    set_state(scan.id, "failed");
+    scan.respond(error_response(500, error.what(), scan.id));
+    return;
+  }
+
+  if (config_.events.enabled && !config_.events.file.empty()) {
+    const std::string path =
+        cli::indexed_output_file(config_.events.file, scan.id);
+    std::ofstream out(path, std::ios::trunc);
+    out << report.provenance_jsonl();
+    if (!out.good())
+      std::fprintf(stderr, "serve: cannot write events to %s\n", path.c_str());
+  }
+
+  ResultInfo info;
+  info.request_id = scan.id;
+  info.corpus_version = snapshot->version;
+  info.interrupted = report.interrupted;
+  info.seconds = report.total_seconds;
+  info.cache_hits = report.cache.hits();
+  info.cache_misses = report.cache.misses();
+  info.report = report.canonical_text();
+  info.summary = report.summary_text();
+  if (scan.request.want_provenance) info.provenance = report.provenance_jsonl();
+  // State before response: a client that just read its result may query
+  // status immediately and must not still see "running".
+  set_state(scan.id, report.interrupted ? "interrupted" : "done");
+  scan.respond(result_response(info));
+}
+
+// --- health ----------------------------------------------------------------
+
+ServiceHealth ScanService::health() const {
+  ServiceHealth health;
+  health.uptime_seconds = uptime_.elapsed_seconds();
+  const auto snapshot = store_.current();
+  health.corpus_version = snapshot->version;
+  health.corpus_cves = snapshot->database.entries().size();
+  health.draining = draining_.load(std::memory_order_acquire);
+  health.queue = queue_.stats();
+  health.cache = engine_.cache().stats();
+  return health;
+}
+
+std::string ScanService::health_json() const {
+  const ServiceHealth health = this->health();
+  std::string out = "{\"type\":\"health\",\"uptime_s\":";
+  obs_json::append_double(out, health.uptime_seconds);
+  out += ",\"corpus\":{\"version\":" + std::to_string(health.corpus_version) +
+         ",\"cves\":" + std::to_string(health.corpus_cves) + "}";
+  out += std::string(",\"draining\":") + (health.draining ? "true" : "false");
+  out += ",\"queue\":{\"depth\":" + std::to_string(health.queue.depth) +
+         ",\"active\":" + std::to_string(health.queue.active) +
+         ",\"capacity\":" + std::to_string(health.queue.capacity) +
+         ",\"admitted\":" + std::to_string(health.queue.admitted) +
+         ",\"rejected\":" + std::to_string(health.queue.rejected) +
+         ",\"completed\":" + std::to_string(health.queue.completed) + "}";
+  const std::uint64_t hits = health.cache.hits();
+  const std::uint64_t misses = health.cache.misses();
+  const std::uint64_t lookups = hits + misses;
+  out += ",\"cache\":{\"hits\":" + std::to_string(hits) +
+         ",\"misses\":" + std::to_string(misses) +
+         ",\"stores\":" + std::to_string(health.cache.stores) +
+         ",\"hit_ratio\":";
+  obs_json::append_double(
+      out, lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups));
+  out += "}";
+  std::optional<obs::HealthSnapshot> heartbeat;
+  {
+    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    if (latest_heartbeat_) heartbeat = latest_heartbeat_->last_snapshot();
+  }
+  out += ",\"heartbeat\":";
+  if (heartbeat)
+    out += obs::health_snapshot_jsonl(*heartbeat, /*include_process=*/false);
+  else
+    out += "null";
+  out += ",\"process\":{\"rss_kb\":" + std::to_string(obs::process_rss_kb()) +
+         ",\"peak_rss_kb\":" + std::to_string(obs::process_peak_rss_kb()) +
+         "}}";
+  return out;
+}
+
+}  // namespace patchecko::service

@@ -1,0 +1,56 @@
+#include "service/signals.h"
+
+#include <csignal>
+
+namespace patchecko::service {
+
+namespace {
+
+std::atomic<bool> g_interrupt{false};
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_reload{false};
+
+extern "C" void handle_interrupt(int signum) {
+  g_signal.store(signum, std::memory_order_relaxed);
+  g_interrupt.store(true, std::memory_order_release);
+}
+
+extern "C" void handle_reload(int) {
+  g_reload.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+const std::atomic<bool>& interrupt_flag() { return g_interrupt; }
+
+int interrupt_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+bool consume_reload_request() {
+  return g_reload.exchange(false, std::memory_order_acq_rel);
+}
+
+void install_signal_handlers(bool with_sighup) {
+  struct sigaction action {};
+  action.sa_handler = handle_interrupt;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART keeps blocking reads alive across the signal; every loop
+  // that must react polls the flag on a short timeout anyway.
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  if (with_sighup) {
+    action.sa_handler = handle_reload;
+    sigaction(SIGHUP, &action, nullptr);
+  }
+  // A client vanishing mid-response must surface as a write error, not kill
+  // the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+void reset_signal_flags() {
+  g_interrupt.store(false);
+  g_signal.store(0);
+  g_reload.store(false);
+}
+
+}  // namespace patchecko::service

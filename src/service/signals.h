@@ -1,0 +1,32 @@
+// Process signal wiring shared by `batch-scan` and `serve`.
+//
+// Handlers only flip async-signal-safe atomics; the actual work — stopping
+// the scheduler, flushing telemetry, rebuilding the corpus — happens on
+// normal threads that poll these flags. SIGINT/SIGTERM request a graceful
+// interrupt (the flag doubles as the engine's cooperative cancel token);
+// SIGHUP requests a corpus hot reload (serve only).
+#pragma once
+
+#include <atomic>
+
+namespace patchecko::service {
+
+/// Flag set by SIGINT/SIGTERM; wire it into EngineConfig::interrupt and
+/// poll it from serve/scan loops.
+const std::atomic<bool>& interrupt_flag();
+
+/// The signal number that set the interrupt flag (0 if none yet). The CLI
+/// exits with 128 + this, the shell convention for death-by-signal.
+int interrupt_signal();
+
+/// True once per SIGHUP delivery: reads and clears the reload flag.
+bool consume_reload_request();
+
+/// Installs SIGINT/SIGTERM handlers (and SIGHUP when `with_sighup`).
+/// Idempotent; safe to call from any command.
+void install_signal_handlers(bool with_sighup);
+
+/// Test hook: reset all flags to the freshly-installed state.
+void reset_signal_flags();
+
+}  // namespace patchecko::service

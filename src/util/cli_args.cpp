@@ -132,4 +132,17 @@ HeartbeatSpec heartbeat_spec_from(const Args& args, const std::string& key) {
   return spec;
 }
 
+std::string indexed_output_file(const std::string& file, std::uint64_t index) {
+  const std::string tag = ".req" + std::to_string(index);
+  // The extension starts at the last '.' inside the basename; a dot in a
+  // parent directory ("out.d/ev") must not split the path.
+  const auto slash = file.find_last_of('/');
+  const auto dot = file.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash) || dot == 0 ||
+      (slash != std::string::npos && dot == slash + 1))
+    return file + tag;
+  return file.substr(0, dot) + tag + file.substr(dot);
+}
+
 }  // namespace patchecko::cli

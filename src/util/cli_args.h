@@ -11,6 +11,7 @@
 // rejected per command via require_known_options.
 #pragma once
 
+#include <cstdint>
 #include <initializer_list>
 #include <map>
 #include <stdexcept>
@@ -91,5 +92,12 @@ struct HeartbeatSpec {
 
 HeartbeatSpec heartbeat_spec_from(const Args& args,
                                   const std::string& key = "heartbeat");
+
+/// Derives a per-request output path from an OutputSpec/HeartbeatSpec file:
+/// ".req<index>" is inserted before the extension ("ev.jsonl", 7 ->
+/// "ev.req7.jsonl"; extension-less "ev" -> "ev.req7"). The scan service
+/// uses this so `--events`/`--heartbeat` keep the exact one-shot CLI syntax
+/// (and validation) while each admitted request gets its own file.
+std::string indexed_output_file(const std::string& file, std::uint64_t index);
 
 }  // namespace patchecko::cli

@@ -180,5 +180,22 @@ TEST(CliArgs, OutputSpecValueRequiredRejectsBareFlag) {
   EXPECT_EQ(ok.file, "trace.json");
 }
 
+TEST(CliArgs, IndexedOutputFileInsertsBeforeExtension) {
+  // The scan service derives per-request telemetry paths from the same
+  // --events/--heartbeat specs the one-shot CLI validates.
+  EXPECT_EQ(cli::indexed_output_file("ev.jsonl", 7), "ev.req7.jsonl");
+  EXPECT_EQ(cli::indexed_output_file("out/ev.jsonl", 12), "out/ev.req12.jsonl");
+  EXPECT_EQ(cli::indexed_output_file("a.b.c", 1), "a.b.req1.c");
+}
+
+TEST(CliArgs, IndexedOutputFileAppendsWhenNoUsableExtension) {
+  EXPECT_EQ(cli::indexed_output_file("ev", 7), "ev.req7");
+  // A dot in a parent directory is not an extension...
+  EXPECT_EQ(cli::indexed_output_file("out.d/ev", 3), "out.d/ev.req3");
+  // ...and neither is a leading dot (hidden files).
+  EXPECT_EQ(cli::indexed_output_file(".hidden", 2), ".hidden.req2");
+  EXPECT_EQ(cli::indexed_output_file("dir/.hidden", 2), "dir/.hidden.req2");
+}
+
 }  // namespace
 }  // namespace patchecko

@@ -682,5 +682,81 @@ TEST(Engine, ProvenanceSurvivesCacheRoundTrip) {
   EXPECT_EQ(warm_report.provenance_jsonl(), cold);
 }
 
+TEST(Engine, InterruptAlreadySetSkipsEveryJob) {
+  // A SIGINT that lands before the first job launches must still produce a
+  // (fully partial) report: every job cancelled, nothing executed.
+  const EngineUniverse& u = universe();
+  std::atomic<bool> interrupt{true};
+  EngineConfig config;
+  config.jobs = 4;
+  config.interrupt = &interrupt;
+  ScanEngine engine(config);
+  const ScanReport report = engine.run(u.request());
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_GT(report.jobs_cancelled, 0u);
+  EXPECT_TRUE(report.timings.empty());  // nothing ran
+  for (const CveScanResult& result : report.results)
+    EXPECT_TRUE(result.cancelled);
+  // Cancelled outcomes must never poison the cache.
+  EXPECT_EQ(engine.cache().stats().stores, 0u);
+}
+
+TEST(Engine, InterruptMidRunYieldsPartialReport) {
+  // Flip the flag from a progress callback after the first few completions:
+  // queued jobs are dropped, the flag is recorded, and the jobs that did
+  // finish keep their results.
+  const EngineUniverse& u = universe();
+  std::atomic<bool> interrupt{false};
+  EngineConfig config;
+  config.jobs = 1;  // sequential: the interrupt point is deterministic
+  config.interrupt = &interrupt;
+  ScanEngine engine(config);
+  std::atomic<std::size_t> completions{0};
+  const ScanReport report =
+      engine.run(u.request(), [&](const JobEvent&) {
+        if (completions.fetch_add(1) + 1 == 2) interrupt.store(true);
+      });
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_GT(report.jobs_cancelled, 0u);
+  EXPECT_EQ(report.timings.size(), 2u);  // exactly the pre-interrupt jobs
+}
+
+TEST(Engine, InterruptedRunDoesNotDisturbLaterRuns) {
+  const EngineUniverse& u = universe();
+  std::atomic<bool> interrupt{true};
+  EngineConfig config;
+  config.jobs = 2;
+  config.interrupt = &interrupt;
+  ScanEngine engine(config);
+  EXPECT_TRUE(engine.run(u.request()).interrupted);
+  interrupt.store(false);
+  const ScanReport clean = engine.run(u.request());
+  EXPECT_FALSE(clean.interrupted);
+  EXPECT_EQ(clean.jobs_cancelled, 0u);
+  ScanEngine reference(EngineConfig{});
+  EXPECT_EQ(clean.canonical_text(),
+            reference.run(u.request()).canonical_text());
+}
+
+TEST(Engine, ConcurrentRunsOnOneEngineStayDeterministic) {
+  // The scan service dispatches many requests through one resident engine;
+  // concurrent run() calls share the result cache and the global pool but
+  // must not share per-run state.
+  const EngineUniverse& u = universe();
+  EngineConfig config;
+  config.jobs = 2;
+  ScanEngine engine(config);
+  const std::string expected =
+      ScanEngine(EngineConfig{}).run(u.request()).canonical_text();
+  constexpr int kRuns = 4;
+  std::vector<std::string> reports(kRuns);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kRuns; ++i)
+    threads.emplace_back(
+        [&, i] { reports[i] = engine.run(u.request()).canonical_text(); });
+  for (std::thread& thread : threads) thread.join();
+  for (int i = 0; i < kRuns; ++i) EXPECT_EQ(reports[i], expected) << i;
+}
+
 }  // namespace
 }  // namespace patchecko

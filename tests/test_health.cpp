@@ -202,6 +202,38 @@ TEST(Health, HeartbeatManualClockLifecycle) {
   EXPECT_DOUBLE_EQ(last.get("eta_s").as_number(), 0.0);  // nothing remaining
 }
 
+TEST(Health, SilentHeartbeatSamplesWithoutWritingLines) {
+  // write_lines=false is the scan-service mode: snapshots are still taken
+  // (the health endpoint reads the last one) but no JSONL goes anywhere.
+  obs::ManualClock clock;
+  obs::Registry registry;
+  obs::HeartbeatConfig config;
+  config.interval_seconds = 0.0;
+  config.clock = &clock;
+  config.registry = &registry;
+  config.write_lines = false;
+
+  obs::Heartbeat heartbeat(std::move(config));
+  EXPECT_FALSE(heartbeat.last_snapshot().has_value());  // before begin()
+  heartbeat.begin(3);
+  heartbeat.job_done();
+  heartbeat.job_done();
+  clock.advance(1.5);
+  heartbeat.poll();
+  auto snapshot = heartbeat.last_snapshot();
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->jobs_done, 2u);
+  EXPECT_EQ(snapshot->jobs_total, 3u);
+  EXPECT_DOUBLE_EQ(snapshot->t_seconds, 1.5);
+  heartbeat.job_done();
+  heartbeat.finish();
+  snapshot = heartbeat.last_snapshot();
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->jobs_done, 3u);
+  // Silent mode writes no lines, but snapshots_written still counts samples.
+  EXPECT_EQ(heartbeat.snapshots_written(), 3u);
+}
+
 TEST(Health, HeartbeatSnapshotsAreIdenticalAcrossJobCounts) {
   // The CI-facing determinism claim: with a fake clock and the process
   // section off, a --jobs=1 scan and a --jobs=8 scan of the same request

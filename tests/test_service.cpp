@@ -1,0 +1,665 @@
+// Tests for the persistent scan service: wire framing (including the
+// oversized-skip and fuzz robustness contracts), request parsing, admission
+// backpressure, corpus hot reload, and the end-to-end daemon — concurrent
+// clients over a real Unix-domain socket receiving byte-identical reports
+// to the one-shot engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dl/trainer.h"
+#include "engine/corpus_store.h"
+#include "engine/engine.h"
+#include "firmware/firmware.h"
+#include "obs/json.h"
+#include "service/admission.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/signals.h"
+
+namespace patchecko {
+namespace {
+
+namespace svc = patchecko::service;
+namespace json = patchecko::obs::json;
+
+// --- framing ---------------------------------------------------------------
+
+TEST(Service, FrameRoundTripAcrossArbitrarySplits) {
+  const std::vector<std::string> payloads = {"", "{}", "{\"type\":\"ping\"}",
+                                             std::string(1000, 'x')};
+  std::string stream;
+  for (const std::string& payload : payloads)
+    stream += svc::encode_frame(payload);
+  // Feed the byte stream in every chunk size; framing must not care.
+  for (std::size_t chunk = 1; chunk <= 7; ++chunk) {
+    svc::FrameReader reader;
+    std::vector<std::string> decoded;
+    for (std::size_t i = 0; i < stream.size(); i += chunk) {
+      reader.push(stream.data() + i, std::min(chunk, stream.size() - i));
+      std::string payload;
+      while (reader.next(payload) == svc::FrameStatus::ok)
+        decoded.push_back(payload);
+    }
+    EXPECT_EQ(decoded, payloads) << "chunk size " << chunk;
+  }
+}
+
+TEST(Service, OversizedFrameIsSkippedNotFatal) {
+  svc::FrameReader reader(/*max_frame_bytes=*/16);
+  const std::string big(100, 'A');
+  reader.push(svc::encode_frame(big));
+  reader.push(svc::encode_frame("{\"ok\":true}"));
+
+  std::string payload;
+  std::uint64_t dropped = 0;
+  // The oversized frame surfaces exactly once, with its declared size...
+  EXPECT_EQ(reader.next(payload, &dropped), svc::FrameStatus::oversized);
+  EXPECT_EQ(dropped, 100u);
+  // ...and the connection stays framed: the next frame decodes normally.
+  EXPECT_EQ(reader.next(payload, &dropped), svc::FrameStatus::ok);
+  EXPECT_EQ(payload, "{\"ok\":true}");
+  EXPECT_EQ(reader.next(payload, &dropped), svc::FrameStatus::need_more);
+}
+
+TEST(Service, OversizedFrameReportsBeforePayloadArrives) {
+  // Only the header of a 1 MiB frame has arrived: the reader must already
+  // report it (so the session can answer 413) and then silently discard the
+  // payload as it trickles in.
+  svc::FrameReader reader(/*max_frame_bytes=*/64);
+  const std::string frame = svc::encode_frame(std::string(1 << 20, 'z'));
+  reader.push(frame.data(), svc::kLengthPrefixBytes);
+  std::string payload;
+  std::uint64_t dropped = 0;
+  EXPECT_EQ(reader.next(payload, &dropped), svc::FrameStatus::oversized);
+  EXPECT_EQ(dropped, static_cast<std::uint64_t>(1 << 20));
+  std::size_t offset = svc::kLengthPrefixBytes;
+  while (offset < frame.size()) {
+    const std::size_t chunk = std::min<std::size_t>(4096, frame.size() - offset);
+    reader.push(frame.data() + offset, chunk);
+    offset += chunk;
+    EXPECT_EQ(reader.next(payload), svc::FrameStatus::need_more);
+  }
+  reader.push(svc::encode_frame("after"));
+  EXPECT_EQ(reader.next(payload), svc::FrameStatus::ok);
+  EXPECT_EQ(payload, "after");
+}
+
+TEST(Service, FrameFuzzNeverYieldsOversizedPayload) {
+  // Deterministic fuzz: random bytes (occasionally valid frames) pushed in
+  // random chunk sizes. The reader must never throw, never loop forever,
+  // and never hand back a payload above the configured maximum.
+  std::mt19937 rng(0xF2A77);
+  constexpr std::size_t kMax = 512;
+  for (int round = 0; round < 50; ++round) {
+    svc::FrameReader reader(kMax);
+    std::string stream;
+    for (int piece = 0; piece < 20; ++piece) {
+      if (rng() % 3 == 0) {
+        stream += svc::encode_frame(std::string(rng() % (2 * kMax), 'p'));
+      } else {
+        std::string garbage(rng() % 64, '\0');
+        for (char& byte : garbage) byte = static_cast<char>(rng() & 0xFF);
+        stream += garbage;
+      }
+    }
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng() % 97, stream.size() - offset);
+      reader.push(stream.data() + offset, chunk);
+      offset += chunk;
+      std::string payload;
+      for (int guard = 0; guard < 10000; ++guard) {
+        const svc::FrameStatus status = reader.next(payload);
+        if (status == svc::FrameStatus::need_more) break;
+        if (status == svc::FrameStatus::ok) EXPECT_LE(payload.size(), kMax);
+      }
+    }
+  }
+}
+
+// --- request parsing -------------------------------------------------------
+
+TEST(Service, ParseRequestRejectsStructurallyInvalidPayloads) {
+  std::string error;
+  EXPECT_FALSE(svc::parse_request("not json", &error));
+  EXPECT_EQ(error, "malformed JSON payload");
+  EXPECT_FALSE(svc::parse_request("[1,2]", &error));
+  EXPECT_FALSE(svc::parse_request("{\"no_type\":1}", &error));
+  EXPECT_FALSE(svc::parse_request("{\"type\":\"scan\"}", &error));
+  EXPECT_NE(error.find("firmware"), std::string::npos);
+  EXPECT_FALSE(svc::parse_request(
+      "{\"type\":\"scan\",\"firmware\":\"fw\",\"cves\":\"CVE-1\"}", &error));
+  EXPECT_FALSE(svc::parse_request("{\"type\":\"status\"}", &error));
+  EXPECT_FALSE(
+      svc::parse_request("{\"type\":\"status\",\"request_id\":-3}", &error));
+  EXPECT_FALSE(
+      svc::parse_request("{\"type\":\"reload\",\"scale\":0}", &error));
+}
+
+TEST(Service, ParseRequestKeepsUnknownTypesForStructuredErrors) {
+  std::string error;
+  const auto request = svc::parse_request("{\"type\":\"frobnicate\"}", &error);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->type, svc::RequestType::unknown);
+  EXPECT_EQ(request->raw_type, "frobnicate");
+}
+
+TEST(Service, ParseRequestRoundTripsBuilders) {
+  std::string error;
+  const auto scan = svc::parse_request(
+      svc::scan_request_json("fw.img", {"CVE-A", "CVE-B"}, true), &error);
+  ASSERT_TRUE(scan.has_value()) << error;
+  EXPECT_EQ(scan->type, svc::RequestType::scan);
+  EXPECT_EQ(scan->firmware, "fw.img");
+  EXPECT_EQ(scan->cve_ids, (std::vector<std::string>{"CVE-A", "CVE-B"}));
+  EXPECT_TRUE(scan->want_provenance);
+
+  const auto status = svc::parse_request(svc::status_request_json(42), &error);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->type, svc::RequestType::status);
+  EXPECT_EQ(status->request_id, 42u);
+
+  const auto reload =
+      svc::parse_request(svc::reload_request_json(0.5, 7), &error);
+  ASSERT_TRUE(reload.has_value());
+  ASSERT_TRUE(reload->scale.has_value());
+  EXPECT_DOUBLE_EQ(*reload->scale, 0.5);
+  ASSERT_TRUE(reload->seed.has_value());
+  EXPECT_EQ(*reload->seed, 7u);
+}
+
+// --- admission -------------------------------------------------------------
+
+TEST(Service, AdmissionQueueBoundsAndDrains) {
+  svc::AdmissionQueue queue(2);
+  auto pending = [](std::uint64_t id) {
+    svc::PendingScan scan;
+    scan.id = id;
+    scan.respond = [](const std::string&) {};
+    return scan;
+  };
+  EXPECT_TRUE(queue.try_admit(pending(1)));
+  EXPECT_TRUE(queue.try_admit(pending(2)));
+  EXPECT_FALSE(queue.try_admit(pending(3)));  // full => backpressure
+  svc::AdmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.depth, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+
+  const auto first = queue.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 1u);  // FIFO
+  EXPECT_TRUE(queue.try_admit(pending(4)));  // slot freed by next()
+  queue.job_done();
+  const auto second = queue.next();
+  const auto third = queue.next();
+  ASSERT_TRUE(second && third);
+  queue.job_done();
+  queue.job_done();
+  queue.wait_idle();  // returns immediately: nothing queued or active
+
+  queue.close();
+  EXPECT_FALSE(queue.try_admit(pending(5)));
+  EXPECT_FALSE(queue.next().has_value());  // closed and empty
+  stats = queue.stats();
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(Service, AdmissionQueueWakesBlockedDispatcher) {
+  svc::AdmissionQueue queue(4);
+  std::optional<std::uint64_t> seen;
+  std::thread dispatcher([&] {
+    const auto scan = queue.next();  // blocks until admit or close
+    if (scan) {
+      seen = scan->id;
+      queue.job_done();
+    }
+  });
+  svc::PendingScan scan;
+  scan.id = 9;
+  scan.respond = [](const std::string&) {};
+  EXPECT_TRUE(queue.try_admit(std::move(scan)));
+  dispatcher.join();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, 9u);
+}
+
+// --- corpus store ----------------------------------------------------------
+
+TEST(Service, CorpusStoreReloadSwapsWithoutInvalidatingReaders) {
+  EvalConfig eval;
+  eval.scale = 0.02;
+  CorpusStore store(eval);
+  const auto first = store.current();
+  EXPECT_EQ(first->version, 1u);
+
+  EvalConfig next = eval;
+  next.seed = eval.seed + 1;
+  const auto second = store.reload(next);
+  EXPECT_EQ(second->version, 2u);
+  EXPECT_EQ(store.current().get(), second.get());
+  // The old generation stays fully usable for captured readers.
+  EXPECT_EQ(first->version, 1u);
+  EXPECT_FALSE(first->database.entries().empty());
+  EXPECT_EQ(first->eval.seed, eval.seed);
+}
+
+// --- signals ---------------------------------------------------------------
+
+TEST(Service, SignalHandlersFlipFlagsWithoutKillingTheProcess) {
+  svc::install_signal_handlers(/*with_sighup=*/true);
+  svc::reset_signal_flags();
+  EXPECT_FALSE(svc::consume_reload_request());
+  std::raise(SIGHUP);
+  EXPECT_TRUE(svc::consume_reload_request());
+  EXPECT_FALSE(svc::consume_reload_request());  // one delivery, one consume
+  EXPECT_FALSE(svc::interrupt_flag().load());
+  std::raise(SIGTERM);
+  EXPECT_TRUE(svc::interrupt_flag().load());
+  EXPECT_EQ(svc::interrupt_signal(), SIGTERM);
+  svc::reset_signal_flags();
+}
+
+// --- end-to-end daemon -----------------------------------------------------
+
+/// Shared universe for the socket-level tests: a lightly trained model, a
+/// scaled-down corpus/firmware saved to disk, and the one-shot engine's
+/// canonical report to byte-compare service results against.
+struct ServiceUniverse {
+  SimilarityModel model;
+  EvalConfig eval;
+  std::string firmware_path;
+  std::vector<std::string> some_cves;
+  std::string expected_report;  ///< one-shot canonical_text for some_cves
+
+  ServiceUniverse() {
+    TrainerConfig trainer;
+    trainer.dataset.library_count = 16;
+    trainer.dataset.functions_per_library = 12;
+    trainer.epochs = 6;
+    model = train_similarity_model(trainer).model;
+
+    eval.scale = 0.03;
+    const EvalCorpus corpus(eval);
+    const CveDatabase database(corpus, DatabaseConfig{});
+    const FirmwareImage firmware = corpus.build_firmware(android_things_device());
+    for (const CveEntry& entry : database.entries()) {
+      if (some_cves.size() == 4) break;
+      some_cves.push_back(entry.spec.cve_id);
+    }
+
+    const auto dir =
+        std::filesystem::temp_directory_path() / "pk_service_universe";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    firmware_path = (dir / "fw.img").string();
+    if (!save_firmware(firmware, firmware_path))
+      throw std::runtime_error("cannot save test firmware");
+
+    ScanEngine engine(EngineConfig{});
+    ScanRequest request;
+    request.model = &model;
+    request.firmware = &firmware;
+    request.database = &database;
+    request.cve_ids = some_cves;
+    expected_report = engine.run(request).canonical_text();
+  }
+
+  svc::ServiceConfig service_config(const std::string& name) const {
+    svc::ServiceConfig config;
+    const auto dir =
+        std::filesystem::temp_directory_path() / ("pk_service_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    config.socket_path = (dir / "svc.sock").string();
+    config.model = &model;
+    config.eval = eval;
+    config.engine.jobs = 2;
+    return config;
+  }
+};
+
+const ServiceUniverse& universe() {
+  static ServiceUniverse instance;
+  return instance;
+}
+
+json::Value parsed(const std::string& payload) {
+  const auto doc = json::parse(payload);
+  EXPECT_TRUE(doc.has_value()) << payload;
+  return doc.value_or(json::Value());
+}
+
+/// Submits one scan and returns the result payload (expects accepted first).
+std::optional<std::string> submit_scan(svc::ServiceClient& client,
+                                       const std::vector<std::string>& cves,
+                                       bool want_provenance = false) {
+  if (!client.send(svc::scan_request_json(universe().firmware_path, cves,
+                                          want_provenance)))
+    return std::nullopt;
+  const auto first = client.receive();
+  if (!first) return std::nullopt;
+  if (parsed(*first).get("type").as_string() != "accepted") return first;
+  return client.receive();
+}
+
+TEST(Service, ScanOverUnixSocketMatchesOneShotReportByteForByte) {
+  const ServiceUniverse& env = universe();
+  svc::ScanService service(env.service_config("identity"));
+  service.start();
+  auto client = svc::ServiceClient::connect_unix(
+      service.config().socket_path);
+  ASSERT_TRUE(client.connected());
+
+  const auto result = submit_scan(client, env.some_cves,
+                                  /*want_provenance=*/true);
+  ASSERT_TRUE(result.has_value());
+  const json::Value doc = parsed(*result);
+  EXPECT_EQ(doc.get("type").as_string(), "result");
+  EXPECT_EQ(doc.get("report").as_string(), env.expected_report);
+  EXPECT_EQ(doc.get("corpus_version").as_number(), 1.0);
+  EXPECT_FALSE(doc.get("interrupted").as_bool(true));
+  EXPECT_FALSE(doc.get("provenance").as_string().empty());
+
+  // A repeat submission is served from the resident result cache.
+  const auto repeat = submit_scan(client, env.some_cves);
+  ASSERT_TRUE(repeat.has_value());
+  const json::Value repeat_doc = parsed(*repeat);
+  EXPECT_EQ(repeat_doc.get("report").as_string(), env.expected_report);
+  EXPECT_GT(repeat_doc.get("cache").get("hits").as_number(), 0.0);
+  service.stop();
+}
+
+TEST(Service, FourConcurrentClientsGetIdenticalReports) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("concurrent");
+  config.dispatchers = 2;
+  config.queue_limit = 16;
+  svc::ScanService service(config);
+  service.start();
+
+  constexpr int kClients = 4;
+  std::vector<std::string> reports(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i)
+    threads.emplace_back([&, i] {
+      auto client =
+          svc::ServiceClient::connect_unix(service.config().socket_path);
+      if (!client.connected()) return;
+      const auto result = submit_scan(client, env.some_cves);
+      if (result) reports[i] = parsed(*result).get("report").as_string();
+    });
+  for (std::thread& thread : threads) thread.join();
+  for (int i = 0; i < kClients; ++i)
+    EXPECT_EQ(reports[i], env.expected_report) << "client " << i;
+  service.stop();
+}
+
+TEST(Service, SaturatedQueueRejectsWithBackpressureError) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("backpressure");
+  config.queue_limit = 1;
+  config.dispatchers = 1;
+  config.scan_delay_seconds = 0.25;  // hold the dispatcher so the queue fills
+  svc::ScanService service(config);
+  service.start();
+
+  auto first = svc::ServiceClient::connect_unix(service.config().socket_path);
+  auto second = svc::ServiceClient::connect_unix(service.config().socket_path);
+  auto third = svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(first.connected() && second.connected() && third.connected());
+
+  ASSERT_TRUE(first.send(
+      svc::scan_request_json(env.firmware_path, env.some_cves, false)));
+  ASSERT_EQ(parsed(first.receive().value_or("")).get("type").as_string(),
+            "accepted");
+  // Wait until the dispatcher owns request 1, so the single queue slot is
+  // provably free for request 2 and provably full for request 3.
+  for (int i = 0; i < 200 && service.health().queue.active == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(service.health().queue.active, 1u);
+
+  ASSERT_TRUE(second.send(
+      svc::scan_request_json(env.firmware_path, env.some_cves, false)));
+  ASSERT_EQ(parsed(second.receive().value_or("")).get("type").as_string(),
+            "accepted");
+
+  ASSERT_TRUE(third.send(
+      svc::scan_request_json(env.firmware_path, env.some_cves, false)));
+  const json::Value reject = parsed(third.receive().value_or(""));
+  EXPECT_EQ(reject.get("type").as_string(), "error");
+  EXPECT_EQ(reject.get("code").as_number(), 429.0);
+
+  // The admitted scans still complete with correct bytes.
+  const auto result1 = first.receive();
+  const auto result2 = second.receive();
+  ASSERT_TRUE(result1 && result2);
+  EXPECT_EQ(parsed(*result1).get("report").as_string(), env.expected_report);
+  EXPECT_EQ(parsed(*result2).get("report").as_string(), env.expected_report);
+  EXPECT_GE(service.health().queue.rejected, 1u);
+  service.stop();
+}
+
+TEST(Service, CorpusReloadMidScanDropsNoInFlightJobs) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("reload");
+  config.dispatchers = 2;
+  config.queue_limit = 8;
+  config.scan_delay_seconds = 0.1;  // guarantee scans are in flight
+  svc::ScanService service(config);
+  service.start();
+
+  constexpr int kScans = 4;
+  std::vector<svc::ServiceClient> clients;
+  for (int i = 0; i < kScans; ++i) {
+    clients.push_back(
+        svc::ServiceClient::connect_unix(service.config().socket_path));
+    ASSERT_TRUE(clients.back().connected());
+    ASSERT_TRUE(clients.back().send(
+        svc::scan_request_json(env.firmware_path, env.some_cves, false)));
+    ASSERT_EQ(
+        parsed(clients.back().receive().value_or("")).get("type").as_string(),
+        "accepted");
+  }
+
+  // Hot-swap the corpus while the scans above are dispatched/queued.
+  auto control =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(control.connected());
+  const auto reloaded =
+      control.call(svc::reload_request_json(std::nullopt, std::nullopt));
+  ASSERT_TRUE(reloaded.has_value());
+  const json::Value reload_doc = parsed(*reloaded);
+  EXPECT_EQ(reload_doc.get("type").as_string(), "reloaded");
+  EXPECT_EQ(reload_doc.get("corpus_version").as_number(), 2.0);
+
+  // Zero dropped jobs: every scan yields a full result (under either
+  // generation — both are built from the same EvalConfig, so the report
+  // bytes are identical too).
+  for (int i = 0; i < kScans; ++i) {
+    const auto result = clients[i].receive();
+    ASSERT_TRUE(result.has_value()) << "scan " << i << " was dropped";
+    const json::Value doc = parsed(*result);
+    EXPECT_EQ(doc.get("type").as_string(), "result") << *result;
+    EXPECT_EQ(doc.get("report").as_string(), env.expected_report);
+    const double version = doc.get("corpus_version").as_number();
+    EXPECT_TRUE(version == 1.0 || version == 2.0);
+  }
+  EXPECT_EQ(service.health().corpus_version, 2u);
+  service.stop();
+}
+
+TEST(Service, ProtocolErrorsKeepTheConnectionAlive) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("robust");
+  config.max_frame_bytes = 128;
+  svc::ScanService service(config);
+  service.start();
+  auto client =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(client.connected());
+
+  // Malformed JSON -> 400, connection survives.
+  auto response = client.call("this is not json");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(parsed(*response).get("code").as_number(), 400.0);
+
+  // Unknown request type -> 400 naming the type.
+  response = client.call("{\"type\":\"frobnicate\"}");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(parsed(*response).get("message").as_string().find("frobnicate"),
+            std::string::npos);
+
+  // Oversized frame -> 413, connection survives.
+  response = client.call(std::string(4096, 'x'));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(parsed(*response).get("code").as_number(), 413.0);
+
+  // The same connection still answers a well-formed request.
+  response = client.call(svc::ping_request_json());
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(parsed(*response).get("type").as_string(), "pong");
+  service.stop();
+}
+
+TEST(Service, HealthAndStatusEndpointsReportServiceState) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("health");
+  config.queue_limit = 7;
+  config.tcp_port = 0;  // also exercise the loopback TCP listener
+  svc::ScanService service(config);
+  service.start();
+  ASSERT_GE(service.tcp_port(), 1);
+  auto client = svc::ServiceClient::connect_tcp(service.tcp_port());
+  ASSERT_TRUE(client.connected());
+
+  // Unknown request id -> 404.
+  auto response = client.call(svc::status_request_json(999));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(parsed(*response).get("code").as_number(), 404.0);
+
+  const auto result = submit_scan(client, env.some_cves);
+  ASSERT_TRUE(result.has_value());
+  const std::uint64_t id = static_cast<std::uint64_t>(
+      parsed(*result).get("request_id").as_number());
+  response = client.call(svc::status_request_json(id));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(parsed(*response).get("state").as_string(), "done");
+
+  // The dispatcher bumps `completed` just after streaming the result.
+  for (int i = 0; i < 200 && service.health().queue.completed == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  response = client.call(svc::health_request_json());
+  ASSERT_TRUE(response.has_value());
+  const json::Value health = parsed(*response);
+  EXPECT_EQ(health.get("type").as_string(), "health");
+  EXPECT_GE(health.get("uptime_s").as_number(), 0.0);
+  EXPECT_EQ(health.get("corpus").get("version").as_number(), 1.0);
+  EXPECT_GT(health.get("corpus").get("cves").as_number(), 0.0);
+  EXPECT_EQ(health.get("queue").get("capacity").as_number(), 7.0);
+  EXPECT_EQ(health.get("queue").get("admitted").as_number(), 1.0);
+  EXPECT_EQ(health.get("queue").get("completed").as_number(), 1.0);
+  EXPECT_FALSE(health.get("draining").as_bool(true));
+  // The per-request heartbeat fed the health endpoint its last snapshot.
+  const json::Value heartbeat = health.get("heartbeat");
+  ASSERT_EQ(heartbeat.kind(), json::Value::Kind::object);
+  EXPECT_EQ(heartbeat.get("jobs_done").as_number(),
+            heartbeat.get("jobs_total").as_number());
+  EXPECT_NE(health.get("process").get("rss_kb").kind(),
+            json::Value::Kind::null);
+  service.stop();
+}
+
+TEST(Service, DrainFlushesQueueThenRefusesNewScans) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("drain");
+  config.scan_delay_seconds = 0.1;
+  svc::ScanService service(config);
+  service.start();
+
+  auto scanner =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(scanner.connected());
+  ASSERT_TRUE(scanner.send(
+      svc::scan_request_json(env.firmware_path, env.some_cves, false)));
+  ASSERT_EQ(parsed(scanner.receive().value_or("")).get("type").as_string(),
+            "accepted");
+
+  auto control =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(control.connected());
+  const auto drained = control.call(svc::drain_request_json());
+  ASSERT_TRUE(drained.has_value());
+  const json::Value doc = parsed(*drained);
+  EXPECT_EQ(doc.get("type").as_string(), "drained");
+  EXPECT_EQ(doc.get("completed").as_number(), 1.0);
+  // The flag flips just after the response frame is written (the response
+  // itself is the queue barrier), so allow the session thread a moment.
+  for (int i = 0; i < 400 && !service.drained(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(service.drained());
+
+  // The in-flight scan completed before the drain response...
+  const auto result = scanner.receive();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(parsed(*result).get("report").as_string(), env.expected_report);
+  // ...and new scans are refused with a 503.
+  const auto refused = control.call(
+      svc::scan_request_json(env.firmware_path, env.some_cves, false));
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(parsed(*refused).get("code").as_number(), 503.0);
+  service.stop();
+}
+
+TEST(Service, StopCancelsQueuedScansWithStructuredErrors) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("shutdown");
+  config.queue_limit = 8;
+  config.dispatchers = 1;
+  config.scan_delay_seconds = 0.2;
+  svc::ScanService service(config);
+  service.start();
+
+  auto running =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  auto queued =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(running.connected() && queued.connected());
+  ASSERT_TRUE(running.send(
+      svc::scan_request_json(env.firmware_path, env.some_cves, false)));
+  ASSERT_EQ(parsed(running.receive().value_or("")).get("type").as_string(),
+            "accepted");
+  for (int i = 0; i < 200 && service.health().queue.active == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(queued.send(
+      svc::scan_request_json(env.firmware_path, env.some_cves, false)));
+  ASSERT_EQ(parsed(queued.receive().value_or("")).get("type").as_string(),
+            "accepted");
+
+  service.stop();
+  // The dispatched scan finished; the queued one was shed with a 503.
+  const auto finished = running.receive();
+  ASSERT_TRUE(finished.has_value());
+  EXPECT_EQ(parsed(*finished).get("type").as_string(), "result");
+  const auto cancelled = queued.receive();
+  ASSERT_TRUE(cancelled.has_value());
+  const json::Value doc = parsed(*cancelled);
+  EXPECT_EQ(doc.get("type").as_string(), "error");
+  EXPECT_EQ(doc.get("code").as_number(), 503.0);
+}
+
+}  // namespace
+}  // namespace patchecko

@@ -18,6 +18,15 @@
 //                    [--stall-inject LABEL:SECONDS]
 //   patchecko explain --provenance FILE [--cve ID] [--function INDEX]
 //   patchecko bench-diff --old PATH --new PATH [--rel-tol F] [--abs-tol F]
+//   patchecko serve  --model model.bin --socket PATH [--tcp PORT]
+//                    [--scale S] [--seed N] [--jobs N] [--cache-dir DIR]
+//                    [--no-cache] [--queue-limit N] [--dispatchers N]
+//                    [--max-frame-bytes N] [--events=FILE]
+//                    [--heartbeat=FILE[:interval_ms]]
+//   patchecko client --socket PATH | --tcp PORT [--op submit|status|health|
+//                    reload|drain|ping] [--firmware fw.img] [--cve ID]
+//                    [--provenance[=FILE]] [--request-id N] [--scale S]
+//                    [--seed N]
 //
 // `scan` rebuilds the vulnerability database deterministically from the
 // corpus seed, loads the stripped firmware image from disk, and runs the
@@ -34,7 +43,18 @@
 // JSONL run-health snapshots during batch-scan; `--watchdog-soft/-hard`
 // flag and cancel stalled jobs; `bench-diff` compares two BENCH_*.json
 // files (or baseline directories) and exits nonzero on a perf regression.
+//
+// `serve` keeps the model, CVE corpus, and result cache resident in a
+// long-lived daemon speaking the length-prefixed JSON protocol of
+// src/service/protocol.h over a Unix-domain socket (and optionally TCP on
+// 127.0.0.1); `client` submits scans and control requests to it. SIGHUP —
+// or a `reload` request — hot-swaps the corpus snapshot without dropping
+// in-flight scans; SIGINT/SIGTERM shut down gracefully (queued scans are
+// cancelled with structured errors, telemetry files are flushed) and exit
+// with 128+signal. The same interrupt handling applies to `batch-scan`.
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -49,8 +69,13 @@
 #include "obs/events.h"
 #include "obs/export.h"
 #include "obs/health.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/signals.h"
 #include "tools/bench_diff_cmd.h"
 #include "util/cli_args.h"
 #include "util/parallel.h"
@@ -135,11 +160,23 @@ int usage() {
                "[--metrics[=FILE]] [--events[=FILE]] [--trace-out=FILE]\n"
                "                 [--heartbeat[=FILE][:interval_ms]] "
                "[--watchdog-soft S] [--watchdog-hard S]\n"
-               "                 [--stall-inject LABEL:SECONDS]\n"
+               "                 [--stall-inject LABEL:SECONDS] "
+               "[--canonical[=FILE]]\n"
                "  patchecko explain --provenance FILE [--cve ID] "
                "[--function INDEX]\n"
                "  patchecko bench-diff --old PATH --new PATH [--rel-tol F] "
-               "[--abs-tol F]\n");
+               "[--abs-tol F]\n"
+               "  patchecko serve --model model.bin --socket PATH "
+               "[--tcp PORT] [--scale S] [--seed N] [--jobs N]\n"
+               "                 [--cache-dir DIR] [--no-cache] "
+               "[--queue-limit N] [--dispatchers N]\n"
+               "                 [--max-frame-bytes N] [--events=FILE] "
+               "[--heartbeat=FILE[:interval_ms]]\n"
+               "  patchecko client --socket PATH | --tcp PORT "
+               "[--op submit|status|health|reload|drain|ping]\n"
+               "                 [--firmware fw.img] [--cve ID] "
+               "[--provenance[=FILE]] [--request-id N]\n"
+               "                 [--scale S] [--seed N]\n");
   return 2;
 }
 
@@ -362,9 +399,10 @@ int cmd_batch_scan(const Args& args) {
                                "no-cache", "scale", "seed", "verbose",
                                "metrics", "events", "trace-out", "heartbeat",
                                "watchdog-soft", "watchdog-hard",
-                               "stall-inject"});
+                               "stall-inject", "canonical"});
   const cli::MetricsSpec metrics = metrics_spec_from(args);
   const cli::OutputSpec events = output_spec_from(args, "events");
+  const cli::OutputSpec canonical = output_spec_from(args, "canonical");
   const cli::OutputSpec trace_out =
       output_spec_from(args, "trace-out", /*value_required=*/true);
   const cli::HeartbeatSpec heartbeat = cli::heartbeat_spec_from(args);
@@ -403,6 +441,10 @@ int cmd_batch_scan(const Args& args) {
     if (engine_config.stall_inject_seconds <= 0.0)
       throw UsageError("--stall-inject seconds must be > 0");
   }
+  // Ctrl-C / kill stop launching queued jobs, cancel in-flight work at the
+  // next cooperative check, and still flush every telemetry artifact.
+  service::install_signal_handlers(/*with_sighup=*/false);
+  engine_config.interrupt = &service::interrupt_flag();
   std::optional<obs::Heartbeat> heartbeat_publisher;
   if (heartbeat.enabled) {
     obs::HeartbeatConfig heartbeat_config;
@@ -424,8 +466,13 @@ int cmd_batch_scan(const Args& args) {
   }
 
   const EvalConfig config = eval_config_from(args);
-  std::printf("building vulnerability database (scale %.2f)...\n",
-              config.scale);
+  // Bare --canonical reserves stdout for the report bytes, so the progress
+  // note joins the other diagnostics on stderr.
+  std::fprintf(args.has("canonical") && args.get("canonical", "").empty()
+                   ? stderr
+                   : stdout,
+               "building vulnerability database (scale %.2f)...\n",
+               config.scale);
   const EvalCorpus corpus(config);
   const CveDatabase database(corpus, DatabaseConfig{});
 
@@ -448,29 +495,51 @@ int cmd_batch_scan(const Args& args) {
   };
 
   const ScanReport report = engine.run(request, progress);
-  for (const CveScanResult& result : report.results) {
-    if (result.library_missing) {
-      std::printf("%-16s %-18s library not in image\n", result.cve_id.c_str(),
-                  result.library.c_str());
-      continue;
+  // Bare --canonical reserves stdout for the canonical report bytes (the
+  // artifact CI byte-compares against the service); the human listing and
+  // summary move aside.
+  const bool canonical_stdout = canonical.enabled && canonical.file.empty();
+  if (canonical_stdout) {
+    std::fputs(report.canonical_text().c_str(), stdout);
+  } else {
+    for (const CveScanResult& result : report.results) {
+      if (result.library_missing) {
+        std::printf("%-16s %-18s library not in image\n",
+                    result.cve_id.c_str(), result.library.c_str());
+        continue;
+      }
+      if (!result.report.decision) {
+        std::printf("%-16s %-18s no match\n", result.cve_id.c_str(),
+                    result.library.c_str());
+        continue;
+      }
+      const bool is_patched =
+          result.report.decision->verdict == PatchVerdict::patched;
+      std::printf("%-16s %-18s %s (function #%zu)\n", result.cve_id.c_str(),
+                  result.library.c_str(),
+                  is_patched ? "patched" : "VULNERABLE",
+                  *result.report.matched_function);
+      for (const std::string& note : result.report.decision->evidence)
+        std::printf("                   evidence: %s\n", note.c_str());
     }
-    if (!result.report.decision) {
-      std::printf("%-16s %-18s no match\n", result.cve_id.c_str(),
-                  result.library.c_str());
-      continue;
-    }
-    const bool is_patched =
-        result.report.decision->verdict == PatchVerdict::patched;
-    std::printf("%-16s %-18s %s (function #%zu)\n", result.cve_id.c_str(),
-                result.library.c_str(), is_patched ? "patched" : "VULNERABLE",
-                *result.report.matched_function);
-    for (const std::string& note : result.report.decision->evidence)
-      std::printf("                   evidence: %s\n", note.c_str());
+    std::printf("\n%s", report.summary_text().c_str());
   }
-  std::printf("\n%s", report.summary_text().c_str());
   int status = emit_metrics(metrics);
+  if (canonical.enabled && !canonical.file.empty()) {
+    if (const int rc = write_text_file(canonical.file, report.canonical_text(),
+                                       "canonical report");
+        rc != 0)
+      status = rc;
+  }
   if (const int rc = emit_events(events, report); rc != 0) status = rc;
   if (const int rc = emit_trace(trace_out); rc != 0) status = rc;
+  if (report.interrupted && service::interrupt_signal() != 0) {
+    std::fprintf(stderr,
+                 "scan interrupted by signal %d: %zu queued jobs cancelled; "
+                 "partial report emitted\n",
+                 service::interrupt_signal(), report.jobs_cancelled);
+    return 128 + service::interrupt_signal();
+  }
   return status;
 }
 
@@ -518,6 +587,229 @@ int cmd_explain(const Args& args) {
   return 1;
 }
 
+int cmd_serve(const Args& args) {
+  require_known_options(
+      args, {"model", "socket", "tcp", "scale", "seed", "jobs", "cache-dir",
+             "no-cache", "queue-limit", "dispatchers", "max-frame-bytes",
+             "events", "heartbeat", "scan-delay"});
+  service::ServiceConfig config;
+  config.socket_path = args.get("socket", "");
+  if (config.socket_path.empty() && !args.has("tcp"))
+    throw UsageError("serve needs --socket PATH and/or --tcp PORT");
+  if (args.has("tcp")) {
+    const long port = args.get_long("tcp", 0);
+    if (port < 0 || port > 65535)
+      throw UsageError("--tcp expects a port in [0, 65535]");
+    config.tcp_port = static_cast<int>(port);
+  }
+  config.eval = eval_config_from(args);
+  config.engine.jobs = static_cast<unsigned>(
+      args.get_count("jobs", static_cast<long>(default_worker_threads())));
+  config.engine.cache_dir = args.get("cache-dir", "");
+  config.engine.use_cache = !args.has("no-cache");
+  if (args.has("no-cache") && args.has("cache-dir"))
+    throw UsageError("--no-cache and --cache-dir are mutually exclusive");
+  config.engine.interrupt = &service::interrupt_flag();
+  config.queue_limit =
+      static_cast<std::size_t>(args.get_count("queue-limit", 64));
+  config.dispatchers = static_cast<unsigned>(args.get_count("dispatchers", 2));
+  config.max_frame_bytes = static_cast<std::size_t>(args.get_count(
+      "max-frame-bytes",
+      static_cast<long>(service::kDefaultMaxFrameBytes)));
+  config.events = output_spec_from(args, "events", /*value_required=*/true);
+  config.heartbeat = cli::heartbeat_spec_from(args);
+  if (config.heartbeat.enabled && config.heartbeat.file.empty())
+    throw UsageError(
+        "serve --heartbeat requires a file path (per-request files are "
+        "derived from it)");
+  // Test hook: artificial per-scan dispatch delay, for deterministic
+  // backpressure exercises against a fast corpus.
+  config.scan_delay_seconds = args.get_double("scan-delay", 0.0);
+  if (config.scan_delay_seconds < 0.0)
+    throw UsageError("--scan-delay must be >= 0");
+
+  // The daemon always runs with obs on: the health endpoint samples the
+  // registry and per-request provenance needs the event machinery.
+  obs::set_enabled(true);
+  obs::set_events_enabled(true);
+
+  const auto model = SimilarityModel::load(args.get("model", ""));
+  if (!model) {
+    std::fprintf(stderr, "error: cannot load model (run `patchecko train`)\n");
+    return 1;
+  }
+  config.model = &*model;
+  std::printf("building vulnerability database (scale %.2f)...\n",
+              config.eval.scale);
+  service::ScanService svc(config);
+  service::install_signal_handlers(/*with_sighup=*/true);
+  svc.start();
+  if (!config.socket_path.empty())
+    std::printf("listening on unix:%s\n", config.socket_path.c_str());
+  if (svc.tcp_port() >= 0)
+    std::printf("listening on tcp:127.0.0.1:%d\n", svc.tcp_port());
+  // CI and scripts tail this output to learn the daemon is ready (and which
+  // ephemeral port it got), so it must not sit in a stdio buffer.
+  std::fflush(stdout);
+
+  while (!service::interrupt_flag().load(std::memory_order_acquire) &&
+         !svc.drained()) {
+    if (service::consume_reload_request()) {
+      const auto snapshot = svc.reload(std::nullopt, std::nullopt);
+      std::printf("corpus reloaded: version %llu (%zu CVEs)\n",
+                  static_cast<unsigned long long>(snapshot->version),
+                  snapshot->database.entries().size());
+      std::fflush(stdout);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const bool interrupted =
+      service::interrupt_flag().load(std::memory_order_acquire);
+  svc.stop();
+  if (interrupted) {
+    std::fprintf(stderr, "interrupted by signal %d; shut down cleanly\n",
+                 service::interrupt_signal());
+    return 128 + service::interrupt_signal();
+  }
+  std::printf("drained; shutting down\n");
+  return 0;
+}
+
+service::ServiceClient client_connect(const Args& args) {
+  if (args.has("socket"))
+    return service::ServiceClient::connect_unix(args.get("socket", ""));
+  if (args.has("tcp")) {
+    const long port = args.get_long("tcp", 0);
+    if (port < 1 || port > 65535)
+      throw UsageError("--tcp expects a port in [1, 65535]");
+    return service::ServiceClient::connect_tcp(static_cast<int>(port));
+  }
+  throw UsageError("client needs --socket PATH or --tcp PORT");
+}
+
+int cmd_client(const Args& args) {
+  require_known_options(args, {"socket", "tcp", "op", "firmware", "cve",
+                               "provenance", "request-id", "scale", "seed"});
+  const std::string op = args.get("op", "submit");
+  if (op != "submit" && op != "status" && op != "health" && op != "reload" &&
+      op != "drain" && op != "ping")
+    throw UsageError(
+        "--op expects submit|status|health|reload|drain|ping, got '" + op +
+        "'");
+  const cli::OutputSpec provenance = output_spec_from(args, "provenance");
+  service::ServiceClient client = client_connect(args);
+  if (!client.connected()) {
+    std::fprintf(stderr, "error: cannot connect to the scan service\n");
+    return 1;
+  }
+
+  if (op != "submit") {
+    std::string payload;
+    if (op == "status") {
+      if (!args.has("request-id"))
+        throw UsageError("--op status needs --request-id N");
+      const long id = args.get_long("request-id", 0);
+      if (id < 0) throw UsageError("--request-id must be >= 0");
+      payload =
+          service::status_request_json(static_cast<std::uint64_t>(id));
+    } else if (op == "health") {
+      payload = service::health_request_json();
+    } else if (op == "reload") {
+      std::optional<double> scale;
+      std::optional<std::uint64_t> seed;
+      if (args.has("scale")) {
+        scale = args.get_double("scale", 0.0);
+        if (*scale <= 0.0) throw UsageError("--scale must be > 0");
+      }
+      if (args.has("seed")) {
+        const long value = args.get_long("seed", 0);
+        if (value < 0) throw UsageError("--seed must be >= 0");
+        seed = static_cast<std::uint64_t>(value);
+      }
+      payload = service::reload_request_json(scale, seed);
+    } else if (op == "drain") {
+      payload = service::drain_request_json();
+    } else {
+      payload = service::ping_request_json();
+    }
+    const auto response = client.call(payload);
+    if (!response) {
+      std::fprintf(stderr, "error: connection closed without a response\n");
+      return 1;
+    }
+    std::printf("%s\n", response->c_str());
+    const auto doc = obs::json::parse(*response);
+    return doc && doc->get("type").as_string() == "error" ? 1 : 0;
+  }
+
+  // submit: stream the scan through, reserving stdout for the canonical
+  // report bytes so `cmp` against a one-shot --canonical run is meaningful.
+  const std::string firmware = args.get("firmware", "");
+  if (firmware.empty()) throw UsageError("--op submit needs --firmware PATH");
+  std::vector<std::string> cve_ids;
+  if (args.has("cve")) cve_ids.push_back(args.get("cve", ""));
+  if (!client.send(service::scan_request_json(firmware, cve_ids,
+                                              provenance.enabled))) {
+    std::fprintf(stderr, "error: cannot submit scan request\n");
+    return 1;
+  }
+  const auto first = client.receive();
+  if (!first) {
+    std::fprintf(stderr, "error: connection closed without a response\n");
+    return 1;
+  }
+  const auto first_doc = obs::json::parse(*first);
+  if (!first_doc) {
+    std::fprintf(stderr, "error: malformed response payload\n");
+    return 1;
+  }
+  if (first_doc->get("type").as_string() == "error") {
+    const int code = static_cast<int>(first_doc->get("code").as_number());
+    std::fprintf(stderr, "error %d: %s\n", code,
+                 first_doc->get("message").as_string().c_str());
+    // Backpressure rejects get their own exit code so load drivers can
+    // distinguish "shed" from "broken".
+    return code == 429 ? 3 : 1;
+  }
+  std::fprintf(stderr, "accepted: request %llu\n",
+               static_cast<unsigned long long>(
+                   first_doc->get("request_id").as_number()));
+  const auto second = client.receive();
+  if (!second) {
+    std::fprintf(stderr, "error: connection closed before the result\n");
+    return 1;
+  }
+  const auto doc = obs::json::parse(*second);
+  if (!doc) {
+    std::fprintf(stderr, "error: malformed response payload\n");
+    return 1;
+  }
+  if (doc->get("type").as_string() == "error") {
+    std::fprintf(stderr, "error %d: %s\n",
+                 static_cast<int>(doc->get("code").as_number()),
+                 doc->get("message").as_string().c_str());
+    return 1;
+  }
+  const std::string report = doc->get("report").as_string();
+  std::fwrite(report.data(), 1, report.size(), stdout);
+  std::fflush(stdout);
+  std::fprintf(stderr, "%s", doc->get("summary").as_string().c_str());
+  if (provenance.enabled) {
+    const std::string decisions = doc->get("provenance").as_string();
+    if (provenance.file.empty())
+      std::fprintf(stderr, "%s", decisions.c_str());
+    else if (const int rc =
+                 write_text_file(provenance.file, decisions, "provenance");
+             rc != 0)
+      return rc;
+  }
+  if (doc->get("interrupted").as_bool(false)) {
+    std::fprintf(stderr, "warning: scan interrupted; report is partial\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -530,6 +822,8 @@ int main(int argc, char** argv) {
     if (args.command == "scan") return cmd_scan(args);
     if (args.command == "batch-scan") return cmd_batch_scan(args);
     if (args.command == "explain") return cmd_explain(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "client") return cmd_client(args);
     if (args.command == "bench-diff") return patchecko::run_bench_diff(args);
     return usage();
   } catch (const UsageError& error) {
