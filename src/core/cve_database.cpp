@@ -1,8 +1,10 @@
 #include "core/cve_database.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "compiler/compiler.h"
+#include "util/timer.h"
 
 namespace patchecko {
 
@@ -107,6 +109,23 @@ const CveEntry& CveDatabase::by_id(const std::string& cve_id) const {
   for (const CveEntry& entry : entries_)
     if (entry.spec.cve_id == cve_id) return entry;
   throw std::out_of_range("CveDatabase: unknown CVE " + cve_id);
+}
+
+retrieval::QueryCatalog build_query_catalog(const CveDatabase& database) {
+  const Stopwatch watch;
+  retrieval::QueryCatalog catalog;
+  catalog.entries.reserve(database.entries().size());
+  for (const CveEntry& entry : database.entries())
+    catalog.entries.push_back({entry.spec.cve_id,
+                               retrieval::quantize(entry.vulnerable_features),
+                               retrieval::quantize(entry.patched_features)});
+  std::sort(catalog.entries.begin(), catalog.entries.end(),
+            [](const retrieval::QueryCatalog::Entry& a,
+               const retrieval::QueryCatalog::Entry& b) {
+              return a.cve_id < b.cve_id;
+            });
+  catalog.build_seconds = watch.elapsed_seconds();
+  return catalog;
 }
 
 }  // namespace patchecko

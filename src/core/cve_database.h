@@ -17,6 +17,7 @@
 #include "features/static_features.h"
 #include "firmware/firmware.h"
 #include "fuzz/fuzzer.h"
+#include "retrieval/query_catalog.h"
 #include "similarity/similarity.h"
 
 namespace patchecko {
@@ -89,5 +90,10 @@ class CveDatabase {
  private:
   std::vector<CveEntry> entries_;
 };
+
+/// Quantizes both query directions of every entry for the retrieval
+/// prefilter. A corpus snapshot builds this once and reuses it across every
+/// scan it serves (detect() quantizes on the fly when no catalog is passed).
+retrieval::QueryCatalog build_query_catalog(const CveDatabase& database);
 
 }  // namespace patchecko

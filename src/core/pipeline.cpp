@@ -35,6 +35,28 @@ struct PipelineMetrics {
   obs::Histogram& patch_seconds =
       obs::Registry::global().histogram("pipeline.patch_seconds");
 
+  // Stage-1 retrieval prefilter (src/retrieval). `prefilter_recall` is only
+  // recorded in verify mode: its mean (sum/count) is the measured
+  // shortlist-vs-exact recall across detect calls.
+  obs::Counter& prefilter_shortlisted =
+      obs::Registry::global().counter("pipeline.prefilter_shortlisted");
+  obs::Counter& prefilter_pruned =
+      obs::Registry::global().counter("pipeline.prefilter_pruned");
+  obs::Counter& prefilter_exact_fallbacks =
+      obs::Registry::global().counter("pipeline.prefilter_exact_fallbacks");
+  obs::Counter& prefilter_exact_candidates =
+      obs::Registry::global().counter("pipeline.prefilter_exact_candidates");
+  obs::Counter& prefilter_recalled =
+      obs::Registry::global().counter("pipeline.prefilter_recalled");
+  obs::Histogram& prefilter_recall =
+      obs::Registry::global().histogram("pipeline.prefilter_recall");
+  obs::Counter& index_builds =
+      obs::Registry::global().counter("retrieval.index_builds");
+  obs::Counter& index_vectors =
+      obs::Registry::global().counter("retrieval.index_vectors");
+  obs::Histogram& index_build_seconds =
+      obs::Registry::global().histogram("retrieval.index_build_seconds");
+
   static PipelineMetrics& get() {
     static PipelineMetrics metrics;
     return metrics;
@@ -48,7 +70,8 @@ inline bool is_cancelled(const std::atomic<bool>* cancel) {
 }  // namespace
 
 AnalyzedLibrary analyze_library(const LibraryBinary& library,
-                                unsigned worker_threads) {
+                                unsigned worker_threads,
+                                bool build_retrieval_index) {
   const obs::ScopedSpan span("pipeline.analyze");
   const Stopwatch watch;
   AnalyzedLibrary analyzed;
@@ -59,7 +82,18 @@ AnalyzedLibrary analyze_library(const LibraryBinary& library,
   });
   PipelineMetrics::get().functions_analyzed.add(library.functions.size());
   PipelineMetrics::get().analyze_seconds.record(watch.elapsed_seconds());
+  if (build_retrieval_index) ensure_retrieval_index(analyzed);
   return analyzed;
+}
+
+void ensure_retrieval_index(AnalyzedLibrary& analyzed) {
+  if (analyzed.index != nullptr) return;
+  const obs::ScopedSpan span("retrieval.index_build");
+  analyzed.index = retrieval::FunctionIndex::build_shared(analyzed.features);
+  PipelineMetrics& metrics = PipelineMetrics::get();
+  metrics.index_builds.add(1);
+  metrics.index_vectors.add(analyzed.features.size());
+  metrics.index_build_seconds.record(analyzed.index->stats().build_seconds);
 }
 
 Patchecko::Patchecko(const SimilarityModel* model, PipelineConfig config)
@@ -68,7 +102,9 @@ Patchecko::Patchecko(const SimilarityModel* model, PipelineConfig config)
 DetectionOutcome Patchecko::detect(const CveEntry& entry,
                                    const AnalyzedLibrary& target,
                                    bool query_is_patched,
-                                   const std::atomic<bool>* cancel) const {
+                                   const std::atomic<bool>* cancel,
+                                   const retrieval::QuantizedVector* query_code)
+    const {
   DetectionOutcome outcome;
   outcome.cve_id = entry.spec.cve_id;
   outcome.query_is_patched = query_is_patched;
@@ -87,20 +123,70 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
           : (query_is_patched ? entry.patched_profile
                               : entry.vulnerable_profile);
 
+  // --- Stage 1 prefilter ----------------------------------------------------
+  // Shortlist the target functions nearest to the query in quantized feature
+  // space (index.h) so the model scores K pairs instead of all of them.
+  // Small targets, a zero K, or a missing index fall back to the exact path.
+  retrieval::PrefilterMode prefilter = config_.prefilter_mode;
+  if (prefilter != retrieval::PrefilterMode::off &&
+      (config_.prefilter_top_k == 0 || target.index == nullptr ||
+       target.features.size() < config_.prefilter_min_total)) {
+    outcome.prefilter_exact_fallback = true;
+    prefilter = retrieval::PrefilterMode::off;
+  }
+  outcome.prefilter_mode = prefilter;
+  std::vector<std::uint32_t> shortlist;
+  if (prefilter != retrieval::PrefilterMode::off) {
+    const obs::ScopedSpan prefilter_span("pipeline.detect.prefilter");
+    shortlist = target.index->top_k(
+        query_code != nullptr ? *query_code : retrieval::quantize(query_features),
+        config_.prefilter_top_k);
+    outcome.prefilter_shortlist = shortlist.size();
+  }
+
   // --- Stage 1: deep-learning classification --------------------------------
+  // `on` scores only shortlisted functions; everything else is classified
+  // negative unscored. `verify` scores every function (measuring what the
+  // exact scan would have accepted) but classifies through the shortlist
+  // exactly like `on`, so both modes produce identical outcomes.
   Stopwatch dl_watch;
   std::vector<float> candidate_scores;
+  std::vector<std::pair<std::size_t, float>> verify_pruned;  // exact-only hits
   {
     const obs::ScopedSpan dl_span("pipeline.detect.dl");
+    std::size_t shortlist_pos = 0;
     for (std::size_t i = 0; i < target.features.size(); ++i) {
       if (is_cancelled(cancel)) {
         outcome.cancelled = true;
         break;
       }
-      const float score = model_->score(query_features, target.features[i]);
+      bool shortlisted = true;
+      if (prefilter != retrieval::PrefilterMode::off) {
+        shortlisted = shortlist_pos < shortlist.size() &&
+                      shortlist[shortlist_pos] == i;
+        if (shortlisted) ++shortlist_pos;
+      }
       const bool is_target =
           target.binary->functions[i].source_uid == entry.target_uid;
-      if (score >= config_.detection_threshold) {
+      if (prefilter == retrieval::PrefilterMode::on && !shortlisted) {
+        // Pruned before the model ran; a true match here is the prefilter's
+        // recall loss and lands in false_negatives like any stage-1 miss.
+        if (is_target)
+          ++outcome.false_negatives;
+        else
+          ++outcome.true_negatives;
+        continue;
+      }
+      const float score = model_->score(query_features, target.features[i]);
+      const bool accepted = score >= config_.detection_threshold;
+      if (prefilter == retrieval::PrefilterMode::verify && accepted) {
+        ++outcome.prefilter_exact_candidates;
+        if (shortlisted)
+          ++outcome.prefilter_recalled;
+        else
+          verify_pruned.emplace_back(i, score);
+      }
+      if (accepted && shortlisted) {
         outcome.candidates.push_back(i);
         candidate_scores.push_back(score);
         if (is_target)
@@ -170,8 +256,25 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
   outcome.provenance.minkowski_p = config_.minkowski_p;
   outcome.provenance.total = outcome.total;
   outcome.provenance.executed = outcome.executed;
-  outcome.provenance.candidates.reserve(outcome.candidates.size());
+  outcome.provenance.prefilter = static_cast<std::uint8_t>(prefilter);
+  outcome.provenance.prefilter_shortlist = outcome.prefilter_shortlist;
+  outcome.provenance.prefilter_exact = outcome.prefilter_exact_candidates;
+  outcome.provenance.prefilter_recalled = outcome.prefilter_recalled;
+  outcome.provenance.candidates.reserve(outcome.candidates.size() +
+                                        verify_pruned.size());
+  // Merge scored candidates with verify-mode prefilter-pruned hits, ascending
+  // by function index (both inputs are already ascending).
+  std::size_t pruned_pos = 0;
   for (std::size_t c = 0; c < outcome.candidates.size(); ++c) {
+    while (pruned_pos < verify_pruned.size() &&
+           verify_pruned[pruned_pos].first < outcome.candidates[c]) {
+      obs::CandidateRecord pruned;
+      pruned.function_index = verify_pruned[pruned_pos].first;
+      pruned.dl_score = verify_pruned[pruned_pos].second;
+      pruned.prefiltered = true;
+      outcome.provenance.candidates.push_back(std::move(pruned));
+      ++pruned_pos;
+    }
     obs::CandidateRecord record;
     record.function_index = outcome.candidates[c];
     record.dl_score = candidate_scores[c];
@@ -189,6 +292,13 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
       }
     }
     outcome.provenance.candidates.push_back(std::move(record));
+  }
+  for (; pruned_pos < verify_pruned.size(); ++pruned_pos) {
+    obs::CandidateRecord pruned;
+    pruned.function_index = verify_pruned[pruned_pos].first;
+    pruned.dl_score = verify_pruned[pruned_pos].second;
+    pruned.prefiltered = true;
+    outcome.provenance.candidates.push_back(std::move(pruned));
   }
   if (obs::events_enabled()) {
     obs::EventLog::global().emit(
@@ -218,6 +328,20 @@ DetectionOutcome Patchecko::detect(const CveEntry& entry,
   metrics.candidates_pruned.add(outcome.candidates.size() - outcome.executed);
   metrics.dl_seconds.record(outcome.dl_seconds);
   metrics.da_seconds.record(outcome.da_seconds);
+  if (outcome.prefilter_exact_fallback) metrics.prefilter_exact_fallbacks.add(1);
+  if (prefilter != retrieval::PrefilterMode::off) {
+    metrics.prefilter_shortlisted.add(outcome.prefilter_shortlist);
+    metrics.prefilter_pruned.add(outcome.total - outcome.prefilter_shortlist);
+    if (prefilter == retrieval::PrefilterMode::verify) {
+      metrics.prefilter_exact_candidates.add(outcome.prefilter_exact_candidates);
+      metrics.prefilter_recalled.add(outcome.prefilter_recalled);
+      metrics.prefilter_recall.record(
+          outcome.prefilter_exact_candidates == 0
+              ? 1.0
+              : static_cast<double>(outcome.prefilter_recalled) /
+                    static_cast<double>(outcome.prefilter_exact_candidates));
+    }
+  }
   return outcome;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/cve_database.h"
 #include "dl/similarity_model.h"
 #include "obs/decision.h"
+#include "retrieval/index.h"
 
 namespace patchecko {
 
@@ -28,6 +30,17 @@ struct PipelineConfig {
   /// parallelism as future work; this implements both. 1 = sequential.
   unsigned worker_threads = 1;
   MachineConfig machine;
+
+  /// Stage-1 retrieval prefilter (src/retrieval): when not `off`, the DL
+  /// model scores only the index's top-K shortlist per query instead of
+  /// every target function. `verify` additionally scores everything and
+  /// records shortlist-vs-exact recall. Part of the result-cache key.
+  retrieval::PrefilterMode prefilter_mode = retrieval::PrefilterMode::off;
+  /// Shortlist size per (CVE, query-direction).
+  std::size_t prefilter_top_k = 32;
+  /// Targets with fewer functions than this take the exact path even when
+  /// the prefilter is on — index overhead only pays off past this size.
+  std::size_t prefilter_min_total = 96;
 };
 
 /// A target library with its static features precomputed (shared across all
@@ -35,12 +48,22 @@ struct PipelineConfig {
 struct AnalyzedLibrary {
   const LibraryBinary* binary = nullptr;
   std::vector<StaticFeatureVector> features;
+  /// Retrieval index over `features`, present when the prefilter is in use
+  /// (see ensure_retrieval_index). Shared so cached analyses and in-flight
+  /// scans can hold the same immutable index.
+  std::shared_ptr<const retrieval::FunctionIndex> index;
 };
 
 /// Extracts the 48 static features of every function, optionally across
-/// worker threads.
+/// worker threads. `build_retrieval_index` also builds the prefilter index
+/// over the extracted features.
 AnalyzedLibrary analyze_library(const LibraryBinary& library,
-                                unsigned worker_threads = 1);
+                                unsigned worker_threads = 1,
+                                bool build_retrieval_index = false);
+
+/// Builds `analyzed.index` if absent (no-op otherwise). Deterministic for a
+/// given feature set; records retrieval.* build metrics.
+void ensure_retrieval_index(AnalyzedLibrary& analyzed);
 
 /// Everything Tables VI/VII report for one (CVE, query-version, target).
 struct DetectionOutcome {
@@ -55,6 +78,18 @@ struct DetectionOutcome {
   int false_negatives = 0;
   std::vector<std::size_t> candidates;
   double dl_seconds = 0.0;
+
+  // Stage-1 prefilter (src/retrieval). `prefilter_mode` is the mode that was
+  // *applied*: it reads `off` when the configured prefilter fell back to the
+  // exact path (small target / missing index), with `prefilter_exact_fallback`
+  // recording that the fallback fired. The recall pair is only populated in
+  // verify mode: recall = recalled / exact_candidates (1.0 when the exact
+  // scan found no candidates).
+  retrieval::PrefilterMode prefilter_mode = retrieval::PrefilterMode::off;
+  bool prefilter_exact_fallback = false;
+  std::size_t prefilter_shortlist = 0;        ///< shortlist size scored
+  std::size_t prefilter_exact_candidates = 0; ///< verify: exact candidate count
+  std::size_t prefilter_recalled = 0;         ///< verify: of those, shortlisted
 
   // Stage 2: execution validation + dynamic similarity ranking.
   std::size_t executed = 0;  ///< candidates surviving input validation
@@ -101,10 +136,15 @@ class Patchecko {
   /// (Table VI = vulnerable, Table VII = patched). `cancel`, when given, is
   /// the watchdog's cooperative stop flag: both stages poll it and abandon
   /// remaining work once it reads true (outcome.cancelled records that).
+  /// `query_code`, when given, is the precomputed quantized form of the
+  /// query's features (the corpus snapshot caches one per entry/direction);
+  /// when absent the prefilter quantizes on the fly.
   DetectionOutcome detect(const CveEntry& entry,
                           const AnalyzedLibrary& target,
                           bool query_is_patched,
-                          const std::atomic<bool>* cancel = nullptr) const;
+                          const std::atomic<bool>* cancel = nullptr,
+                          const retrieval::QuantizedVector* query_code =
+                              nullptr) const;
 
   /// Differential stage on one matched target function.
   PatchDecision analyze_patch(const CveEntry& entry,

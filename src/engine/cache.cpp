@@ -119,9 +119,10 @@ struct Reader {
 
 constexpr std::uint8_t kFeatureMagic[4] = {'P', 'K', 'F', 'E'};
 constexpr std::uint8_t kOutcomeMagic[4] = {'P', 'K', 'D', 'O'};
-// v2: outcome entries carry the decision-provenance StageRecord. Old v1
-// entries fail the version check and are simply recomputed.
-constexpr std::uint64_t kFormatVersion = 2;
+// v2: outcome entries carry the decision-provenance StageRecord. v3 adds
+// the retrieval-prefilter fields (outcome + per-candidate + stage record).
+// Old entries fail the version check and are simply recomputed.
+constexpr std::uint64_t kFormatVersion = 3;
 
 bool check_magic(Reader& reader, const std::uint8_t (&magic)[4]) {
   std::uint8_t found[4] = {};
@@ -223,6 +224,11 @@ Digest digest_pipeline_config(const PipelineConfig& config) {
   digest.absorb_i64(config.machine.stack_size);
   digest.absorb_i64(config.machine.max_call_depth);
   digest.absorb_u64(config.machine.collect_features ? 1 : 0);
+  // The prefilter changes which functions ever reach the model, so toggling
+  // it must never serve an entry computed under the other configuration.
+  digest.absorb_u64(static_cast<std::uint64_t>(config.prefilter_mode));
+  digest.absorb_u64(config.prefilter_top_k);
+  digest.absorb_u64(config.prefilter_min_total);
   // config.worker_threads intentionally omitted: thread count never changes
   // results, so sequential and parallel runs share cache entries.
   return digest;
@@ -341,6 +347,11 @@ std::vector<std::uint8_t> serialize_outcome(const DetectionOutcome& outcome) {
   }
   append_i64(out, outcome.rank_of_target);
   append_double(out, outcome.da_seconds);
+  append_u64(out, static_cast<std::uint64_t>(outcome.prefilter_mode));
+  append_u64(out, outcome.prefilter_exact_fallback ? 1 : 0);
+  append_u64(out, outcome.prefilter_shortlist);
+  append_u64(out, outcome.prefilter_exact_candidates);
+  append_u64(out, outcome.prefilter_recalled);
   // Provenance doubles serialize as raw bits (append_double memcpys), so
   // NaN/inf sentinels and every finite value round-trip bitwise — a warm
   // scan reproduces byte-identical provenance.
@@ -349,12 +360,17 @@ std::vector<std::uint8_t> serialize_outcome(const DetectionOutcome& outcome) {
   append_double(out, provenance.minkowski_p);
   append_u64(out, provenance.total);
   append_u64(out, provenance.executed);
+  append_u64(out, provenance.prefilter);
+  append_u64(out, provenance.prefilter_shortlist);
+  append_u64(out, provenance.prefilter_exact);
+  append_u64(out, provenance.prefilter_recalled);
   append_u64(out, provenance.candidates.size());
   for (const obs::CandidateRecord& candidate : provenance.candidates) {
     append_u64(out, candidate.function_index);
     append_double(out, candidate.dl_score);
     append_u64(out, candidate.validated ? 1 : 0);
     append_i64(out, candidate.crash_env);
+    append_u64(out, candidate.prefiltered ? 1 : 0);
     append_u64(out, candidate.env_distances.size());
     for (double distance : candidate.env_distances)
       append_double(out, distance);
@@ -396,11 +412,22 @@ std::optional<DetectionOutcome> deserialize_outcome(
   }
   outcome.rank_of_target = static_cast<int>(reader.read_i64());
   outcome.da_seconds = reader.read_double();
+  outcome.prefilter_mode =
+      static_cast<retrieval::PrefilterMode>(reader.read_u64());
+  outcome.prefilter_exact_fallback = reader.read_u64() != 0;
+  outcome.prefilter_shortlist = static_cast<std::size_t>(reader.read_u64());
+  outcome.prefilter_exact_candidates =
+      static_cast<std::size_t>(reader.read_u64());
+  outcome.prefilter_recalled = static_cast<std::size_t>(reader.read_u64());
   obs::StageRecord& provenance = outcome.provenance;
   provenance.threshold = reader.read_double();
   provenance.minkowski_p = reader.read_double();
   provenance.total = reader.read_u64();
   provenance.executed = reader.read_u64();
+  provenance.prefilter = static_cast<std::uint8_t>(reader.read_u64());
+  provenance.prefilter_shortlist = reader.read_u64();
+  provenance.prefilter_exact = reader.read_u64();
+  provenance.prefilter_recalled = reader.read_u64();
   const std::uint64_t record_count = reader.read_u64();
   if (!reader.ok || record_count > (bytes.size() - reader.pos) / 8)
     return std::nullopt;
@@ -410,6 +437,7 @@ std::optional<DetectionOutcome> deserialize_outcome(
     candidate.dl_score = reader.read_double();
     candidate.validated = reader.read_u64() != 0;
     candidate.crash_env = reader.read_i64();
+    candidate.prefiltered = reader.read_u64() != 0;
     const std::uint64_t env_count = reader.read_u64();
     if (!reader.ok || env_count > (bytes.size() - reader.pos) / sizeof(double))
       return std::nullopt;

@@ -28,6 +28,11 @@ struct CorpusSnapshot {
   DatabaseConfig database_config;
   EvalCorpus corpus;
   CveDatabase database;
+  /// Quantized query codes for the retrieval prefilter, one pair per
+  /// database entry. Immutable like the rest of the snapshot: a reload
+  /// builds the replacement catalog before the swap, so in-flight scans
+  /// keep reading the generation they captured.
+  retrieval::QueryCatalog queries;
 
   CorpusSnapshot(std::uint64_t snapshot_version, const EvalConfig& eval_config,
                  const DatabaseConfig& db_config)
@@ -35,7 +40,8 @@ struct CorpusSnapshot {
         eval(eval_config),
         database_config(db_config),
         corpus(eval_config),
-        database(corpus, db_config) {}
+        database(corpus, db_config),
+        queries(build_query_catalog(database)) {}
 };
 
 /// Thread-safe holder of the current CorpusSnapshot. current() is cheap

@@ -432,11 +432,20 @@ ScanReport ScanEngine::run(const ScanRequest& request,
             analyze_library(*slot.binary, pipeline_config.worker_threads);
         if (caching) cache_.store_features(key, slot.analyzed.features);
       }
+      // The retrieval index derives from the features alone, so it is
+      // rebuilt (deterministically) on cache hits too rather than being
+      // persisted — building is much cheaper than feature extraction.
+      if (pipeline_config.prefilter_mode != retrieval::PrefilterMode::off)
+        ensure_retrieval_index(slot.analyzed);
     } else if (job.kind == JobKind::detect && !job.skipped) {
       const CveEntry& entry = *entries[job.target];
       const LibSlot& slot = libs[entry_lib[job.target]];
       CveScanResult& result = report.results[job.target];
       const Digest entry_digest = caching ? digest_entry(entry) : Digest{};
+      const retrieval::QueryCatalog::Entry* query_codes =
+          request.query_codes != nullptr
+              ? request.query_codes->find(entry.spec.cve_id)
+              : nullptr;
       cache_hit = true;
       for (const bool query_is_patched : {false, true}) {
         DetectionOutcome& outcome =
@@ -451,8 +460,12 @@ ScanReport ScanEngine::run(const ScanRequest& request,
           }
         }
         cache_hit = false;
-        outcome = pipeline.detect(entry, slot.analyzed, query_is_patched,
-                                  cancel);
+        outcome = pipeline.detect(
+            entry, slot.analyzed, query_is_patched, cancel,
+            query_codes == nullptr
+                ? nullptr
+                : (query_is_patched ? &query_codes->patched
+                                    : &query_codes->vulnerable));
         // A cancelled outcome is partial; caching it would poison every
         // later warm run with the truncated result.
         if (caching && !outcome.cancelled) cache_.store_outcome(key, outcome);

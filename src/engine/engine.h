@@ -93,6 +93,10 @@ struct ScanRequest {
   /// request, not the engine config; when set it takes precedence over
   /// EngineConfig::heartbeat.
   obs::Heartbeat* heartbeat = nullptr;
+  /// Precomputed quantized query codes for the retrieval prefilter,
+  /// typically the corpus snapshot's catalog. Optional: detect() quantizes
+  /// per call when absent (or when an entry is missing from the catalog).
+  const retrieval::QueryCatalog* query_codes = nullptr;
 };
 
 struct CveScanResult {

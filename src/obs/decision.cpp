@@ -20,6 +20,10 @@ void append_stage(std::string& out, const StageRecord& stage) {
   append_double(out, stage.minkowski_p);
   out += ",\"total\":" + std::to_string(stage.total);
   out += ",\"executed\":" + std::to_string(stage.executed);
+  out += ",\"prefilter\":" + std::to_string(stage.prefilter);
+  out += ",\"prefilter_shortlist\":" + std::to_string(stage.prefilter_shortlist);
+  out += ",\"prefilter_exact\":" + std::to_string(stage.prefilter_exact);
+  out += ",\"prefilter_recalled\":" + std::to_string(stage.prefilter_recalled);
   out += ",\"candidates\":[";
   for (std::size_t i = 0; i < stage.candidates.size(); ++i) {
     const CandidateRecord& candidate = stage.candidates[i];
@@ -30,6 +34,8 @@ void append_stage(std::string& out, const StageRecord& stage) {
     out += ",\"validated\":";
     out += candidate.validated ? "true" : "false";
     out += ",\"crash_env\":" + std::to_string(candidate.crash_env);
+    out += ",\"prefiltered\":";
+    out += candidate.prefiltered ? "true" : "false";
     out += ",\"env_distances\":[";
     for (std::size_t e = 0; e < candidate.env_distances.size(); ++e) {
       if (e != 0) out += ',';
@@ -55,6 +61,7 @@ CandidateRecord parse_candidate(const json::Value& value) {
   candidate.validated = value.get("validated").as_bool();
   candidate.crash_env =
       static_cast<std::int64_t>(value.get("crash_env").as_number(-1.0));
+  candidate.prefiltered = value.get("prefiltered").as_bool();
   for (const json::Value& d : value.get("env_distances").as_array())
     candidate.env_distances.push_back(
         number_or(d, std::numeric_limits<double>::quiet_NaN()));
@@ -71,6 +78,14 @@ StageRecord parse_stage(const json::Value& value) {
   stage.total = static_cast<std::uint64_t>(value.get("total").as_number());
   stage.executed =
       static_cast<std::uint64_t>(value.get("executed").as_number());
+  stage.prefilter =
+      static_cast<std::uint8_t>(value.get("prefilter").as_number(0.0));
+  stage.prefilter_shortlist = static_cast<std::uint64_t>(
+      value.get("prefilter_shortlist").as_number(0.0));
+  stage.prefilter_exact =
+      static_cast<std::uint64_t>(value.get("prefilter_exact").as_number(0.0));
+  stage.prefilter_recalled = static_cast<std::uint64_t>(
+      value.get("prefilter_recalled").as_number(0.0));
   for (const json::Value& candidate : value.get("candidates").as_array())
     stage.candidates.push_back(parse_candidate(candidate));
   return stage;
@@ -95,9 +110,24 @@ void explain_stage(std::string& out, const char* query,
   out += "    stage 1 scanned " + std::to_string(stage.total) + " functions, " +
          std::to_string(stage.candidates.size()) + " candidates; stage 2 executed " +
          std::to_string(stage.executed) + "\n";
+  if (stage.prefilter != 0) {
+    out += "    prefilter ";
+    out += stage.prefilter == 2 ? "verify" : "on";
+    out += ": shortlist kept " + std::to_string(stage.prefilter_shortlist) +
+           " of " + std::to_string(stage.total) + " functions";
+    if (stage.prefilter == 2) {
+      out += "; recall " + std::to_string(stage.prefilter_recalled) + "/" +
+             std::to_string(stage.prefilter_exact) + " exact candidates";
+    }
+    out += '\n';
+  }
   for (const CandidateRecord& candidate : stage.candidates) {
     out += "    function " + std::to_string(candidate.function_index) +
            ": dl_score=" + fmt_short(candidate.dl_score);
+    if (candidate.prefiltered) {
+      out += "  pruned: prefilter shortlist (never reached the NN)\n";
+      continue;
+    }
     if (!candidate.validated) {
       out += candidate.crash_env >= 0
                  ? "  pruned: crashed in environment " +

@@ -32,6 +32,11 @@ struct CandidateRecord {
   double dl_score = 0.0;       ///< Stage-1 similarity vs the query
   bool validated = false;      ///< survived crash-based execution validation
   std::int64_t crash_env = -1; ///< first crashing environment; -1 = none
+  /// The retrieval prefilter pruned this function before Stage 2: its DL
+  /// score cleared the threshold but it missed the top-K shortlist. Only
+  /// observable in verify mode (in `on` mode such functions are never
+  /// scored, so there is no record to write).
+  bool prefiltered = false;
   /// Per-environment Minkowski distance to the reference profile; NaN where
   /// either side failed to terminate in that environment. Empty when the
   /// candidate was pruned before profiling.
@@ -47,6 +52,12 @@ struct StageRecord {
   double minkowski_p = 0.0;  ///< Eq. (1) order used for the distances
   std::uint64_t total = 0;   ///< functions scanned by Stage 1
   std::uint64_t executed = 0;  ///< candidates surviving validation
+  /// Retrieval prefilter applied to this direction: 0 = off (exact scan),
+  /// 1 = on, 2 = verify (retrieval::PrefilterMode numeric values).
+  std::uint8_t prefilter = 0;
+  std::uint64_t prefilter_shortlist = 0;  ///< functions the shortlist kept
+  std::uint64_t prefilter_exact = 0;      ///< verify: exact candidate count
+  std::uint64_t prefilter_recalled = 0;   ///< verify: of those, shortlisted
   std::vector<CandidateRecord> candidates;
 };
 

@@ -1,0 +1,21 @@
+#include "retrieval/query_catalog.h"
+
+#include <algorithm>
+
+namespace patchecko::retrieval {
+
+const QueryCatalog::Entry* QueryCatalog::find(std::string_view cve_id) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), cve_id,
+      [](const Entry& entry, std::string_view id) { return entry.cve_id < id; });
+  if (it == entries.end() || it->cve_id != cve_id) return nullptr;
+  return &*it;
+}
+
+std::size_t QueryCatalog::memory_bytes() const {
+  std::size_t bytes = entries.size() * sizeof(Entry);
+  for (const Entry& entry : entries) bytes += entry.cve_id.size();
+  return bytes;
+}
+
+}  // namespace patchecko::retrieval

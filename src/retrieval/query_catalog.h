@@ -1,0 +1,34 @@
+// Stage-1 retrieval: precomputed query codes for a CVE corpus.
+//
+// Every detect() call against a prefiltered target starts by quantizing the
+// query's feature vector. A long-lived service answers thousands of scans
+// against the same corpus snapshot, so the snapshot precomputes both
+// directions' codes once per entry (build_query_catalog in core) and hands
+// them to the engine with each request; the catalog is immutable and swaps
+// atomically with its snapshot on hot reload.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "retrieval/quantizer.h"
+
+namespace patchecko::retrieval {
+
+struct QueryCatalog {
+  struct Entry {
+    std::string cve_id;
+    QuantizedVector vulnerable;  ///< code of the vulnerable query features
+    QuantizedVector patched;     ///< code of the patched query features
+  };
+
+  std::vector<Entry> entries;  ///< sorted by cve_id (binary-searchable)
+  double build_seconds = 0.0;
+
+  /// nullptr when the id is absent (detect() then quantizes on the fly).
+  const Entry* find(std::string_view cve_id) const;
+  std::size_t memory_bytes() const;
+};
+
+}  // namespace patchecko::retrieval

@@ -16,6 +16,7 @@
 
 #include "firmware/firmware.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/resource.h"
 
 namespace patchecko::service {
@@ -409,6 +410,7 @@ void ScanService::run_scan(const PendingScan& scan) {
   request.database = &snapshot->database;
   request.cve_ids = scan.request.cve_ids;
   request.heartbeat = heartbeat.get();
+  request.query_codes = &snapshot->queries;
 
   ScanReport report;
   try {
@@ -455,6 +457,17 @@ ServiceHealth ScanService::health() const {
   health.draining = draining_.load(std::memory_order_acquire);
   health.queue = queue_.stats();
   health.cache = engine_.cache().stats();
+  health.retrieval_query_codes = snapshot->queries.entries.size();
+  health.retrieval_query_build_seconds = snapshot->queries.build_seconds;
+  // Index builds happen inside engine analyze jobs; the registry counters
+  // are the process-lifetime totals (zero while obs is disabled).
+  obs::Registry& registry = obs::Registry::global();
+  health.retrieval_index_builds =
+      registry.counter("retrieval.index_builds").value();
+  health.retrieval_index_vectors =
+      registry.counter("retrieval.index_vectors").value();
+  health.retrieval_index_build_seconds =
+      registry.histogram("retrieval.index_build_seconds").sum();
   return health;
 }
 
@@ -493,6 +506,16 @@ std::string ScanService::health_json() const {
     out += obs::health_snapshot_jsonl(*heartbeat, /*include_process=*/false);
   else
     out += "null";
+  out += ",\"retrieval\":{\"query_codes\":" +
+         std::to_string(health.retrieval_query_codes) +
+         ",\"query_build_s\":";
+  obs_json::append_double(out, health.retrieval_query_build_seconds);
+  out += ",\"index_builds\":" + std::to_string(health.retrieval_index_builds) +
+         ",\"index_vectors\":" +
+         std::to_string(health.retrieval_index_vectors) +
+         ",\"index_build_s\":";
+  obs_json::append_double(out, health.retrieval_index_build_seconds);
+  out += "}";
   out += ",\"process\":{\"rss_kb\":" + std::to_string(obs::process_rss_kb()) +
          ",\"peak_rss_kb\":" + std::to_string(obs::process_peak_rss_kb()) +
          "}}";

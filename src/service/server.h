@@ -88,6 +88,14 @@ struct ServiceHealth {
   bool draining = false;
   AdmissionStats queue;
   CacheStats cache;  ///< engine lifetime totals
+
+  // Retrieval prefilter state: the current snapshot's query catalog plus
+  // process-lifetime target-index build totals (obs registry counters).
+  std::size_t retrieval_query_codes = 0;   ///< catalog entries (CVE pairs)
+  double retrieval_query_build_seconds = 0.0;
+  std::uint64_t retrieval_index_builds = 0;
+  std::uint64_t retrieval_index_vectors = 0;
+  double retrieval_index_build_seconds = 0.0;  ///< summed across builds
 };
 
 class ScanService {

@@ -277,6 +277,11 @@ TEST(Cache, OutcomeSerializationRoundTripsByteIdentical) {
   outcome.ranking = {{17, 0.03125, 0.75}, {4, 1.5, 0.25}, {9, 2.25, 0.5}};
   outcome.rank_of_target = 1;
   outcome.da_seconds = 2.5;
+  outcome.prefilter_mode = retrieval::PrefilterMode::verify;
+  outcome.prefilter_exact_fallback = false;
+  outcome.prefilter_shortlist = 32;
+  outcome.prefilter_exact_candidates = 20;
+  outcome.prefilter_recalled = 19;
 
   const std::vector<std::uint8_t> bytes = serialize_outcome(outcome);
   const auto restored = deserialize_outcome(bytes);
@@ -300,6 +305,13 @@ TEST(Cache, OutcomeSerializationRoundTripsByteIdentical) {
   }
   EXPECT_EQ(restored->rank_of_target, outcome.rank_of_target);
   EXPECT_EQ(restored->da_seconds, outcome.da_seconds);
+  EXPECT_EQ(restored->prefilter_mode, outcome.prefilter_mode);
+  EXPECT_EQ(restored->prefilter_exact_fallback,
+            outcome.prefilter_exact_fallback);
+  EXPECT_EQ(restored->prefilter_shortlist, outcome.prefilter_shortlist);
+  EXPECT_EQ(restored->prefilter_exact_candidates,
+            outcome.prefilter_exact_candidates);
+  EXPECT_EQ(restored->prefilter_recalled, outcome.prefilter_recalled);
   EXPECT_EQ(serialize_outcome(*restored), bytes);
 }
 
@@ -313,6 +325,11 @@ TEST(Cache, ProvenanceRoundTripsBitExactIncludingNonFinite) {
   outcome.provenance.minkowski_p = 3.0;
   outcome.provenance.total = 64;
   outcome.provenance.executed = 1;
+  outcome.provenance.prefilter =
+      static_cast<std::uint8_t>(retrieval::PrefilterMode::verify);
+  outcome.provenance.prefilter_shortlist = 32;
+  outcome.provenance.prefilter_exact = 3;
+  outcome.provenance.prefilter_recalled = 2;
   obs::CandidateRecord kept;
   kept.function_index = 12;
   kept.dl_score = 0.875;
@@ -326,7 +343,11 @@ TEST(Cache, ProvenanceRoundTripsBitExactIncludingNonFinite) {
   pruned.dl_score = 0.5;
   pruned.crash_env = 2;
   pruned.distance = std::numeric_limits<double>::infinity();
-  outcome.provenance.candidates = {kept, pruned};
+  obs::CandidateRecord shortlist_pruned;
+  shortlist_pruned.function_index = 40;
+  shortlist_pruned.dl_score = 0.625;
+  shortlist_pruned.prefiltered = true;  // verify-mode "what `on` would drop"
+  outcome.provenance.candidates = {kept, pruned, shortlist_pruned};
 
   const std::vector<std::uint8_t> bytes = serialize_outcome(outcome);
   const auto restored = deserialize_outcome(bytes);
@@ -335,7 +356,12 @@ TEST(Cache, ProvenanceRoundTripsBitExactIncludingNonFinite) {
   EXPECT_EQ(stage.threshold, 0.4);
   EXPECT_EQ(stage.total, 64u);
   EXPECT_EQ(stage.executed, 1u);
-  ASSERT_EQ(stage.candidates.size(), 2u);
+  EXPECT_EQ(stage.prefilter,
+            static_cast<std::uint8_t>(retrieval::PrefilterMode::verify));
+  EXPECT_EQ(stage.prefilter_shortlist, 32u);
+  EXPECT_EQ(stage.prefilter_exact, 3u);
+  EXPECT_EQ(stage.prefilter_recalled, 2u);
+  ASSERT_EQ(stage.candidates.size(), 3u);
   EXPECT_EQ(stage.candidates[0].function_index, 12u);
   EXPECT_TRUE(stage.candidates[0].validated);
   ASSERT_EQ(stage.candidates[0].env_distances.size(), 3u);
@@ -344,6 +370,9 @@ TEST(Cache, ProvenanceRoundTripsBitExactIncludingNonFinite) {
   EXPECT_EQ(stage.candidates[0].rank, 1);
   EXPECT_EQ(stage.candidates[1].crash_env, 2);
   EXPECT_TRUE(std::isinf(stage.candidates[1].distance));
+  EXPECT_FALSE(stage.candidates[1].prefiltered);
+  EXPECT_TRUE(stage.candidates[2].prefiltered);
+  EXPECT_EQ(stage.candidates[2].dl_score, 0.625);
   EXPECT_EQ(serialize_outcome(*restored), bytes);
 }
 
@@ -405,6 +434,28 @@ TEST(Cache, KeyChangesWithModelConfigAndLibrary) {
                               digest_pipeline_config(threaded), entry_digest,
                               false),
             key);
+
+  // The prefilter shapes which functions reach the network, so mode, K, and
+  // the exact-fallback threshold are all part of the outcome key.
+  PipelineConfig prefiltered;
+  prefiltered.prefilter_mode = retrieval::PrefilterMode::on;
+  const std::string prefiltered_key =
+      outcome_cache_key(lib_digest, model_digest,
+                        digest_pipeline_config(prefiltered), entry_digest,
+                        false);
+  EXPECT_NE(prefiltered_key, key);
+  PipelineConfig wider = prefiltered;
+  wider.prefilter_top_k = prefiltered.prefilter_top_k * 2;
+  EXPECT_NE(outcome_cache_key(lib_digest, model_digest,
+                              digest_pipeline_config(wider), entry_digest,
+                              false),
+            prefiltered_key);
+  PipelineConfig always = prefiltered;
+  always.prefilter_min_total = 0;
+  EXPECT_NE(outcome_cache_key(lib_digest, model_digest,
+                              digest_pipeline_config(always), entry_digest,
+                              false),
+            prefiltered_key);
 
   // Different query direction and different library are distinct entries.
   EXPECT_NE(outcome_cache_key(lib_digest, model_digest, config_digest,
@@ -736,6 +787,134 @@ TEST(Engine, InterruptedRunDoesNotDisturbLaterRuns) {
   ScanEngine reference(EngineConfig{});
   EXPECT_EQ(clean.canonical_text(),
             reference.run(u.request()).canonical_text());
+}
+
+EngineConfig prefilter_config(retrieval::PrefilterMode mode,
+                              std::size_t top_k = 32) {
+  EngineConfig config;
+  config.jobs = 4;
+  config.use_cache = false;
+  config.pipeline.prefilter_mode = mode;
+  config.pipeline.prefilter_top_k = top_k;
+  // The shared test corpus is small; drop the exact-fallback floor so the
+  // shortlist path genuinely engages.
+  config.pipeline.prefilter_min_total = 0;
+  return config;
+}
+
+TEST(Engine, PrefilterVerifyMatchesOnExactlyAndReportsFullRecall) {
+  // `verify` scores everything but classifies through the shortlist like
+  // `on`, so the two modes must agree byte-for-byte — report and provenance.
+  // On this corpus the default K recalls every exact candidate, which is the
+  // precondition for the off-equivalence check below.
+  const EngineUniverse& u = universe();
+  const ScanReport off =
+      ScanEngine(prefilter_config(retrieval::PrefilterMode::off))
+          .run(u.request());
+  const ScanReport on =
+      ScanEngine(prefilter_config(retrieval::PrefilterMode::on))
+          .run(u.request());
+  const ScanReport verify =
+      ScanEngine(prefilter_config(retrieval::PrefilterMode::verify))
+          .run(u.request());
+  ASSERT_FALSE(verify.results.empty());
+  EXPECT_EQ(verify.canonical_text(), on.canonical_text());
+  // Provenance is intentionally NOT identical: verify annotates recall stats
+  // and keeps records for accepted-but-shortlist-pruned functions, which the
+  // shortlist-only scan never observes.
+  EXPECT_NE(verify.provenance_jsonl().find("\"prefilter\":2"),
+            std::string::npos);
+  EXPECT_NE(on.provenance_jsonl().find("\"prefilter\":1"), std::string::npos);
+
+  std::size_t shortlisted = 0, total = 0, exact = 0, recalled = 0;
+  for (const CveScanResult& result : verify.results) {
+    for (const DetectionOutcome* outcome :
+         {&result.from_vulnerable, &result.from_patched}) {
+      EXPECT_EQ(outcome->prefilter_mode, retrieval::PrefilterMode::verify);
+      EXPECT_FALSE(outcome->prefilter_exact_fallback);
+      EXPECT_LE(outcome->prefilter_recalled,
+                outcome->prefilter_exact_candidates);
+      shortlisted += outcome->prefilter_shortlist;
+      total += outcome->total;
+      exact += outcome->prefilter_exact_candidates;
+      recalled += outcome->prefilter_recalled;
+    }
+  }
+  EXPECT_GT(shortlisted, 0u);
+  EXPECT_LT(shortlisted, total) << "shortlist never pruned anything";
+  // 100% measured recall => prefiltered results must be byte-identical to
+  // the exact scan. (If this corpus ever makes recall dip, the defaults are
+  // mistuned — that is a real regression, not a flaky test.)
+  ASSERT_EQ(recalled, exact);
+  EXPECT_EQ(on.canonical_text(), off.canonical_text());
+}
+
+TEST(Engine, PrefilterFallsBackToExactBelowMinTotal) {
+  // Tiny targets are cheaper to scan exactly than to index; the outcome
+  // records the applied mode (off) plus the fallback marker.
+  const EngineUniverse& u = universe();
+  EngineConfig config = prefilter_config(retrieval::PrefilterMode::on);
+  config.pipeline.prefilter_min_total = 1u << 20;
+  const ScanReport report = ScanEngine(config).run(u.request());
+  ASSERT_FALSE(report.results.empty());
+  for (const CveScanResult& result : report.results) {
+    for (const DetectionOutcome* outcome :
+         {&result.from_vulnerable, &result.from_patched}) {
+      EXPECT_EQ(outcome->prefilter_mode, retrieval::PrefilterMode::off);
+      EXPECT_TRUE(outcome->prefilter_exact_fallback);
+      EXPECT_EQ(outcome->prefilter_shortlist, 0u);
+    }
+  }
+  const ScanReport off =
+      ScanEngine(prefilter_config(retrieval::PrefilterMode::off))
+          .run(u.request());
+  EXPECT_EQ(report.canonical_text(), off.canonical_text());
+}
+
+TEST(Engine, PrefilterConfigChangeInvalidatesOutcomesButNotFeatures) {
+  // Turning the prefilter on (or resizing K) changes which functions the
+  // network scores, so cached outcomes keyed to the old config must miss.
+  const EngineUniverse& u = universe();
+  const std::string dir = scratch_dir("engine_invalidate_prefilter");
+  EngineConfig config;
+  config.jobs = 2;
+  config.cache_dir = dir;
+  ScanEngine(config).run(u.request());
+
+  EngineConfig prefiltered = config;
+  prefiltered.pipeline.prefilter_mode = retrieval::PrefilterMode::on;
+  prefiltered.pipeline.prefilter_min_total = 0;
+  const ScanReport report = ScanEngine(prefiltered).run(u.request());
+  EXPECT_EQ(report.cache.feature_hits, report.analyzed_libraries);
+  EXPECT_EQ(report.cache.outcome_hits, 0u);
+  EXPECT_EQ(report.cache.outcome_misses, 2 * report.results.size());
+
+  EngineConfig wider = prefiltered;
+  wider.pipeline.prefilter_top_k = prefiltered.pipeline.prefilter_top_k * 2;
+  const ScanReport rewidened = ScanEngine(wider).run(u.request());
+  EXPECT_EQ(rewidened.cache.outcome_hits, 0u);
+}
+
+TEST(Engine, PrefilteredOutcomesSurviveWarmCacheByteIdentical) {
+  // Warm runs replay prefiltered outcomes (shortlist stats, verify recall,
+  // prefiltered provenance candidates) from the cache byte-for-byte.
+  const EngineUniverse& u = universe();
+  EngineConfig config;
+  config.jobs = 4;  // memory-only cache
+  config.pipeline.prefilter_mode = retrieval::PrefilterMode::verify;
+  config.pipeline.prefilter_min_total = 0;
+  ScanEngine engine(config);
+  const ScanReport cold = engine.run(u.request());
+  const ScanReport warm = engine.run(u.request());
+  EXPECT_EQ(warm.cache.misses(), 0u);
+  EXPECT_EQ(warm.canonical_text(), cold.canonical_text());
+  EXPECT_EQ(warm.provenance_jsonl(), cold.provenance_jsonl());
+  for (std::size_t i = 0; i < warm.results.size(); ++i) {
+    EXPECT_EQ(warm.results[i].from_vulnerable.prefilter_recalled,
+              cold.results[i].from_vulnerable.prefilter_recalled);
+    EXPECT_EQ(warm.results[i].from_vulnerable.prefilter_exact_candidates,
+              cold.results[i].from_vulnerable.prefilter_exact_candidates);
+  }
 }
 
 TEST(Engine, ConcurrentRunsOnOneEngineStayDeterministic) {

@@ -501,6 +501,63 @@ TEST(Service, CorpusReloadMidScanDropsNoInFlightJobs) {
   service.stop();
 }
 
+TEST(Service, PrefilteredReloadMidScanDropsNoJobsAndReportsIndexHealth) {
+  // Same hot-reload contract as above, but with the retrieval prefilter
+  // live: the new snapshot swaps in a freshly built query catalog while
+  // shortlist-scanning jobs are in flight, and every admitted scan still
+  // returns the byte-identical exact-scan report (full recall on this
+  // corpus — asserted at the engine layer).
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("prefilter_reload");
+  config.dispatchers = 2;
+  config.queue_limit = 8;
+  config.scan_delay_seconds = 0.1;  // guarantee scans are in flight
+  config.engine.pipeline.prefilter_mode = retrieval::PrefilterMode::verify;
+  config.engine.pipeline.prefilter_min_total = 0;
+  svc::ScanService service(config);
+  service.start();
+
+  // Health reports the resident catalog before any scan runs.
+  const svc::ServiceHealth boot = service.health();
+  EXPECT_GT(boot.retrieval_query_codes, 0u);
+  const std::string health = service.health_json();
+  EXPECT_NE(health.find("\"retrieval\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"query_codes\""), std::string::npos);
+
+  constexpr int kScans = 4;
+  std::vector<svc::ServiceClient> clients;
+  for (int i = 0; i < kScans; ++i) {
+    clients.push_back(
+        svc::ServiceClient::connect_unix(service.config().socket_path));
+    ASSERT_TRUE(clients.back().connected());
+    ASSERT_TRUE(clients.back().send(
+        svc::scan_request_json(env.firmware_path, env.some_cves, false)));
+    ASSERT_EQ(
+        parsed(clients.back().receive().value_or("")).get("type").as_string(),
+        "accepted");
+  }
+
+  auto control =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(control.connected());
+  const auto reloaded =
+      control.call(svc::reload_request_json(std::nullopt, std::nullopt));
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(parsed(*reloaded).get("type").as_string(), "reloaded");
+
+  for (int i = 0; i < kScans; ++i) {
+    const auto result = clients[i].receive();
+    ASSERT_TRUE(result.has_value()) << "scan " << i << " was dropped";
+    const json::Value doc = parsed(*result);
+    EXPECT_EQ(doc.get("type").as_string(), "result") << *result;
+    EXPECT_EQ(doc.get("report").as_string(), env.expected_report);
+  }
+  EXPECT_EQ(service.health().corpus_version, 2u);
+  // The reload rebuilt the catalog for the new generation.
+  EXPECT_GT(service.health().retrieval_query_codes, 0u);
+  service.stop();
+}
+
 TEST(Service, ProtocolErrorsKeepTheConnectionAlive) {
   const ServiceUniverse& env = universe();
   svc::ServiceConfig config = env.service_config("robust");

@@ -9,6 +9,8 @@
 //   patchecko scan   --model model.bin --firmware fw.img [--cve ID]
 //                    [--scale S] [--seed N] [--threads N] [--metrics[=FILE]]
 //                    [--events[=FILE]] [--trace-out=FILE]
+//                    [--prefilter on|off|verify] [--prefilter-top-k N]
+//                    [--prefilter-min-total N]
 //   patchecko batch-scan --model model.bin --firmware fw.img [--cve ID]
 //                    [--jobs N] [--cache-dir DIR] [--no-cache]
 //                    [--scale S] [--seed N] [--verbose] [--metrics[=FILE]]
@@ -16,6 +18,8 @@
 //                    [--heartbeat[=FILE][:interval_ms]]
 //                    [--watchdog-soft S] [--watchdog-hard S]
 //                    [--stall-inject LABEL:SECONDS]
+//                    [--prefilter on|off|verify] [--prefilter-top-k N]
+//                    [--prefilter-min-total N]
 //   patchecko explain --provenance FILE [--cve ID] [--function INDEX]
 //   patchecko bench-diff --old PATH --new PATH [--rel-tol F] [--abs-tol F]
 //   patchecko serve  --model model.bin --socket PATH [--tcp PORT]
@@ -23,6 +27,8 @@
 //                    [--no-cache] [--queue-limit N] [--dispatchers N]
 //                    [--max-frame-bytes N] [--events=FILE]
 //                    [--heartbeat=FILE[:interval_ms]]
+//                    [--prefilter on|off|verify] [--prefilter-top-k N]
+//                    [--prefilter-min-total N]
 //   patchecko client --socket PATH | --tcp PORT [--op submit|status|health|
 //                    reload|drain|ping] [--firmware fw.img] [--cve ID]
 //                    [--provenance[=FILE]] [--request-id N] [--scale S]
@@ -39,7 +45,11 @@
 // stdout (or written to FILE). `--events` records decision provenance and
 // structured events as JSONL; `--trace-out` writes a Chrome trace_event
 // file loadable in Perfetto; `explain` renders the human-readable decision
-// chain from a prior scan's provenance file. `--heartbeat` appends live
+// chain from a prior scan's provenance file (including `prefiltered` prune
+// decisions — candidates the retrieval shortlist kept from the NN).
+// `--prefilter` enables the sub-linear stage-1 retrieval index
+// (src/retrieval): `on` scores only each query's top-K nearest functions,
+// `verify` additionally measures shortlist-vs-exact recall. `--heartbeat` appends live
 // JSONL run-health snapshots during batch-scan; `--watchdog-soft/-hard`
 // flag and cancel stalled jobs; `bench-diff` compares two BENCH_*.json
 // files (or baseline directories) and exits nonzero on a perf regression.
@@ -140,6 +150,29 @@ int emit_trace(const cli::OutputSpec& spec) {
       "trace");
 }
 
+/// Shared --prefilter/--prefilter-top-k/--prefilter-min-total parsing for
+/// scan, batch-scan, and serve (the flags mean the same thing through every
+/// entry point).
+void apply_prefilter_options(const Args& args, PipelineConfig& config) {
+  if (args.has("prefilter")) {
+    const std::string value = args.get("prefilter", "");
+    const auto mode = retrieval::parse_prefilter_mode(value);
+    if (!mode) throw UsageError("--prefilter expects on, off, or verify");
+    config.prefilter_mode = *mode;
+  }
+  if (args.has("prefilter-top-k")) {
+    const long top_k = args.get_long("prefilter-top-k", 0);
+    if (top_k <= 0) throw UsageError("--prefilter-top-k must be > 0");
+    config.prefilter_top_k = static_cast<std::size_t>(top_k);
+  }
+  if (args.has("prefilter-min-total")) {
+    const long min_total = args.get_long("prefilter-min-total", -1);
+    if (min_total < 0)
+      throw UsageError("--prefilter-min-total must be >= 0");
+    config.prefilter_min_total = static_cast<std::size_t>(min_total);
+  }
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -154,6 +187,8 @@ int usage() {
                "[--cve ID] [--scale S] [--seed N] [--threads N]\n"
                "                 [--metrics[=FILE]] [--events[=FILE]] "
                "[--trace-out=FILE]\n"
+               "                 [--prefilter on|off|verify] "
+               "[--prefilter-top-k N] [--prefilter-min-total N]\n"
                "  patchecko batch-scan --model model.bin --firmware fw.img "
                "[--cve ID] [--jobs N] [--cache-dir DIR] [--no-cache]\n"
                "                 [--scale S] [--seed N] [--verbose] "
@@ -162,6 +197,8 @@ int usage() {
                "[--watchdog-soft S] [--watchdog-hard S]\n"
                "                 [--stall-inject LABEL:SECONDS] "
                "[--canonical[=FILE]]\n"
+               "                 [--prefilter on|off|verify] "
+               "[--prefilter-top-k N] [--prefilter-min-total N]\n"
                "  patchecko explain --provenance FILE [--cve ID] "
                "[--function INDEX]\n"
                "  patchecko bench-diff --old PATH --new PATH [--rel-tol F] "
@@ -172,6 +209,8 @@ int usage() {
                "[--queue-limit N] [--dispatchers N]\n"
                "                 [--max-frame-bytes N] [--events=FILE] "
                "[--heartbeat=FILE[:interval_ms]]\n"
+               "                 [--prefilter on|off|verify] "
+               "[--prefilter-top-k N] [--prefilter-min-total N]\n"
                "  patchecko client --socket PATH | --tcp PORT "
                "[--op submit|status|health|reload|drain|ping]\n"
                "                 [--firmware fw.img] [--cve ID] "
@@ -301,7 +340,8 @@ int cmd_disasm(const Args& args) {
 int cmd_scan(const Args& args) {
   require_known_options(
       args, {"model", "firmware", "cve", "scale", "seed", "threads",
-             "metrics", "events", "trace-out"});
+             "metrics", "events", "trace-out", "prefilter",
+             "prefilter-top-k", "prefilter-min-total"});
   const cli::MetricsSpec metrics = metrics_spec_from(args);
   const cli::OutputSpec events = output_spec_from(args, "events");
   const cli::OutputSpec trace_out =
@@ -329,6 +369,7 @@ int cmd_scan(const Args& args) {
   PipelineConfig pipeline_config;
   pipeline_config.worker_threads = static_cast<unsigned>(args.get_count(
       "threads", static_cast<long>(default_worker_threads())));
+  apply_prefilter_options(args, pipeline_config);
   const Patchecko pipeline(&*model, pipeline_config);
 
   std::map<std::string, const LibraryBinary*> by_name;
@@ -354,8 +395,9 @@ int cmd_scan(const Args& args) {
     }
     auto [cached, inserted] = analyzed_cache.try_emplace(entry.library_index);
     if (inserted)
-      cached->second = analyze_library(*lib_it->second,
-                                       pipeline_config.worker_threads);
+      cached->second = analyze_library(
+          *lib_it->second, pipeline_config.worker_threads,
+          pipeline_config.prefilter_mode != retrieval::PrefilterMode::off);
     // Both query directions run explicitly (full_report's exact workflow)
     // so the outcomes — and their decision provenance — are in hand.
     result.from_vulnerable =
@@ -399,7 +441,8 @@ int cmd_batch_scan(const Args& args) {
                                "no-cache", "scale", "seed", "verbose",
                                "metrics", "events", "trace-out", "heartbeat",
                                "watchdog-soft", "watchdog-hard",
-                               "stall-inject", "canonical"});
+                               "stall-inject", "canonical", "prefilter",
+                               "prefilter-top-k", "prefilter-min-total"});
   const cli::MetricsSpec metrics = metrics_spec_from(args);
   const cli::OutputSpec events = output_spec_from(args, "events");
   const cli::OutputSpec canonical = output_spec_from(args, "canonical");
@@ -426,6 +469,7 @@ int cmd_batch_scan(const Args& args) {
     throw UsageError("--no-cache and --cache-dir are mutually exclusive");
   engine_config.watchdog.soft_deadline_seconds = watchdog_soft;
   engine_config.watchdog.hard_deadline_seconds = watchdog_hard;
+  apply_prefilter_options(args, engine_config.pipeline);
   if (args.has("stall-inject")) {
     // LABEL:SECONDS — the test hook that makes a detect job oversleep.
     const std::string value = args.get("stall-inject", "");
@@ -591,7 +635,8 @@ int cmd_serve(const Args& args) {
   require_known_options(
       args, {"model", "socket", "tcp", "scale", "seed", "jobs", "cache-dir",
              "no-cache", "queue-limit", "dispatchers", "max-frame-bytes",
-             "events", "heartbeat", "scan-delay"});
+             "events", "heartbeat", "scan-delay", "prefilter",
+             "prefilter-top-k", "prefilter-min-total"});
   service::ServiceConfig config;
   config.socket_path = args.get("socket", "");
   if (config.socket_path.empty() && !args.has("tcp"))
@@ -610,6 +655,7 @@ int cmd_serve(const Args& args) {
   if (args.has("no-cache") && args.has("cache-dir"))
     throw UsageError("--no-cache and --cache-dir are mutually exclusive");
   config.engine.interrupt = &service::interrupt_flag();
+  apply_prefilter_options(args, config.engine.pipeline);
   config.queue_limit =
       static_cast<std::size_t>(args.get_count("queue-limit", 64));
   config.dispatchers = static_cast<unsigned>(args.get_count("dispatchers", 2));
