@@ -14,6 +14,7 @@
 #include "harness.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/rollup.h"
 #include "obs/trace.h"
 
 using namespace patchecko;
@@ -147,6 +148,41 @@ int main() {
     });
   }
   row(rows, "event.emit_fields", on, off);
+
+  // Service rollup: record() is on every daemon request path, so its
+  // disabled mode must hold the same single-relaxed-load bar; snapshot()
+  // runs once per `stats` request and merely needs to stay cheap.
+  obs::Rollup rollup;
+  constexpr std::size_t snapshot_iters = 50'000;
+  {
+    rollup.set_enabled(true);
+    on = ns_per_op(iters, [&](std::size_t i) {
+      rollup.record(static_cast<obs::Endpoint>(i % obs::kEndpointCount),
+                    1e-6 * static_cast<double>(i % 1024), 0.0, false);
+    });
+  }
+  {
+    rollup.set_enabled(false);
+    off = ns_per_op(iters, [&](std::size_t i) {
+      rollup.record(static_cast<obs::Endpoint>(i % obs::kEndpointCount),
+                    1e-6 * static_cast<double>(i % 1024), 0.0, false);
+    });
+  }
+  row(rows, "rollup.record", on, off);
+
+  {
+    rollup.set_enabled(true);
+    on = ns_per_op(snapshot_iters, [&](std::size_t) {
+      g_sink = g_sink + rollup.snapshot().totals.size();
+    });
+  }
+  {
+    rollup.set_enabled(false);
+    off = ns_per_op(snapshot_iters, [&](std::size_t) {
+      g_sink = g_sink + rollup.snapshot().totals.size();
+    });
+  }
+  row(rows, "rollup.snapshot", on, off);
 
   g_sink = counter.value() + static_cast<std::uint64_t>(gauge.max()) +
            histogram.count() + tracer.spans().size() + events.emitted();

@@ -15,6 +15,7 @@
 #include "engine/thread_pool.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/resource.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -233,9 +234,14 @@ obs::DecisionRecord decision_record(const CveScanResult& result) {
 }
 
 std::string ScanReport::provenance_jsonl() const {
+  // request_id is appended only when set so one-shot provenance stays
+  // byte-identical across warm-cache reruns (the CI comparison).
   std::string out = "{\"type\":\"meta\",\"format\":\"patchecko-provenance\","
                     "\"version\":1,\"results\":" +
-                    std::to_string(results.size()) + "}\n";
+                    std::to_string(results.size());
+  if (request_id != 0)
+    out += ",\"request_id\":" + std::to_string(request_id);
+  out += "}\n";
   for (const CveScanResult& result : results)
     out += obs::decision_jsonl_line(decision_record(result)) + "\n";
   return out;
@@ -255,6 +261,7 @@ ScanReport ScanEngine::run(const ScanRequest& request,
   const Stopwatch total_watch;
   const CacheStats stats_before = cache_.stats();
   ScanReport report;
+  report.request_id = request.request_id;
 
   // --- select entries and resolve their libraries --------------------------
   const std::set<std::string> only(request.cve_ids.begin(),
@@ -382,6 +389,10 @@ ScanReport ScanEngine::run(const ScanRequest& request,
   const auto execute = [&](std::size_t id) {
     Job& job = jobs[id];
     job.done = true;  // own-job write; read only after the graph drains
+    // Tag this job's spans/events with the owning service request (0 for
+    // one-shot runs). The scope must open before the span so the span
+    // itself is stamped.
+    const obs::RequestScope request_scope(request.request_id);
     const obs::ScopedSpan span(job_span_name(job.kind));
 
     // Label first: the watchdog needs it while the job is still running.

@@ -97,6 +97,10 @@ struct ScanRequest {
   /// typically the corpus snapshot's catalog. Optional: detect() quantizes
   /// per call when absent (or when an entry is missing from the catalog).
   const retrieval::QueryCatalog* query_codes = nullptr;
+  /// Service request id (0 = one-shot run). Each job body runs inside an
+  /// obs::RequestScope with this id, so spans, events, and the provenance
+  /// meta line of a multiplexed daemon are attributable to the request.
+  std::uint64_t request_id = 0;
 };
 
 struct CveScanResult {
@@ -134,6 +138,10 @@ struct ScanReport {
   /// (`jobs_cancelled` of them) and the results above are partial.
   bool interrupted = false;
   std::size_t jobs_cancelled = 0;
+  /// Copied from ScanRequest::request_id; rendered into the provenance
+  /// meta line when nonzero (never into canonical_text(), which must stay
+  /// byte-identical to one-shot runs).
+  std::uint64_t request_id = 0;
 
   /// Deterministic rendering of every analysis result: excludes wall-clock
   /// times and cache statistics, so byte-equality across runs == result

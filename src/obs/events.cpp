@@ -1,6 +1,7 @@
 #include "obs/events.h"
 
 #include "obs/json.h"
+#include "obs/request_context.h"
 
 namespace patchecko::obs {
 
@@ -56,6 +57,7 @@ void EventLog::emit(Severity severity, std::string_view name,
   if (!events_enabled()) return;
   Event event;
   event.thread = thread_ordinal();
+  event.request = current_request_id();
   event.t_seconds = since_epoch();
   event.severity = severity;
   event.name.assign(name.data(), name.size());
@@ -111,6 +113,7 @@ std::string event_jsonl_line(const Event& event) {
   append_string(out, event.name);
   out += ",\"sev\":";
   append_string(out, severity_name(event.severity));
+  out += ",\"req\":" + std::to_string(event.request);
   out += ",\"seq\":" + std::to_string(event.seq);
   out += ",\"thread\":" + std::to_string(event.thread);
   out += ",\"thread_seq\":" + std::to_string(event.thread_seq);

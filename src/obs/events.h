@@ -106,6 +106,7 @@ struct Event {
   std::uint64_t seq = 0;         ///< 1-based global emission order
   std::uint32_t thread = 0;      ///< thread_ordinal() of the emitter
   std::uint64_t thread_seq = 0;  ///< 1-based, gap-free per thread
+  std::uint64_t request = 0;     ///< current_request_id() at emit; 0 = none
   double t_seconds = 0.0;        ///< since the log epoch
   Severity severity = Severity::info;
   std::string name;
@@ -154,8 +155,9 @@ class EventLog {
 };
 
 /// One JSONL line (no trailing newline): {"type":"event","name":...,
-/// "sev":...,"seq":N,"thread":T,"thread_seq":N,"t_s":...,"fields":{...}}.
-/// Non-finite doubles render as null.
+/// "sev":...,"req":N,"seq":N,"thread":T,"thread_seq":N,"t_s":...,
+/// "fields":{...}}. `req` is the request-scope id (0 outside a service
+/// request). Non-finite doubles render as null.
 std::string event_jsonl_line(const Event& event);
 
 }  // namespace patchecko::obs

@@ -53,7 +53,10 @@ void join(std::ostringstream& out, std::size_t n, const Fn& fn) {
 std::string export_json(const Registry& registry, const Tracer& tracer,
                         const EventLog* events) {
   std::ostringstream out;
-  out << "{\"version\":1,\"counters\":{";
+  // schema_version is the explicit metrics-document version (v2 added the
+  // field itself plus per-span request ids); "version" stays for readers
+  // that predate it — json::schema_version() prefers the new key.
+  out << "{\"schema_version\":2,\"version\":1,\"counters\":{";
   const auto counters = registry.counter_snapshots();
   join(out, counters.size(), [&](std::size_t i) {
     out << '"' << json_escape(counters[i].name) << "\":" << counters[i].value;
@@ -82,8 +85,9 @@ std::string export_json(const Registry& registry, const Tracer& tracer,
   join(out, spans.size(), [&](std::size_t i) {
     const Span& span = spans[i];
     out << "{\"id\":" << span.id << ",\"parent\":" << span.parent
-        << ",\"name\":\"" << json_escape(span.name) << "\",\"thread\":"
-        << span.thread << ",\"start_s\":" << fmt_double(span.start_seconds)
+        << ",\"req\":" << span.request << ",\"name\":\""
+        << json_escape(span.name) << "\",\"thread\":" << span.thread
+        << ",\"start_s\":" << fmt_double(span.start_seconds)
         << ",\"end_s\":" << fmt_double(span.end_seconds) << '}';
   });
   out << "]}";
@@ -202,7 +206,8 @@ std::string chrome_trace_json(const Tracer& tracer, const EventLog* events) {
     out += ",\"dur\":";
     json::append_double(out, (span.end_seconds - span.start_seconds) * 1e6);
     out += ",\"args\":{\"id\":" + std::to_string(span.id) +
-           ",\"parent\":" + std::to_string(span.parent) + "}}";
+           ",\"parent\":" + std::to_string(span.parent) +
+           ",\"req\":" + std::to_string(span.request) + "}}";
   }
   if (events != nullptr) {
     for (const Event& event : events->events()) {
@@ -214,10 +219,10 @@ std::string chrome_trace_json(const Tracer& tracer, const EventLog* events) {
              std::to_string(event.thread);
       out += ",\"ts\":";
       json::append_double(out, event.t_seconds * 1e6);
-      out += ",\"args\":{";
+      out += ",\"args\":{\"req\":" + std::to_string(event.request);
       for (std::size_t i = 0; i < event.fields.size(); ++i) {
         const Field& field = event.fields[i];
-        if (i != 0) out += ',';
+        out += ',';
         json::append_string(out, field.key);
         out += ':';
         switch (field.kind) {

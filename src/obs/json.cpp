@@ -240,4 +240,19 @@ std::optional<Value> parse(std::string_view text) {
   return value;
 }
 
+int schema_version(const Value& document, int fallback) {
+  const auto read = [&](const char* key) -> std::optional<int> {
+    const Value& value = document.get(key);
+    if (value.kind() != Value::Kind::number) return std::nullopt;
+    const double number = value.as_number();
+    const int integer = static_cast<int>(number);
+    if (number != static_cast<double>(integer)) return std::nullopt;
+    return integer;
+  };
+  if (const auto explicit_version = read("schema_version"))
+    return *explicit_version;
+  if (const auto legacy_version = read("version")) return *legacy_version;
+  return fallback;
+}
+
 }  // namespace patchecko::obs::json

@@ -77,6 +77,12 @@ class Value {
 /// garbage rejected). Returns nullopt on any syntax error.
 std::optional<Value> parse(std::string_view text);
 
+/// Schema version of an exported JSON document. Prefers the explicit
+/// "schema_version" key (metrics documents v2+, bench documents v2+);
+/// falls back to the legacy "version" key, then to `fallback` for
+/// documents that carry neither. Non-integer values yield `fallback`.
+int schema_version(const Value& document, int fallback = 1);
+
 /// Writers shared by every JSON exporter in this library. Doubles render
 /// with %.17g (round-trips every finite value exactly); non-finite values
 /// become null so emitted lines stay strict JSON. Strings escape the set

@@ -1,0 +1,20 @@
+#include "obs/request_context.h"
+
+namespace patchecko::obs {
+
+namespace {
+
+thread_local std::uint64_t t_request_id = 0;
+
+}  // namespace
+
+std::uint64_t current_request_id() { return t_request_id; }
+
+RequestScope::RequestScope(std::uint64_t request_id)
+    : previous_(t_request_id) {
+  t_request_id = request_id;
+}
+
+RequestScope::~RequestScope() { t_request_id = previous_; }
+
+}  // namespace patchecko::obs

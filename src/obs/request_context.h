@@ -1,0 +1,44 @@
+// Observability: request-scoped context.
+//
+// A long-lived service multiplexes many scan requests through one engine,
+// one tracer, and one event log; without a per-request tag the combined
+// telemetry cannot be attributed back to an individual caller. The context
+// is a thread-local request id: the service opens a RequestScope around
+// each job body it runs on behalf of a request, and every span and event
+// recorded on that thread while the scope is open carries the id.
+//
+// The id is deliberately *thread*-scoped, not task-scoped: a job's own
+// span/events are stamped, while spans opened by nested data-parallel
+// workers (which have no scope) carry 0 — the same limitation the span
+// parent stack already has, and the job-level granularity is what request
+// filtering needs. Id 0 means "no request" (one-shot CLI runs).
+//
+// Reading the current id is a thread-local load; entering/leaving a scope
+// is two thread-local stores. No locks, no allocation, nothing to gate on
+// obs::enabled() — the consumers (trace, events) are already gated.
+#pragma once
+
+#include <cstdint>
+
+namespace patchecko::obs {
+
+/// The request id of the innermost open RequestScope on this thread;
+/// 0 when none is open.
+std::uint64_t current_request_id();
+
+/// RAII request tag: stamps spans/events recorded on this thread for the
+/// scope's lifetime. Nests (the previous id is restored on exit), so a
+/// service job can temporarily run sub-work for another request.
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t request_id);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+}  // namespace patchecko::obs

@@ -4,6 +4,7 @@
 
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 
 namespace patchecko::obs {
 
@@ -61,6 +62,7 @@ ScopedSpan::ScopedSpan(std::string_view name, Tracer& tracer) {
   tracer_ = &tracer;
   id_ = tracer.next_id();
   parent_ = t_span_stack.empty() ? 0 : t_span_stack.back();
+  request_ = current_request_id();
   name_.assign(name.data(), name.size());
   start_seconds_ = tracer.since_epoch();
   t_span_stack.push_back(id_);
@@ -71,8 +73,9 @@ ScopedSpan::~ScopedSpan() {
   // Open spans nest strictly (RAII), so this span is the stack top.
   if (!t_span_stack.empty() && t_span_stack.back() == id_)
     t_span_stack.pop_back();
-  tracer_->record(Span{id_, parent_, std::move(name_), thread_ordinal(),
-                       start_seconds_, tracer_->since_epoch()});
+  tracer_->record(Span{id_, parent_, request_, std::move(name_),
+                       thread_ordinal(), start_seconds_,
+                       tracer_->since_epoch()});
 }
 
 }  // namespace patchecko::obs

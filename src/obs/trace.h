@@ -29,6 +29,7 @@ namespace patchecko::obs {
 struct Span {
   std::uint64_t id = 0;      ///< 1-based, assigned at span start
   std::uint64_t parent = 0;  ///< 0 = root (no enclosing span on this thread)
+  std::uint64_t request = 0;  ///< obs::current_request_id() at start; 0 = none
   std::string name;
   std::uint32_t thread = 0;  ///< small per-thread ordinal, not an OS tid
   double start_seconds = 0.0;  ///< since the tracer epoch
@@ -83,6 +84,7 @@ class ScopedSpan {
   Tracer* tracer_ = nullptr;
   std::uint64_t id_ = 0;  ///< 0 = tracing was disabled at construction
   std::uint64_t parent_ = 0;
+  std::uint64_t request_ = 0;
   std::string name_;
   double start_seconds_ = 0.0;
 };

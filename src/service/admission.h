@@ -7,10 +7,13 @@
 // threads block in next() until work arrives or the queue is closed.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 
@@ -28,6 +31,15 @@ struct PendingScan {
   std::uint64_t id = 0;
   Request request;
   RespondFn respond;
+  /// Admission timestamp; the dispatcher derives the access-log queue-wait
+  /// from it when the scan finally starts.
+  std::chrono::steady_clock::time_point admitted_at{};
+  /// Request payload size as read off the wire (access-log bytes_in).
+  std::size_t bytes_in = 0;
+  /// Running response byte count for this request (accepted frame + result
+  /// frame). Shared because the session wrapper that counts writes outlives
+  /// the queue entry.
+  std::shared_ptr<std::atomic<std::uint64_t>> bytes_out;
 };
 
 struct AdmissionStats {

@@ -123,6 +123,8 @@ std::optional<Request> parse_request(std::string_view payload,
     request.type = RequestType::drain;
   else if (request.raw_type == "ping")
     request.type = RequestType::ping;
+  else if (request.raw_type == "stats")
+    request.type = RequestType::stats;
   else
     request.type = RequestType::unknown;
 
@@ -149,6 +151,17 @@ std::optional<Request> parse_request(std::string_view payload,
       }
     }
     request.want_provenance = doc->get("provenance").as_bool(false);
+    const obs_json::Value& id = doc->get("request_id");
+    if (!id.is_null()) {
+      if (id.kind() != obs_json::Value::Kind::number || !is_u64(id.as_number()) ||
+          id.as_number() < 1.0) {
+        if (error != nullptr)
+          *error = "scan \"request_id\" must be a positive integer";
+        return std::nullopt;
+      }
+      request.request_id = static_cast<std::uint64_t>(id.as_number());
+      request.has_request_id = true;
+    }
   } else if (request.type == RequestType::status) {
     const obs_json::Value& id = doc->get("request_id");
     if (id.kind() != obs_json::Value::Kind::number ||
@@ -185,7 +198,8 @@ std::optional<Request> parse_request(std::string_view payload,
 
 std::string scan_request_json(const std::string& firmware,
                               const std::vector<std::string>& cve_ids,
-                              bool want_provenance) {
+                              bool want_provenance,
+                              std::uint64_t request_id) {
   std::string out = "{\"type\":\"scan\",\"firmware\":";
   obs_json::append_string(out, firmware);
   if (!cve_ids.empty()) {
@@ -197,6 +211,8 @@ std::string scan_request_json(const std::string& firmware,
     out += ']';
   }
   if (want_provenance) out += ",\"provenance\":true";
+  if (request_id != 0)
+    out += ",\"request_id\":" + std::to_string(request_id);
   out += '}';
   return out;
 }
@@ -223,6 +239,8 @@ std::string reload_request_json(std::optional<double> scale,
 std::string drain_request_json() { return "{\"type\":\"drain\"}"; }
 
 std::string ping_request_json() { return "{\"type\":\"ping\"}"; }
+
+std::string stats_request_json() { return "{\"type\":\"stats\"}"; }
 
 // --- responses -------------------------------------------------------------
 

@@ -79,6 +79,7 @@ enum class RequestType : std::uint8_t {
   reload,   ///< rebuild the CVE corpus snapshot (optionally new scale/seed)
   drain,    ///< stop admitting scans, finish the queue, then shut down
   ping,     ///< liveness probe
+  stats,    ///< rolling per-endpoint aggregates (obs::Rollup snapshot)
   unknown,  ///< unrecognized "type" — answered with a structured 400
 };
 
@@ -91,7 +92,8 @@ struct Request {
   std::vector<std::string> cve_ids;   ///< empty = every database entry
   bool want_provenance = false;       ///< include decision JSONL in result
 
-  // status
+  // status lookup, or a client-supplied id for a scan (must be unique and
+  // >= 1; the server rejects a duplicate with a 409-style error)
   std::uint64_t request_id = 0;
   bool has_request_id = false;
 
@@ -107,16 +109,19 @@ struct Request {
 std::optional<Request> parse_request(std::string_view payload,
                                      std::string* error);
 
-// Request payload builders (client side).
+// Request payload builders (client side). `request_id` 0 lets the server
+// assign one; a nonzero value names the scan (and must be unique).
 std::string scan_request_json(const std::string& firmware,
                               const std::vector<std::string>& cve_ids,
-                              bool want_provenance);
+                              bool want_provenance,
+                              std::uint64_t request_id = 0);
 std::string status_request_json(std::uint64_t request_id);
 std::string health_request_json();
 std::string reload_request_json(std::optional<double> scale,
                                 std::optional<std::uint64_t> seed);
 std::string drain_request_json();
 std::string ping_request_json();
+std::string stats_request_json();
 
 // --- responses -------------------------------------------------------------
 

@@ -15,6 +15,7 @@
 #include <stdexcept>
 
 #include "firmware/firmware.h"
+#include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/resource.h"
@@ -129,11 +130,30 @@ bool wait_readable(int fd, const std::atomic<bool>& stop) {
 
 // --- lifecycle -------------------------------------------------------------
 
+namespace {
+
+obs::RollupConfig rollup_config(const ServiceConfig& config) {
+  obs::RollupConfig rollup;
+  if (config.stats_window_seconds > 0.0)
+    rollup.window_seconds = config.stats_window_seconds;
+  return rollup;
+}
+
+}  // namespace
+
 ScanService::ScanService(ServiceConfig config)
     : config_(std::move(config)),
       store_(config_.eval),
       engine_(config_.engine),
-      queue_(config_.queue_limit) {}
+      queue_(config_.queue_limit),
+      rollup_(rollup_config(config_)) {
+  rollup_.set_corpus_version(store_.current()->version);
+  if (config_.access_log.enabled) {
+    std::string error;
+    if (!access_log_.open(config_.access_log.file, &error))
+      throw std::runtime_error(error);
+  }
+}
 
 ScanService::~ScanService() { stop(); }
 
@@ -156,6 +176,8 @@ void ScanService::start() {
     acceptors_.emplace_back([this] { accept_loop(unix_fd_); });
   if (tcp_listen_fd_ >= 0)
     acceptors_.emplace_back([this] { accept_loop(tcp_listen_fd_); });
+  if (config_.stats_out.enabled && !config_.stats_out.file.empty())
+    stats_thread_ = std::thread([this] { stats_ticker_loop(); });
 }
 
 void ScanService::stop() {
@@ -166,6 +188,12 @@ void ScanService::stop() {
   // interrupt token, when wired, shortens that), then exit.
   stopping_.store(true, std::memory_order_release);
   cancel_queued_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(stats_stop_mutex_);
+    stats_stop_ = true;
+  }
+  stats_stop_cv_.notify_all();
+  if (stats_thread_.joinable()) stats_thread_.join();
   queue_.close();
   for (std::thread& thread : dispatchers_) thread.join();
   dispatchers_.clear();
@@ -193,7 +221,9 @@ std::shared_ptr<const CorpusSnapshot> ScanService::reload(
   EvalConfig eval = store_.current()->eval;
   if (scale.has_value()) eval.scale = *scale;
   if (seed.has_value()) eval.seed = *seed;
-  return store_.reload(eval);
+  auto snapshot = store_.reload(eval);
+  rollup_.set_corpus_version(snapshot->version);
+  return snapshot;
 }
 
 // --- request registry ------------------------------------------------------
@@ -269,35 +299,61 @@ void ScanService::session_loop(std::shared_ptr<Connection> connection) {
 
 void ScanService::handle_payload(
     const std::shared_ptr<Connection>& connection, std::string_view payload) {
+  const Stopwatch watch;
+  // Synchronous endpoints share one completion path: send the response,
+  // then record it (rollup + access log, in that order — the log line must
+  // never precede the frame it describes). Scans return before `done` and
+  // account for themselves from the dispatcher.
+  AccessEntry entry;
+  entry.bytes_in = payload.size();
+  entry.corpus_version = store_.current()->version;
+  const auto done = [&](std::string_view op, int status,
+                        std::string_view outcome,
+                        const std::string& response) {
+    connection->send_frame(response);
+    entry.op = op;
+    entry.status = status;
+    entry.outcome = outcome;
+    entry.service_s = watch.elapsed_seconds();
+    entry.bytes_out = response.size() + kLengthPrefixBytes;
+    finish_request(entry);
+  };
+
   std::string parse_error;
   std::optional<Request> request = parse_request(payload, &parse_error);
   if (!request) {
-    connection->send_frame(error_response(400, parse_error));
+    done("other", 400, "error", error_response(400, parse_error));
     return;
   }
   switch (request->type) {
     case RequestType::scan:
-      handle_scan(connection, std::move(*request));
+      handle_scan(connection, std::move(*request), payload.size());
       return;
     case RequestType::status: {
+      entry.id = request->request_id;
       const std::optional<std::string> state = state_of(request->request_id);
       if (!state) {
-        connection->send_frame(error_response(404, "unknown request_id",
-                                              request->request_id));
+        done("status", 404, "error",
+             error_response(404, "unknown request_id", request->request_id));
         return;
       }
-      connection->send_frame(status_response(request->request_id, *state));
+      done("status", 200, "ok",
+           status_response(request->request_id, *state));
       return;
     }
     case RequestType::health:
-      connection->send_frame(health_json());
+      done("health", 200, "ok", health_json());
+      return;
+    case RequestType::stats:
+      done("stats", 200, "ok", stats_json());
       return;
     case RequestType::reload: {
-      const Stopwatch watch;
       const auto snapshot = reload(request->scale, request->seed);
-      connection->send_frame(reloaded_response(
-          snapshot->version, snapshot->database.entries().size(),
-          watch.elapsed_seconds()));
+      entry.corpus_version = snapshot->version;
+      done("reload", 200, "ok",
+           reloaded_response(snapshot->version,
+                             snapshot->database.entries().size(),
+                             watch.elapsed_seconds()));
       return;
     }
     case RequestType::drain: {
@@ -306,36 +362,92 @@ void ScanService::handle_payload(
       // knows the queue is empty.
       draining_.store(true, std::memory_order_release);
       queue_.wait_idle();
-      connection->send_frame(drained_response(queue_.stats().completed));
+      const std::string response = drained_response(queue_.stats().completed);
+      done("drain", 200, "ok", response);
       drained_.store(true, std::memory_order_release);
       return;
     }
     case RequestType::ping:
-      connection->send_frame(pong_response());
+      done("ping", 200, "ok", pong_response());
       return;
     case RequestType::unknown:
-      connection->send_frame(error_response(
-          400, "unknown request type '" + request->raw_type + "'"));
+      done("other", 400, "error",
+           error_response(400, "unknown request type '" + request->raw_type +
+                                   "'"));
       return;
   }
 }
 
 void ScanService::handle_scan(const std::shared_ptr<Connection>& connection,
-                              Request request) {
+                              Request request, std::size_t bytes_in) {
+  const Stopwatch watch;
+  AccessEntry entry;
+  entry.op = "scan";
+  entry.bytes_in = bytes_in;
+  entry.corpus_version = store_.current()->version;
+  const auto reject = [&](std::uint64_t id, int status,
+                          std::string_view outcome,
+                          const std::string& response, bool locked) {
+    const bool sent = locked ? connection->send_frame_locked(response)
+                             : connection->send_frame(response);
+    entry.id = id;
+    entry.status = status;
+    entry.outcome = outcome;
+    entry.service_s = watch.elapsed_seconds();
+    entry.bytes_out = sent ? response.size() + kLengthPrefixBytes : 0;
+    finish_request(entry);
+  };
+
   if (draining_.load(std::memory_order_acquire) ||
       stopping_.load(std::memory_order_acquire)) {
-    connection->send_frame(error_response(503, "service is draining"));
+    reject(request.has_request_id ? request.request_id : 0, 503, "rejected",
+           error_response(503, "service is draining"), /*locked=*/false);
     return;
   }
-  const std::uint64_t id =
-      next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  set_state(id, "queued");
+
+  std::uint64_t id = 0;
+  if (request.has_request_id) {
+    // Client-named scan: the id must be fresh. Claim it in the state table
+    // atomically, then bump the generator past it so auto-assigned ids can
+    // never collide with it later.
+    id = request.request_id;
+    bool duplicate = false;
+    {
+      std::lock_guard<std::mutex> states_lock(states_mutex_);
+      duplicate = !states_.emplace(id, "queued").second;
+    }
+    if (duplicate) {
+      reject(id, 409, "error",
+             error_response(409,
+                            "request_id " + std::to_string(id) +
+                                " is already in use",
+                            id),
+             /*locked=*/false);
+      return;
+    }
+    std::uint64_t expected = next_request_id_.load(std::memory_order_relaxed);
+    while (expected <= id &&
+           !next_request_id_.compare_exchange_weak(
+               expected, id + 1, std::memory_order_relaxed)) {
+    }
+  } else {
+    id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    set_state(id, "queued");
+  }
   PendingScan scan;
   scan.id = id;
   scan.request = std::move(request);
+  scan.admitted_at = std::chrono::steady_clock::now();
+  scan.bytes_in = bytes_in;
+  scan.bytes_out = std::make_shared<std::atomic<std::uint64_t>>(0);
   std::weak_ptr<Connection> weak = connection;
-  scan.respond = [weak](const std::string& payload) {
-    if (const auto connection = weak.lock()) connection->send_frame(payload);
+  const auto bytes_out = scan.bytes_out;
+  scan.respond = [weak, bytes_out](const std::string& payload) {
+    if (const auto connection = weak.lock()) {
+      if (connection->send_frame(payload))
+        bytes_out->fetch_add(payload.size() + kLengthPrefixBytes,
+                             std::memory_order_relaxed);
+    }
   };
   // The accepted frame must hit the wire before the result frame, and the
   // dispatcher may finish arbitrarily fast — admit and acknowledge under
@@ -346,16 +458,31 @@ void ScanService::handle_scan(const std::shared_ptr<Connection>& connection,
       std::lock_guard<std::mutex> states_lock(states_mutex_);
       states_.erase(id);
     }
-    connection->send_frame_locked(
-        error_response(429, "scan queue is full (limit " +
-                                std::to_string(config_.queue_limit) + ")"));
+    reject(id, 429, "rejected",
+           error_response(429, "scan queue is full (limit " +
+                                   std::to_string(config_.queue_limit) + ")"),
+           /*locked=*/true);
     return;
   }
-  connection->send_frame_locked(
-      accepted_response(id, queue_.stats().depth));
+  const std::string accepted = accepted_response(id, queue_.stats().depth);
+  if (connection->send_frame_locked(accepted))
+    bytes_out->fetch_add(accepted.size() + kLengthPrefixBytes,
+                         std::memory_order_relaxed);
+  rollup_.observe_queue_depth(
+      static_cast<std::int64_t>(queue_.stats().depth));
 }
 
 // --- dispatch --------------------------------------------------------------
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 void ScanService::dispatch_loop() {
   while (auto scan = queue_.next()) {
@@ -363,6 +490,17 @@ void ScanService::dispatch_loop() {
       set_state(scan->id, "cancelled");
       scan->respond(error_response(503, "scan cancelled: service shutting down",
                                    scan->id));
+      AccessEntry entry;
+      entry.id = scan->id;
+      entry.op = "scan";
+      entry.status = 503;
+      entry.outcome = "cancelled";
+      entry.queue_wait_s = seconds_since(scan->admitted_at);
+      entry.corpus_version = store_.current()->version;
+      entry.bytes_in = scan->bytes_in;
+      if (scan->bytes_out)
+        entry.bytes_out = scan->bytes_out->load(std::memory_order_relaxed);
+      finish_request(entry);
     } else {
       run_scan(*scan);
     }
@@ -371,6 +509,10 @@ void ScanService::dispatch_loop() {
 }
 
 void ScanService::run_scan(const PendingScan& scan) {
+  // Queue wait ends — and service time starts — the moment a dispatcher
+  // picks the scan up; the --scan-delay test hook counts as service time.
+  const double queue_wait = seconds_since(scan.admitted_at);
+  const Stopwatch service_watch;
   set_state(scan.id, "running");
   if (config_.scan_delay_seconds > 0.0)
     std::this_thread::sleep_for(std::chrono::duration<double>(
@@ -380,12 +522,29 @@ void ScanService::run_scan(const PendingScan& scan) {
   // swaps the store pointer, but this shared_ptr keeps our generation
   // alive until the report is out the door.
   const std::shared_ptr<const CorpusSnapshot> snapshot = store_.current();
+
+  AccessEntry entry;
+  entry.id = scan.id;
+  entry.op = "scan";
+  entry.queue_wait_s = queue_wait;
+  entry.corpus_version = snapshot->version;
+  entry.bytes_in = scan.bytes_in;
+  const auto finish = [&](int status, std::string_view outcome) {
+    entry.status = status;
+    entry.outcome = outcome;
+    entry.service_s = service_watch.elapsed_seconds();
+    if (scan.bytes_out)
+      entry.bytes_out = scan.bytes_out->load(std::memory_order_relaxed);
+    finish_request(entry);
+  };
+
   const auto image = load_firmware(scan.request.firmware);
   if (!image) {
     set_state(scan.id, "failed");
     scan.respond(error_response(
         400, "cannot load firmware image '" + scan.request.firmware + "'",
         scan.id));
+    finish(400, "error");
     return;
   }
 
@@ -402,6 +561,8 @@ void ScanService::run_scan(const PendingScan& scan) {
   {
     std::lock_guard<std::mutex> lock(heartbeat_mutex_);
     latest_heartbeat_ = heartbeat;
+    latest_heartbeat_request_ = scan.id;
+    latest_heartbeat_corpus_ = snapshot->version;
   }
 
   ScanRequest request;
@@ -411,6 +572,7 @@ void ScanService::run_scan(const PendingScan& scan) {
   request.cve_ids = scan.request.cve_ids;
   request.heartbeat = heartbeat.get();
   request.query_codes = &snapshot->queries;
+  request.request_id = scan.id;
 
   ScanReport report;
   try {
@@ -418,6 +580,7 @@ void ScanService::run_scan(const PendingScan& scan) {
   } catch (const std::exception& error) {
     set_state(scan.id, "failed");
     scan.respond(error_response(500, error.what(), scan.id));
+    finish(500, "error");
     return;
   }
 
@@ -426,6 +589,11 @@ void ScanService::run_scan(const PendingScan& scan) {
         cli::indexed_output_file(config_.events.file, scan.id);
     std::ofstream out(path, std::ios::trunc);
     out << report.provenance_jsonl();
+    // The event ring is shared by every in-flight scan; the request scope
+    // stamped each event with its owner, so this file gets only its own.
+    for (const obs::Event& event : obs::EventLog::global().events())
+      if (event.request == scan.id)
+        out << obs::event_jsonl_line(event) << "\n";
     if (!out.good())
       std::fprintf(stderr, "serve: cannot write events to %s\n", path.c_str());
   }
@@ -440,10 +608,32 @@ void ScanService::run_scan(const PendingScan& scan) {
   info.report = report.canonical_text();
   info.summary = report.summary_text();
   if (scan.request.want_provenance) info.provenance = report.provenance_jsonl();
+
+  entry.cache_hits = info.cache_hits;
+  entry.cache_misses = info.cache_misses;
+  entry.has_cache = true;
+  // Verify-mode prefilter recall, aggregated over both scan directions of
+  // every result: recalled / exact-candidate counts. Null (absent samples)
+  // when the prefilter never ran in verify mode.
+  std::uint64_t exact = 0;
+  std::uint64_t recalled = 0;
+  for (const CveScanResult& result : report.results) {
+    exact += result.from_vulnerable.prefilter_exact_candidates;
+    recalled += result.from_vulnerable.prefilter_recalled;
+    exact += result.from_patched.prefilter_exact_candidates;
+    recalled += result.from_patched.prefilter_recalled;
+  }
+  if (exact > 0) {
+    entry.prefilter_recall =
+        static_cast<double>(recalled) / static_cast<double>(exact);
+    entry.has_prefilter_recall = true;
+  }
+
   // State before response: a client that just read its result may query
   // status immediately and must not still see "running".
   set_state(scan.id, report.interrupted ? "interrupted" : "done");
   scan.respond(result_response(info));
+  finish(200, report.interrupted ? "interrupted" : "ok");
 }
 
 // --- health ----------------------------------------------------------------
@@ -497,15 +687,29 @@ std::string ScanService::health_json() const {
                               static_cast<double>(lookups));
   out += "}";
   std::optional<obs::HealthSnapshot> heartbeat;
+  std::uint64_t heartbeat_request = 0;
+  std::uint64_t heartbeat_corpus = 0;
   {
     std::lock_guard<std::mutex> lock(heartbeat_mutex_);
-    if (latest_heartbeat_) heartbeat = latest_heartbeat_->last_snapshot();
+    if (latest_heartbeat_) {
+      heartbeat = latest_heartbeat_->last_snapshot();
+      heartbeat_request = latest_heartbeat_request_;
+      heartbeat_corpus = latest_heartbeat_corpus_;
+    }
   }
+  // The heartbeat block names the request it belongs to (and the corpus
+  // generation that request captured): a multiplexed daemon's "latest
+  // heartbeat" is meaningless without knowing *whose* heartbeat it is.
   out += ",\"heartbeat\":";
-  if (heartbeat)
-    out += obs::health_snapshot_jsonl(*heartbeat, /*include_process=*/false);
-  else
+  if (heartbeat) {
+    out += "{\"request_id\":" + std::to_string(heartbeat_request) +
+           ",\"corpus_version\":" + std::to_string(heartbeat_corpus) +
+           ",\"snapshot\":" +
+           obs::health_snapshot_jsonl(*heartbeat, /*include_process=*/false) +
+           "}";
+  } else {
     out += "null";
+  }
   out += ",\"retrieval\":{\"query_codes\":" +
          std::to_string(health.retrieval_query_codes) +
          ",\"query_build_s\":";
@@ -520,6 +724,57 @@ std::string ScanService::health_json() const {
          ",\"peak_rss_kb\":" + std::to_string(obs::process_peak_rss_kb()) +
          "}}";
   return out;
+}
+
+// --- stats -----------------------------------------------------------------
+
+std::string ScanService::stats_json() const {
+  const auto snapshot = store_.current();
+  const AdmissionStats queue = queue_.stats();
+  std::string out = "{\"type\":\"stats\",\"schema_version\":1,\"uptime_s\":";
+  obs_json::append_double(out, uptime_.elapsed_seconds());
+  out += ",\"corpus\":{\"version\":" + std::to_string(snapshot->version) +
+         ",\"cves\":" + std::to_string(snapshot->database.entries().size()) +
+         "}";
+  out += ",\"queue\":{\"depth\":" + std::to_string(queue.depth) +
+         ",\"active\":" + std::to_string(queue.active) +
+         ",\"capacity\":" + std::to_string(queue.capacity) +
+         ",\"admitted\":" + std::to_string(queue.admitted) +
+         ",\"rejected\":" + std::to_string(queue.rejected) +
+         ",\"completed\":" + std::to_string(queue.completed) + "}";
+  out += ",\"rollup\":" + obs::rollup_snapshot_json(rollup_.snapshot());
+  out += "}";
+  return out;
+}
+
+void ScanService::finish_request(const AccessEntry& entry) {
+  rollup_.record(obs::endpoint_from_name(entry.op), entry.service_s,
+                 entry.queue_wait_s, entry.status >= 400);
+  access_log_.append(entry);
+}
+
+void ScanService::stats_ticker_loop() {
+  std::FILE* out = std::fopen(config_.stats_out.file.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "serve: cannot open stats dump %s\n",
+                 config_.stats_out.file.c_str());
+    return;
+  }
+  // One line immediately (so even a short-lived daemon leaves a record),
+  // then one per interval until stop().
+  for (;;) {
+    const std::string line = stats_json();
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fputc('\n', out);
+    std::fflush(out);
+    std::unique_lock<std::mutex> lock(stats_stop_mutex_);
+    const bool stopped = stats_stop_cv_.wait_for(
+        lock,
+        std::chrono::duration<double>(config_.stats_out.interval_seconds),
+        [this] { return stats_stop_; });
+    if (stopped) break;
+  }
+  std::fclose(out);
 }
 
 }  // namespace patchecko::service

@@ -34,6 +34,8 @@
 
 #include "engine/corpus_store.h"
 #include "engine/engine.h"
+#include "obs/rollup.h"
+#include "service/access_log.h"
 #include "service/admission.h"
 #include "service/protocol.h"
 #include "util/cli_args.h"
@@ -74,6 +76,16 @@ struct ServiceConfig {
   /// CLI layer.
   cli::OutputSpec events;
   cli::HeartbeatSpec heartbeat;
+
+  /// Structured access log (`--access-log[=FILE]`): one JSONL line per
+  /// completed request, written after the response frame. Empty file =
+  /// stderr.
+  cli::OutputSpec access_log;
+  /// Periodic `stats` JSONL dump (`--stats-out=FILE[:interval_ms]`): the
+  /// full stats response, one line per tick (plus one at startup).
+  cli::HeartbeatSpec stats_out;
+  /// Sliding window of the per-endpoint rollup (the `stats` endpoint).
+  double stats_window_seconds = 60.0;
 
   /// Test hook: hold each dispatched scan this long before running it, so
   /// backpressure tests can saturate the queue deterministically.
@@ -132,6 +144,11 @@ class ScanService {
   /// latest heartbeat snapshot and process RSS.
   std::string health_json() const;
 
+  /// The full `stats` response payload: queue gauges plus the rollup
+  /// snapshot (windowed per-endpoint counts/latency histograms and
+  /// lifetime totals). Self-contained — `patchecko top` renders from it.
+  std::string stats_json() const;
+
   /// Bound TCP port (after start()); -1 when TCP is disabled.
   int tcp_port() const { return tcp_port_; }
   const ServiceConfig& config() const { return config_; }
@@ -144,9 +161,15 @@ class ScanService {
   void handle_payload(const std::shared_ptr<Connection>& connection,
                       std::string_view payload);
   void handle_scan(const std::shared_ptr<Connection>& connection,
-                   Request request);
+                   Request request, std::size_t bytes_in);
   void dispatch_loop();
   void run_scan(const PendingScan& scan);
+
+  /// Records one completed request into the rollup and — after the
+  /// response frame is already on the wire — the access log. `entry.op`
+  /// names the endpoint ("scan", "health", …; unknown maps to "other").
+  void finish_request(const AccessEntry& entry);
+  void stats_ticker_loop();
 
   void set_state(std::uint64_t id, const char* state);
   std::optional<std::string> state_of(std::uint64_t id) const;
@@ -177,9 +200,21 @@ class ScanService {
   std::unordered_map<std::uint64_t, std::string> states_;
 
   /// Heartbeat of the most recently dispatched scan; the health endpoint
-  /// reads its last emitted snapshot.
+  /// reads its last emitted snapshot, tagged with the request it belongs
+  /// to and the corpus generation that request captured.
   mutable std::mutex heartbeat_mutex_;
   std::shared_ptr<obs::Heartbeat> latest_heartbeat_;
+  std::uint64_t latest_heartbeat_request_ = 0;
+  std::uint64_t latest_heartbeat_corpus_ = 0;
+
+  obs::Rollup rollup_;
+  AccessLog access_log_;
+
+  /// Periodic --stats-out dump: one stats_json() line per tick.
+  std::thread stats_thread_;
+  std::mutex stats_stop_mutex_;
+  std::condition_variable stats_stop_cv_;
+  bool stats_stop_ = false;
 
   bool started_ = false;
   bool stopped_ = false;

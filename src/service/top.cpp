@@ -1,0 +1,129 @@
+#include "service/top.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/rollup.h"
+
+namespace patchecko::service {
+
+namespace {
+
+using obs::json::Value;
+
+std::uint64_t as_u64(const Value& value) {
+  if (value.kind() != Value::Kind::number) return 0;
+  const double number = value.as_number();
+  return number > 0.0 ? static_cast<std::uint64_t>(number) : 0;
+}
+
+std::string fmt_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  return buf;
+}
+
+/// Left-pads `text` to `width` columns (right-aligns numeric columns).
+void column(std::string& out, const std::string& text, int width) {
+  const int pad = width - static_cast<int>(text.size());
+  for (int i = 0; i < pad; ++i) out += ' ';
+  out += text;
+}
+
+/// Smallest bucket bound whose cumulative count reaches `quantile` of the
+/// total; the overflow bucket reports the window max instead of +inf.
+std::string bucket_quantile(const std::vector<std::uint64_t>& buckets,
+                            const std::vector<double>& bounds,
+                            std::uint64_t total, double quantile,
+                            double max_seconds) {
+  if (total == 0) return "-";
+  const auto need = static_cast<std::uint64_t>(
+      static_cast<double>(total) * quantile + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= need && cumulative > 0) {
+      if (i < bounds.size()) return "<=" + fmt_seconds(bounds[i]);
+      return fmt_seconds(max_seconds);
+    }
+  }
+  return fmt_seconds(max_seconds);
+}
+
+}  // namespace
+
+std::string render_top(const obs::json::Value& stats) {
+  const Value& corpus = stats.get("corpus");
+  const Value& queue = stats.get("queue");
+  const Value& rollup = stats.get("rollup");
+  const Value& rollup_queue = rollup.get("queue");
+
+  std::vector<double> bounds;
+  for (const Value& bound : rollup.get("le").as_array())
+    bounds.push_back(bound.as_number());
+
+  std::string out = "patchecko daemon";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  uptime %.1fs  corpus v%" PRIu64 " (%" PRIu64 " cves)",
+                stats.get("uptime_s").as_number(),
+                as_u64(corpus.get("version")), as_u64(corpus.get("cves")));
+  out += buf;
+  const Value& rss = rollup.get("rss_kb");
+  if (rss.kind() == Value::Kind::number && rss.as_number() >= 0.0) {
+    std::snprintf(buf, sizeof(buf), "  rss %" PRIu64 " kB", as_u64(rss));
+    out += buf;
+  }
+  out += '\n';
+
+  std::snprintf(buf, sizeof(buf),
+                "queue  depth %" PRIu64 "/%" PRIu64 "  active %" PRIu64
+                "  admitted %" PRIu64 "  rejected %" PRIu64
+                "  completed %" PRIu64 "  depth_hwm %" PRIu64 "  wait_hwm %s\n",
+                as_u64(queue.get("depth")), as_u64(queue.get("capacity")),
+                as_u64(queue.get("active")), as_u64(queue.get("admitted")),
+                as_u64(queue.get("rejected")), as_u64(queue.get("completed")),
+                as_u64(rollup_queue.get("depth_hwm")),
+                fmt_seconds(rollup_queue.get("wait_hwm_s").as_number()).c_str());
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf), "window %.0fs\n",
+                rollup.get("window_s").as_number());
+  out += buf;
+
+  out += "endpoint      count  errors        p50        p90        max"
+         "   wait_max     life  life_err\n";
+  const Value& endpoints = rollup.get("endpoints");
+  for (std::size_t e = 0; e < obs::kEndpointCount; ++e) {
+    const std::string name(
+        obs::endpoint_name(static_cast<obs::Endpoint>(e)));
+    const Value& endpoint = endpoints.get(name);
+    const std::uint64_t count = as_u64(endpoint.get("count"));
+    const double max_seconds = endpoint.get("max_s").as_number();
+    std::vector<std::uint64_t> buckets;
+    for (const Value& bucket : endpoint.get("buckets").as_array())
+      buckets.push_back(as_u64(bucket));
+
+    out += name;
+    for (std::size_t i = name.size(); i < 10; ++i) out += ' ';
+    column(out, std::to_string(count), 9);
+    column(out, std::to_string(as_u64(endpoint.get("errors"))), 8);
+    column(out, bucket_quantile(buckets, bounds, count, 0.50, max_seconds), 11);
+    column(out, bucket_quantile(buckets, bounds, count, 0.90, max_seconds), 11);
+    column(out, count > 0 ? fmt_seconds(max_seconds) : "-", 11);
+    column(out,
+           count > 0 ? fmt_seconds(endpoint.get("wait_max_s").as_number())
+                     : "-",
+           11);
+    const Value& total = endpoint.get("total");
+    column(out, std::to_string(as_u64(total.get("count"))), 9);
+    column(out, std::to_string(as_u64(total.get("errors"))), 10);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace patchecko::service

@@ -1,0 +1,24 @@
+// `patchecko top` rendering: a deterministic text dashboard over one
+// `stats` response.
+//
+// Rendering is a pure function of the parsed stats JSON — no wall clock, no
+// terminal queries — so `top --once` output is scriptable and the CI smoke
+// can assert on exact lines. Quantiles are derived from the rollup latency
+// buckets (upper-bound semantics: pNN reports the smallest bucket bound
+// whose cumulative count covers the quantile; the overflow bucket reports
+// the observed window maximum).
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace patchecko::service {
+
+/// Renders the dashboard (trailing newline included). `stats` is the parsed
+/// `{"type":"stats",...}` response; missing fields render as zeros/dashes
+/// rather than failing, so a newer client degrades gracefully against an
+/// older daemon.
+std::string render_top(const obs::json::Value& stats);
+
+}  // namespace patchecko::service

@@ -236,6 +236,7 @@ TEST(Obs, ExportJsonHasRequiredShape) {
   { ScopedSpan span("spanned \"quote\"", tracer); }
   const std::string json = obs::export_json(registry, tracer);
   EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"c.one\":3"), std::string::npos);
   EXPECT_NE(json.find("\"g.two\":{\"value\":-4,\"max\":0}"),
             std::string::npos);

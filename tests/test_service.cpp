@@ -9,9 +9,12 @@
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <random>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -178,6 +181,36 @@ TEST(Service, ParseRequestRoundTripsBuilders) {
   EXPECT_DOUBLE_EQ(*reload->scale, 0.5);
   ASSERT_TRUE(reload->seed.has_value());
   EXPECT_EQ(*reload->seed, 7u);
+
+  const auto stats = svc::parse_request(svc::stats_request_json(), &error);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->type, svc::RequestType::stats);
+}
+
+TEST(Service, ParseRequestHandlesClientSuppliedScanIds) {
+  std::string error;
+  // Omitted id: the server assigns one.
+  const auto anonymous = svc::parse_request(
+      svc::scan_request_json("fw.img", {}, false), &error);
+  ASSERT_TRUE(anonymous.has_value()) << error;
+  EXPECT_FALSE(anonymous->has_request_id);
+
+  // Client-named scan round-trips through the builder.
+  const auto named = svc::parse_request(
+      svc::scan_request_json("fw.img", {}, false, /*request_id=*/77), &error);
+  ASSERT_TRUE(named.has_value()) << error;
+  EXPECT_TRUE(named->has_request_id);
+  EXPECT_EQ(named->request_id, 77u);
+
+  // Zero and negative ids are structurally invalid (0 means "assign one"
+  // and is only expressible by omission).
+  EXPECT_FALSE(svc::parse_request(
+      "{\"type\":\"scan\",\"firmware\":\"fw\",\"request_id\":0}", &error));
+  EXPECT_FALSE(svc::parse_request(
+      "{\"type\":\"scan\",\"firmware\":\"fw\",\"request_id\":-4}", &error));
+  EXPECT_FALSE(svc::parse_request(
+      "{\"type\":\"scan\",\"firmware\":\"fw\",\"request_id\":\"nine\"}",
+      &error));
 }
 
 // --- admission -------------------------------------------------------------
@@ -630,11 +663,18 @@ TEST(Service, HealthAndStatusEndpointsReportServiceState) {
   EXPECT_EQ(health.get("queue").get("admitted").as_number(), 1.0);
   EXPECT_EQ(health.get("queue").get("completed").as_number(), 1.0);
   EXPECT_FALSE(health.get("draining").as_bool(true));
-  // The per-request heartbeat fed the health endpoint its last snapshot.
+  // The per-request heartbeat fed the health endpoint its last snapshot,
+  // tagged with the request it belongs to and its corpus generation.
   const json::Value heartbeat = health.get("heartbeat");
   ASSERT_EQ(heartbeat.kind(), json::Value::Kind::object);
-  EXPECT_EQ(heartbeat.get("jobs_done").as_number(),
-            heartbeat.get("jobs_total").as_number());
+  EXPECT_EQ(heartbeat.get("request_id").as_number(),
+            static_cast<double>(id));
+  EXPECT_EQ(heartbeat.get("corpus_version").as_number(), 1.0);
+  const json::Value snapshot = heartbeat.get("snapshot");
+  ASSERT_EQ(snapshot.kind(), json::Value::Kind::object);
+  const json::Value jobs = snapshot.get("jobs");
+  EXPECT_GT(jobs.get("total").as_number(), 0.0);
+  EXPECT_EQ(jobs.get("done").as_number(), jobs.get("total").as_number());
   EXPECT_NE(health.get("process").get("rss_kb").kind(),
             json::Value::Kind::null);
   service.stop();
@@ -716,6 +756,264 @@ TEST(Service, StopCancelsQueuedScansWithStructuredErrors) {
   const json::Value doc = parsed(*cancelled);
   EXPECT_EQ(doc.get("type").as_string(), "error");
   EXPECT_EQ(doc.get("code").as_number(), 503.0);
+}
+
+// --- access log / stats / request ids --------------------------------------
+
+std::vector<std::string> read_jsonl_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+/// Asserts the documented access-log key order: every key present, each
+/// appearing after the previous one (CI validates the same contract with a
+/// separate script; this keeps the order change-detected at unit level).
+void expect_access_key_order(const std::string& line) {
+  static const char* kKeys[] = {
+      "\"type\"",        "\"id\"",          "\"op\"",
+      "\"status\"",      "\"outcome\"",     "\"queue_wait_s\"",
+      "\"service_s\"",   "\"corpus_version\"", "\"cache_hits\"",
+      "\"cache_misses\"", "\"cache_hit_ratio\"", "\"prefilter_recall\"",
+      "\"bytes_in\"",    "\"bytes_out\""};
+  std::size_t cursor = 0;
+  for (const char* key : kKeys) {
+    const std::size_t at = line.find(key, cursor);
+    ASSERT_NE(at, std::string::npos) << key << " missing/out of order: "
+                                     << line;
+    cursor = at;
+  }
+}
+
+TEST(Service, AccessLogAndStatsReconcileAcrossEndpoints) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("accesslog");
+  const std::string log_path =
+      (std::filesystem::path(config.socket_path).parent_path() /
+       "access.jsonl")
+          .string();
+  config.access_log.enabled = true;
+  config.access_log.file = log_path;
+  svc::ScanService service(config);
+  service.start();
+  auto client =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(client.connected());
+
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(client.call(svc::ping_request_json()).has_value());
+  ASSERT_TRUE(client.call(svc::health_request_json()).has_value());
+  const auto result = submit_scan(client, env.some_cves);
+  ASSERT_TRUE(result.has_value());
+  const json::Value result_doc = parsed(*result);
+  ASSERT_EQ(result_doc.get("type").as_string(), "result");
+  const auto id =
+      static_cast<std::uint64_t>(result_doc.get("request_id").as_number());
+  ASSERT_TRUE(client.call(svc::status_request_json(id)).has_value());
+
+  // The stats response reconciles with everything recorded so far.
+  const auto stats_response = client.call(svc::stats_request_json());
+  ASSERT_TRUE(stats_response.has_value());
+  const json::Value stats = parsed(*stats_response);
+  EXPECT_EQ(stats.get("type").as_string(), "stats");
+  EXPECT_EQ(stats.get("schema_version").as_number(), 1.0);
+  EXPECT_EQ(stats.get("corpus").get("version").as_number(), 1.0);
+  EXPECT_EQ(stats.get("queue").get("completed").as_number(), 1.0);
+  const json::Value endpoints = stats.get("rollup").get("endpoints");
+  EXPECT_EQ(endpoints.get("ping").get("total").get("count").as_number(), 3.0);
+  EXPECT_EQ(endpoints.get("health").get("total").get("count").as_number(),
+            1.0);
+  EXPECT_EQ(endpoints.get("status").get("total").get("count").as_number(),
+            1.0);
+  EXPECT_EQ(endpoints.get("scan").get("total").get("count").as_number(), 1.0);
+  EXPECT_EQ(endpoints.get("scan").get("errors").as_number(), 0.0);
+  EXPECT_EQ(stats.get("rollup").get("corpus_version").as_number(), 1.0);
+  service.stop();
+
+  // One line per completed request, keys in documented order, and the scan
+  // line's id matches the id the wire protocol reported.
+  const std::vector<std::string> lines = read_jsonl_lines(log_path);
+  std::size_t pings = 0, healths = 0, scans = 0, statuses = 0, stats_n = 0;
+  for (const std::string& line : lines) {
+    expect_access_key_order(line);
+    const json::Value entry = parsed(line);
+    EXPECT_EQ(entry.get("type").as_string(), "access");
+    EXPECT_GT(entry.get("bytes_in").as_number(), 0.0);
+    EXPECT_GT(entry.get("bytes_out").as_number(), 0.0);
+    const std::string op = entry.get("op").as_string();
+    if (op == "ping") ++pings;
+    if (op == "health") ++healths;
+    if (op == "status") ++statuses;
+    if (op == "stats") ++stats_n;
+    if (op == "scan") {
+      ++scans;
+      EXPECT_EQ(entry.get("id").as_number(), static_cast<double>(id));
+      EXPECT_EQ(entry.get("status").as_number(), 200.0);
+      EXPECT_EQ(entry.get("outcome").as_string(), "ok");
+      EXPECT_EQ(entry.get("corpus_version").as_number(), 1.0);
+      EXPECT_GT(entry.get("service_s").as_number(), 0.0);
+      // A cold scan does real cache lookups, so the ratio is a number.
+      EXPECT_EQ(entry.get("cache_hit_ratio").kind(),
+                json::Value::Kind::number);
+      EXPECT_GT(entry.get("cache_misses").as_number(), 0.0);
+      // No verify-mode prefilter in this run -> explicit null.
+      EXPECT_TRUE(entry.get("prefilter_recall").is_null());
+    }
+  }
+  EXPECT_EQ(pings, 3u);
+  EXPECT_EQ(healths, 1u);
+  EXPECT_EQ(scans, 1u);
+  EXPECT_EQ(statuses, 1u);
+  EXPECT_EQ(stats_n, 1u);
+  EXPECT_EQ(lines.size(), 7u);
+}
+
+TEST(Service, SaturatedQueueShowsQueueWaitInAccessLogAndRollup) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("queuewait");
+  const std::string log_path =
+      (std::filesystem::path(config.socket_path).parent_path() /
+       "access.jsonl")
+          .string();
+  config.access_log.enabled = true;
+  config.access_log.file = log_path;
+  config.queue_limit = 4;
+  config.dispatchers = 1;
+  config.scan_delay_seconds = 0.15;  // hold the dispatcher so scans queue up
+  svc::ScanService service(config);
+  service.start();
+
+  const std::vector<std::string> one_cve = {env.some_cves.front()};
+  std::vector<svc::ServiceClient> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(
+        svc::ServiceClient::connect_unix(service.config().socket_path));
+    ASSERT_TRUE(clients.back().connected());
+    ASSERT_TRUE(clients.back().send(
+        svc::scan_request_json(env.firmware_path, one_cve, false)));
+    ASSERT_EQ(
+        parsed(clients.back().receive().value_or("")).get("type").as_string(),
+        "accepted");
+  }
+  for (auto& client : clients)
+    ASSERT_TRUE(client.receive().has_value());
+
+  auto control =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(control.connected());
+  const auto stats_response = control.call(svc::stats_request_json());
+  ASSERT_TRUE(stats_response.has_value());
+  const json::Value rollup = parsed(*stats_response).get("rollup");
+  // Scans 2 and 3 sat behind a 0.15s dispatcher: both high-water marks and
+  // the windowed per-endpoint wait maximum must show it.
+  EXPECT_GE(rollup.get("queue").get("depth_hwm").as_number(), 1.0);
+  EXPECT_GT(rollup.get("queue").get("wait_hwm_s").as_number(), 0.05);
+  EXPECT_GT(
+      rollup.get("endpoints").get("scan").get("wait_max_s").as_number(),
+      0.05);
+  service.stop();
+
+  std::size_t waited = 0;
+  for (const std::string& line : read_jsonl_lines(log_path)) {
+    const json::Value entry = parsed(line);
+    if (entry.get("op").as_string() != "scan") continue;
+    EXPECT_GE(entry.get("queue_wait_s").as_number(), 0.0);
+    if (entry.get("queue_wait_s").as_number() > 0.05) ++waited;
+  }
+  EXPECT_GE(waited, 1u);
+}
+
+TEST(Service, RequestIdsStayUniqueAcrossClientStormAndReload) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("idstorm");
+  config.dispatchers = 2;
+  config.queue_limit = 32;
+  config.scan_delay_seconds = 0.05;  // keep the queue busy during the reload
+  svc::ScanService service(config);
+  service.start();
+
+  const std::vector<std::string> one_cve = {env.some_cves.front()};
+  constexpr int kThreads = 4;
+  constexpr int kScansPerThread = 3;
+  std::mutex ids_mutex;
+  std::vector<std::uint64_t> accepted_ids;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kScansPerThread; ++i) {
+        auto client =
+            svc::ServiceClient::connect_unix(service.config().socket_path);
+        if (!client.connected()) return;
+        if (!client.send(
+                svc::scan_request_json(env.firmware_path, one_cve, false)))
+          return;
+        const auto first = client.receive();
+        if (!first) return;
+        const json::Value accepted = parsed(*first);
+        if (accepted.get("type").as_string() != "accepted") return;
+        const auto id = static_cast<std::uint64_t>(
+            accepted.get("request_id").as_number());
+        const auto result = client.receive();
+        if (!result) return;
+        // The result echoes the id the accept frame promised.
+        EXPECT_EQ(parsed(*result).get("request_id").as_number(),
+                  static_cast<double>(id));
+        std::lock_guard<std::mutex> lock(ids_mutex);
+        accepted_ids.push_back(id);
+      }
+    });
+  // Hot-reload mid-storm: id assignment must not stutter or repeat across
+  // the corpus generation swap.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  service.reload(std::nullopt, std::nullopt);
+  for (std::thread& thread : threads) thread.join();
+
+  ASSERT_EQ(accepted_ids.size(),
+            static_cast<std::size_t>(kThreads * kScansPerThread));
+  const std::set<std::uint64_t> unique(accepted_ids.begin(),
+                                       accepted_ids.end());
+  EXPECT_EQ(unique.size(), accepted_ids.size());
+  service.stop();
+}
+
+TEST(Service, ClientSuppliedRequestIdsHonoredAndDuplicatesRejected) {
+  const ServiceUniverse& env = universe();
+  svc::ScanService service(universe().service_config("namedids"));
+  service.start();
+  auto client =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(client.connected());
+  const std::vector<std::string> one_cve = {env.some_cves.front()};
+
+  // The daemon honors the client's id end to end.
+  ASSERT_TRUE(client.send(svc::scan_request_json(env.firmware_path, one_cve,
+                                                 false, /*request_id=*/500)));
+  const json::Value accepted = parsed(client.receive().value_or(""));
+  ASSERT_EQ(accepted.get("type").as_string(), "accepted");
+  EXPECT_EQ(accepted.get("request_id").as_number(), 500.0);
+  const json::Value result = parsed(client.receive().value_or(""));
+  ASSERT_EQ(result.get("type").as_string(), "result");
+  EXPECT_EQ(result.get("request_id").as_number(), 500.0);
+
+  // Reusing a live id is a structured conflict, and the original request's
+  // state survives the collision untouched.
+  ASSERT_TRUE(client.send(svc::scan_request_json(env.firmware_path, one_cve,
+                                                 false, /*request_id=*/500)));
+  const json::Value conflict = parsed(client.receive().value_or(""));
+  EXPECT_EQ(conflict.get("type").as_string(), "error");
+  EXPECT_EQ(conflict.get("code").as_number(), 409.0);
+  const auto status = client.call(svc::status_request_json(500));
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(parsed(*status).get("state").as_string(), "done");
+
+  // Auto-assignment continues above the claimed id — never inside it.
+  const auto next = submit_scan(client, one_cve);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(parsed(*next).get("request_id").as_number(), 501.0);
+  service.stop();
 }
 
 }  // namespace

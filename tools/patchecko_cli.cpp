@@ -27,12 +27,15 @@
 //                    [--no-cache] [--queue-limit N] [--dispatchers N]
 //                    [--max-frame-bytes N] [--events=FILE]
 //                    [--heartbeat=FILE[:interval_ms]]
+//                    [--access-log[=FILE]] [--stats-out=FILE[:interval_ms]]
+//                    [--stats-window S]
 //                    [--prefilter on|off|verify] [--prefilter-top-k N]
 //                    [--prefilter-min-total N]
 //   patchecko client --socket PATH | --tcp PORT [--op submit|status|health|
-//                    reload|drain|ping] [--firmware fw.img] [--cve ID]
+//                    reload|drain|ping|stats] [--firmware fw.img] [--cve ID]
 //                    [--provenance[=FILE]] [--request-id N] [--scale S]
 //                    [--seed N]
+//   patchecko top    --socket PATH | --tcp PORT [--once] [--interval MS]
 //
 // `scan` rebuilds the vulnerability database deterministically from the
 // corpus seed, loads the stripped firmware image from disk, and runs the
@@ -62,6 +65,12 @@
 // in-flight scans; SIGINT/SIGTERM shut down gracefully (queued scans are
 // cancelled with structured errors, telemetry files are flushed) and exit
 // with 128+signal. The same interrupt handling applies to `batch-scan`.
+//
+// Daemon observability: `--access-log` writes one JSONL line per completed
+// request (after its response frame); the `stats` request — and the
+// periodic `--stats-out` dump — expose the sliding-window per-endpoint
+// rollup; `top` polls `stats` and renders a deterministic text dashboard
+// (`--once` for a single scriptable frame).
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -86,6 +95,7 @@
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/signals.h"
+#include "service/top.h"
 #include "tools/bench_diff_cmd.h"
 #include "util/cli_args.h"
 #include "util/parallel.h"
@@ -209,13 +219,17 @@ int usage() {
                "[--queue-limit N] [--dispatchers N]\n"
                "                 [--max-frame-bytes N] [--events=FILE] "
                "[--heartbeat=FILE[:interval_ms]]\n"
+               "                 [--access-log[=FILE]] "
+               "[--stats-out=FILE[:interval_ms]] [--stats-window S]\n"
                "                 [--prefilter on|off|verify] "
                "[--prefilter-top-k N] [--prefilter-min-total N]\n"
                "  patchecko client --socket PATH | --tcp PORT "
-               "[--op submit|status|health|reload|drain|ping]\n"
+               "[--op submit|status|health|reload|drain|ping|stats]\n"
                "                 [--firmware fw.img] [--cve ID] "
                "[--provenance[=FILE]] [--request-id N]\n"
-               "                 [--scale S] [--seed N]\n");
+               "                 [--scale S] [--seed N]\n"
+               "  patchecko top --socket PATH | --tcp PORT [--once] "
+               "[--interval MS]\n");
   return 2;
 }
 
@@ -635,8 +649,9 @@ int cmd_serve(const Args& args) {
   require_known_options(
       args, {"model", "socket", "tcp", "scale", "seed", "jobs", "cache-dir",
              "no-cache", "queue-limit", "dispatchers", "max-frame-bytes",
-             "events", "heartbeat", "scan-delay", "prefilter",
-             "prefilter-top-k", "prefilter-min-total"});
+             "events", "heartbeat", "access-log", "stats-out", "stats-window",
+             "scan-delay", "prefilter", "prefilter-top-k",
+             "prefilter-min-total"});
   service::ServiceConfig config;
   config.socket_path = args.get("socket", "");
   if (config.socket_path.empty() && !args.has("tcp"))
@@ -668,6 +683,16 @@ int cmd_serve(const Args& args) {
     throw UsageError(
         "serve --heartbeat requires a file path (per-request files are "
         "derived from it)");
+  // Bare --access-log goes to stderr (one line per request is tolerable
+  // operator output); --stats-out must name a file — a periodic full stats
+  // document would drown the daemon's stderr.
+  config.access_log = output_spec_from(args, "access-log");
+  config.stats_out = cli::heartbeat_spec_from(args, "stats-out");
+  if (config.stats_out.enabled && config.stats_out.file.empty())
+    throw UsageError("serve --stats-out requires a file path");
+  config.stats_window_seconds = args.get_double("stats-window", 60.0);
+  if (config.stats_window_seconds <= 0.0)
+    throw UsageError("--stats-window must be > 0 seconds");
   // Test hook: artificial per-scan dispatch delay, for deterministic
   // backpressure exercises against a fast corpus.
   config.scan_delay_seconds = args.get_double("scan-delay", 0.0);
@@ -738,10 +763,10 @@ int cmd_client(const Args& args) {
                                "provenance", "request-id", "scale", "seed"});
   const std::string op = args.get("op", "submit");
   if (op != "submit" && op != "status" && op != "health" && op != "reload" &&
-      op != "drain" && op != "ping")
+      op != "drain" && op != "ping" && op != "stats")
     throw UsageError(
-        "--op expects submit|status|health|reload|drain|ping, got '" + op +
-        "'");
+        "--op expects submit|status|health|reload|drain|ping|stats, got '" +
+        op + "'");
   const cli::OutputSpec provenance = output_spec_from(args, "provenance");
   service::ServiceClient client = client_connect(args);
   if (!client.connected()) {
@@ -775,6 +800,8 @@ int cmd_client(const Args& args) {
       payload = service::reload_request_json(scale, seed);
     } else if (op == "drain") {
       payload = service::drain_request_json();
+    } else if (op == "stats") {
+      payload = service::stats_request_json();
     } else {
       payload = service::ping_request_json();
     }
@@ -794,8 +821,18 @@ int cmd_client(const Args& args) {
   if (firmware.empty()) throw UsageError("--op submit needs --firmware PATH");
   std::vector<std::string> cve_ids;
   if (args.has("cve")) cve_ids.push_back(args.get("cve", ""));
+  // Optional client-named request: the daemon honors the id (rejecting
+  // duplicates), so scripted storms can pre-assign ids they later grep for
+  // in the access log / event files.
+  std::uint64_t request_id = 0;
+  if (args.has("request-id")) {
+    const long id = args.get_long("request-id", 0);
+    if (id < 1) throw UsageError("submit --request-id must be >= 1");
+    request_id = static_cast<std::uint64_t>(id);
+  }
   if (!client.send(service::scan_request_json(firmware, cve_ids,
-                                              provenance.enabled))) {
+                                              provenance.enabled,
+                                              request_id))) {
     std::fprintf(stderr, "error: cannot submit scan request\n");
     return 1;
   }
@@ -856,6 +893,51 @@ int cmd_client(const Args& args) {
   return 0;
 }
 
+int cmd_top(const Args& args) {
+  require_known_options(args, {"socket", "tcp", "once", "interval"});
+  const bool once = args.has("once");
+  const long interval_ms = args.get_count("interval", 1000);
+  service::ServiceClient client = client_connect(args);
+  if (!client.connected()) {
+    std::fprintf(stderr, "error: cannot connect to the scan service\n");
+    return 1;
+  }
+  // Ctrl-C out of the refresh loop is a normal way to leave a dashboard,
+  // not a failure — exit 0, unlike the 128+signal convention of the
+  // long-running scan commands.
+  service::install_signal_handlers(/*with_sighup=*/false);
+  for (;;) {
+    const auto response = client.call(service::stats_request_json());
+    if (!response) {
+      std::fprintf(stderr, "error: connection closed without a response\n");
+      return 1;
+    }
+    const auto doc = obs::json::parse(*response);
+    if (!doc || doc->get("type").as_string() != "stats") {
+      std::fprintf(stderr, "error: unexpected response: %s\n",
+                   response->c_str());
+      return 1;
+    }
+    const std::string frame = service::render_top(*doc);
+    if (once) {
+      std::fputs(frame.c_str(), stdout);
+      return 0;
+    }
+    // Repaint in place: cursor home + clear-to-end, then the fresh frame.
+    std::printf("\033[H\033[J%s", frame.c_str());
+    std::fflush(stdout);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(interval_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (service::interrupt_flag().load(std::memory_order_acquire)) {
+        std::printf("\n");
+        return 0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -870,6 +952,7 @@ int main(int argc, char** argv) {
     if (args.command == "explain") return cmd_explain(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "client") return cmd_client(args);
+    if (args.command == "top") return cmd_top(args);
     if (args.command == "bench-diff") return patchecko::run_bench_diff(args);
     return usage();
   } catch (const UsageError& error) {
