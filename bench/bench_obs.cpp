@@ -14,6 +14,7 @@
 #include "harness.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/rollup.h"
 #include "obs/trace.h"
 
@@ -183,6 +184,49 @@ int main() {
     });
   }
   row(rows, "rollup.snapshot", on, off);
+
+  // Profiler scope boundary, exactly as ScopedSpan's ctor/dtor run it: the
+  // disabled column is the production no-op path (one relaxed load) and
+  // must hold the same sub-ns bar as the other primitives; the enabled
+  // column is the trie push/pop plus the allocation-delta flush. hz = 0
+  // keeps the sampler thread out of the measurement (its cadence cost is
+  // the sample_once row).
+  obs::Profiler& profiler = obs::Profiler::global();
+  obs::Profiler::Config profiler_config;
+  profiler_config.hz = 0.0;
+  {
+    profiler.start(profiler_config);
+    on = ns_per_op(iters, [&](std::size_t) {
+      if (obs::profiling_enabled()) {
+        obs::detail::profile_scope_push("bench.pscope");
+        obs::detail::profile_scope_pop();
+      }
+    });
+    profiler.stop();
+  }
+  off = ns_per_op(iters, [&](std::size_t) {
+    if (obs::profiling_enabled()) {
+      obs::detail::profile_scope_push("bench.pscope");
+      obs::detail::profile_scope_pop();
+    }
+  });
+  row(rows, "profiler.scope", on, off);
+
+  // One sampler sweep over the registry with a live two-deep stack; the
+  // disabled column is a sweep attempt with no capture running (sampler
+  // fully off — the overhead a daemon pays between captures).
+  constexpr std::size_t sweep_iters = 200'000;
+  {
+    profiler.start(profiler_config);
+    obs::detail::profile_scope_push("bench.sweep");
+    obs::detail::profile_scope_push("bench.sweep.leaf");
+    on = ns_per_op(sweep_iters, [&](std::size_t) { profiler.sample_once(); });
+    obs::detail::profile_scope_pop();
+    obs::detail::profile_scope_pop();
+    profiler.stop();
+  }
+  off = ns_per_op(sweep_iters, [&](std::size_t) { profiler.sample_once(); });
+  row(rows, "profiler.sample_once", on, off);
 
   g_sink = counter.value() + static_cast<std::uint64_t>(gauge.max()) +
            histogram.count() + tracer.spans().size() + events.emitted();

@@ -1,0 +1,625 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/resource.h"
+
+namespace patchecko::obs {
+
+namespace {
+
+std::atomic<bool> g_profiling{false};
+
+// ---------------------------------------------------------------------------
+// Name interning. Scope names become small integer ids so trie nodes and
+// path comparisons never touch strings on the push path. Ids are global and
+// permanent (the set of distinct span names is a few dozen literals), so
+// tries from different threads and captures always agree on them.
+
+struct InternTable {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::uint32_t> ids;
+  std::vector<std::string> names{"(root)"};  // id 0 = the root sentinel
+};
+
+InternTable& intern_table() {
+  static InternTable* table = new InternTable();
+  return *table;
+}
+
+std::uint32_t intern_slow(std::string_view name) {
+  InternTable& table = intern_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  std::string key(name);
+  const auto it = table.ids.find(key);
+  if (it != table.ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(table.names.size());
+  table.names.push_back(key);
+  table.ids.emplace(std::move(key), id);
+  return id;
+}
+
+std::string intern_name(std::uint32_t id) {
+  InternTable& table = intern_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  return id < table.names.size() ? table.names[id] : "(?)";
+}
+
+// Thread-local cache keyed by the string_view's data pointer: span names
+// are string literals, so the same call site hits the same slot without
+// hashing the characters or taking the global lock.
+struct InternCacheEntry {
+  const char* data = nullptr;
+  std::size_t size = 0;
+  std::uint32_t id = 0;
+};
+
+std::uint32_t intern(std::string_view name) {
+  constexpr std::size_t kCacheSize = 64;  // power of two
+  thread_local InternCacheEntry cache[kCacheSize];
+  const auto hash = reinterpret_cast<std::uintptr_t>(name.data());
+  InternCacheEntry& entry = cache[(hash >> 4) & (kCacheSize - 1)];
+  if (entry.data == name.data() && entry.size == name.size()) return entry.id;
+  const std::uint32_t id = intern_slow(name);
+  entry = InternCacheEntry{name.data(), name.size(), id};
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread trie. All fields are guarded by `lock` (a spinlock: critical
+// sections are a handful of loads/stores, and the sampler must not block on
+// a mutex the owner could hold across a malloc).
+
+struct TrieNode {
+  std::uint32_t name = 0;
+  std::uint32_t parent = 0;
+  std::uint32_t first_child = 0;   // node index; 0 = none
+  std::uint32_t next_sibling = 0;  // node index; 0 = none
+  std::uint64_t samples = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+};
+
+struct ThreadState {
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+  std::vector<TrieNode> nodes{TrieNode{}};  // [0] = root
+  std::uint32_t current = 0;
+  std::uint32_t depth = 0;
+  // Pushes refused past the caps; the matching pops decrement this instead
+  // of ascending, so the trie stays balanced.
+  std::uint32_t overflow = 0;
+  std::uint64_t truncated = 0;
+  // Allocation-counter values at the last boundary. Unsynced after a
+  // capture reset: the first boundary re-reads the counters instead of
+  // flushing a delta that spans the reset.
+  bool alloc_synced = false;
+  std::uint64_t last_alloc_count = 0;
+  std::uint64_t last_alloc_bytes = 0;
+  bool registered = false;
+};
+
+struct SpinGuard {
+  explicit SpinGuard(ThreadState& state) : state_(state) {
+    while (state_.lock.test_and_set(std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+  ~SpinGuard() { state_.lock.clear(std::memory_order_release); }
+  ThreadState& state_;
+};
+
+// Registry of live thread states plus the tries of already-exited threads
+// (moved over on thread exit so their counts survive into the report).
+// Leaked, like Tracer::global(): thread_local destructors may run during
+// process teardown, after function-local statics would have been destroyed.
+struct ProfRegistry {
+  std::mutex mutex;
+  std::vector<ThreadState*> threads;
+  std::vector<std::vector<TrieNode>> retired;
+  std::uint64_t retired_truncated = 0;
+};
+
+ProfRegistry& prof_registry() {
+  static ProfRegistry* registry = new ProfRegistry();
+  return *registry;
+}
+
+void reset_state_locked(ThreadState& state) {
+  const SpinGuard guard(state);
+  state.nodes.assign(1, TrieNode{});
+  state.current = 0;
+  state.depth = 0;
+  state.overflow = 0;
+  state.truncated = 0;
+  state.alloc_synced = false;
+}
+
+// Flush the allocation delta since the last boundary into the node that was
+// active over that interval. Caller holds the spinlock.
+void flush_alloc(ThreadState& state) {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  thread_allocation_totals(&count, &bytes);
+  if (state.alloc_synced) {
+    TrieNode& node = state.nodes[state.current];
+    node.alloc_count += count - state.last_alloc_count;
+    node.alloc_bytes += bytes - state.last_alloc_bytes;
+  } else {
+    state.alloc_synced = true;
+  }
+  state.last_alloc_count = count;
+  state.last_alloc_bytes = bytes;
+}
+
+// Owner-thread slot: registers on first use, retires its trie on exit.
+struct ThreadSlot {
+  ThreadState state;
+  ~ThreadSlot() {
+    ProfRegistry& registry = prof_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.threads.erase(
+        std::remove(registry.threads.begin(), registry.threads.end(), &state),
+        registry.threads.end());
+    const SpinGuard guard(state);
+    flush_alloc(state);  // attribute the tail since the last boundary
+    if (state.nodes.size() > 1 || state.nodes[0].alloc_count > 0)
+      registry.retired.push_back(std::move(state.nodes));
+    registry.retired_truncated += state.truncated;
+  }
+};
+
+ThreadState& local_state() {
+  thread_local ThreadSlot slot;
+  if (!slot.state.registered) {
+    ProfRegistry& registry = prof_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.threads.push_back(&slot.state);
+    slot.state.registered = true;
+  }
+  return slot.state;
+}
+
+// ---------------------------------------------------------------------------
+// Merge per-thread tries into one name-resolved, name-sorted tree.
+
+struct MergeNode {
+  std::uint32_t name = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::unordered_map<std::uint32_t, std::size_t> children;  // name -> index
+};
+
+void merge_trie(std::vector<MergeNode>& merged,
+                const std::vector<TrieNode>& trie) {
+  if (trie.empty()) return;
+  // (thread node, merged node) pairs still to walk.
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack{{0u, 0u}};
+  while (!stack.empty()) {
+    const auto [t_index, m_index] = stack.back();
+    stack.pop_back();
+    const TrieNode& from = trie[t_index];
+    merged[m_index].samples += from.samples;
+    merged[m_index].entries += from.entries;
+    merged[m_index].alloc_count += from.alloc_count;
+    merged[m_index].alloc_bytes += from.alloc_bytes;
+    for (std::uint32_t c = from.first_child; c != 0;
+         c = trie[c].next_sibling) {
+      auto [it, inserted] =
+          merged[m_index].children.emplace(trie[c].name, merged.size());
+      if (inserted) {
+        // NOTE: `merged` may reallocate; merged[m_index] is re-fetched via
+        // index on the next loop iteration, never held across this.
+        merged.push_back(MergeNode{trie[c].name, 0, 0, 0, 0, {}});
+      }
+      stack.push_back({c, it->second});
+    }
+  }
+}
+
+ProfileNode to_profile_node(const std::vector<MergeNode>& merged,
+                            std::size_t index) {
+  const MergeNode& from = merged[index];
+  ProfileNode node;
+  node.name = intern_name(from.name);
+  node.samples = from.samples;
+  node.entries = from.entries;
+  node.alloc_count = from.alloc_count;
+  node.alloc_bytes = from.alloc_bytes;
+  node.children.reserve(from.children.size());
+  for (const auto& [name, child] : from.children)
+    node.children.push_back(to_profile_node(merged, child));
+  std::sort(node.children.begin(), node.children.end(),
+            [](const ProfileNode& a, const ProfileNode& b) {
+              return a.name < b.name;
+            });
+  return node;
+}
+
+std::uint64_t inclusive_samples(const ProfileNode& node) {
+  std::uint64_t total = node.samples;
+  for (const ProfileNode& child : node.children)
+    total += inclusive_samples(child);
+  return total;
+}
+
+struct TableRow {
+  std::string path;
+  std::uint64_t self = 0;
+  std::uint64_t inclusive = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+};
+
+void collect_rows(const ProfileNode& node, const std::string& prefix,
+                  std::vector<TableRow>& rows) {
+  for (const ProfileNode& child : node.children) {
+    const std::string path =
+        prefix.empty() ? child.name : prefix + ";" + child.name;
+    rows.push_back(TableRow{path, child.samples, inclusive_samples(child),
+                            child.entries, child.alloc_count,
+                            child.alloc_bytes});
+    collect_rows(child, path, rows);
+  }
+}
+
+bool hot_rank_before(const TableRow& a, const TableRow& b) {
+  if (a.self != b.self) return a.self > b.self;
+  if (a.alloc_bytes != b.alloc_bytes) return a.alloc_bytes > b.alloc_bytes;
+  if (a.entries != b.entries) return a.entries > b.entries;
+  return a.path < b.path;
+}
+
+}  // namespace
+
+bool profiling_enabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void profile_scope_push(std::string_view name) {
+  const std::uint32_t name_id = intern(name);
+  ThreadState& state = local_state();
+  const SpinGuard guard(state);
+  flush_alloc(state);
+  if (state.overflow > 0 || state.depth >= Profiler::max_depth) {
+    ++state.overflow;
+    ++state.truncated;
+    return;
+  }
+  std::uint32_t child = 0;
+  for (std::uint32_t c = state.nodes[state.current].first_child; c != 0;
+       c = state.nodes[c].next_sibling)
+    if (state.nodes[c].name == name_id) {
+      child = c;
+      break;
+    }
+  if (child == 0) {
+    if (state.nodes.size() >= Profiler::max_nodes) {
+      ++state.overflow;
+      ++state.truncated;
+      return;
+    }
+    child = static_cast<std::uint32_t>(state.nodes.size());
+    TrieNode node;
+    node.name = name_id;
+    node.parent = state.current;
+    node.next_sibling = state.nodes[state.current].first_child;
+    state.nodes.push_back(node);
+    state.nodes[state.current].first_child = child;
+  }
+  state.current = child;
+  ++state.depth;
+  ++state.nodes[child].entries;
+}
+
+void profile_scope_pop() {
+  ThreadState& state = local_state();
+  const SpinGuard guard(state);
+  flush_alloc(state);
+  if (state.overflow > 0) {
+    --state.overflow;
+    return;
+  }
+  // depth 0: the scope was opened before the capture started (its push was
+  // absorbed by the reset) — ignore the pop to keep the trie balanced.
+  if (state.depth == 0) return;
+  state.current = state.nodes[state.current].parent;
+  --state.depth;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+
+struct ProfilerImpl {
+  mutable std::mutex control;  // start/stop/report serialization
+  bool running = false;
+  Profiler::Config config;
+  double start_seconds = 0.0;
+  std::uint64_t sweeps = 0;
+  std::uint64_t samples = 0;
+  ProfileReport last_report;
+  std::optional<CaptureSummary> last_summary;
+  std::uint64_t finished_captures = 0;
+
+  std::thread sampler;
+  std::mutex sampler_mutex;
+  std::condition_variable sampler_cv;
+  bool sampler_stop = false;
+};
+
+namespace {
+
+ProfilerImpl& impl() {
+  static ProfilerImpl* instance = new ProfilerImpl();
+  return *instance;
+}
+
+const Clock& profiler_clock(const Profiler::Config& config) {
+  return config.clock != nullptr ? *config.clock : Clock::real();
+}
+
+// Sweep the registry; returns samples credited. Caller decides locking of
+// the impl counters.
+std::uint64_t sweep_threads() {
+  ProfRegistry& registry = prof_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::uint64_t credited = 0;
+  for (ThreadState* state : registry.threads) {
+    const SpinGuard guard(*state);
+    if (state->depth == 0) continue;  // idle w.r.t. profile scopes
+    ++state->nodes[state->current].samples;
+    ++credited;
+  }
+  return credited;
+}
+
+ProfileReport build_report(std::uint64_t sweeps, std::uint64_t samples,
+                           double duration_seconds, double hz) {
+  ProfileReport report;
+  report.sweeps = sweeps;
+  report.samples = samples;
+  report.duration_seconds = duration_seconds;
+  report.hz = hz;
+  report.alloc_available = allocation_counting_available();
+
+  std::vector<MergeNode> merged{MergeNode{}};
+  ProfRegistry& registry = prof_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  report.truncated = registry.retired_truncated;
+  for (const std::vector<TrieNode>& trie : registry.retired)
+    merge_trie(merged, trie);
+  for (ThreadState* state : registry.threads) {
+    std::vector<TrieNode> copy;
+    std::uint64_t truncated = 0;
+    {
+      const SpinGuard guard(*state);
+      copy = state->nodes;
+      truncated = state->truncated;
+    }
+    merge_trie(merged, copy);
+    report.truncated += truncated;
+  }
+  report.root = to_profile_node(merged, 0);
+  report.root.name = "(root)";
+  return report;
+}
+
+void folded_walk(const ProfileNode& node, const std::string& prefix,
+                 FoldMetric metric, std::string& out) {
+  for (const ProfileNode& child : node.children) {
+    const std::string path =
+        prefix.empty() ? child.name : prefix + ";" + child.name;
+    std::uint64_t value = 0;
+    switch (metric) {
+      case FoldMetric::samples: value = child.samples; break;
+      case FoldMetric::entries: value = child.entries; break;
+      case FoldMetric::alloc_bytes: value = child.alloc_bytes; break;
+    }
+    if (value > 0) {
+      out += path;
+      out += ' ';
+      out += std::to_string(value);
+      out += '\n';
+    }
+    folded_walk(child, path, metric, out);
+  }
+}
+
+}  // namespace
+
+Profiler& Profiler::global() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+bool Profiler::start(const Config& config) {
+  ProfilerImpl& profiler = impl();
+  std::lock_guard<std::mutex> control(profiler.control);
+  if (profiler.running) return false;
+
+  {
+    ProfRegistry& registry = prof_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.retired.clear();
+    registry.retired_truncated = 0;
+    for (ThreadState* state : registry.threads) reset_state_locked(*state);
+  }
+
+  profiler.config = config;
+  profiler.sweeps = 0;
+  profiler.samples = 0;
+  profiler.start_seconds = profiler_clock(config).now();
+  profiler.running = true;
+  g_profiling.store(true, std::memory_order_relaxed);
+
+  if (config.hz > 0) {
+    profiler.sampler_stop = false;
+    const double interval_seconds = 1.0 / config.hz;
+    profiler.sampler = std::thread([&profiler, interval_seconds] {
+      std::unique_lock<std::mutex> lock(profiler.sampler_mutex);
+      while (!profiler.sampler_stop) {
+        profiler.sampler_cv.wait_for(
+            lock, std::chrono::duration<double>(interval_seconds),
+            [&profiler] { return profiler.sampler_stop; });
+        if (profiler.sampler_stop) break;
+        lock.unlock();
+        const std::uint64_t credited = sweep_threads();
+        lock.lock();
+        // control is not held here: sweeps/samples are only read under
+        // control after the sampler has been joined, or not at all.
+        ++profiler.sweeps;
+        profiler.samples += credited;
+      }
+    });
+  }
+  return true;
+}
+
+void Profiler::sample_once() {
+  ProfilerImpl& profiler = impl();
+  std::lock_guard<std::mutex> control(profiler.control);
+  if (!profiler.running) return;
+  const std::uint64_t credited = sweep_threads();
+  std::lock_guard<std::mutex> lock(profiler.sampler_mutex);
+  ++profiler.sweeps;
+  profiler.samples += credited;
+}
+
+ProfileReport Profiler::stop() {
+  ProfilerImpl& profiler = impl();
+  std::lock_guard<std::mutex> control(profiler.control);
+  if (!profiler.running) return profiler.last_report;
+
+  if (profiler.sampler.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(profiler.sampler_mutex);
+      profiler.sampler_stop = true;
+    }
+    profiler.sampler_cv.notify_all();
+    profiler.sampler.join();
+  }
+  g_profiling.store(false, std::memory_order_relaxed);
+  profiler.running = false;
+
+  const double duration =
+      profiler_clock(profiler.config).now() - profiler.start_seconds;
+  profiler.last_report = build_report(profiler.sweeps, profiler.samples,
+                                      duration, profiler.config.hz);
+  profiler.last_summary = summarize_profile(profiler.last_report);
+  ++profiler.finished_captures;
+  return profiler.last_report;
+}
+
+bool Profiler::running() const {
+  ProfilerImpl& profiler = impl();
+  std::lock_guard<std::mutex> control(profiler.control);
+  return profiler.running;
+}
+
+ProfileReport Profiler::report() const {
+  ProfilerImpl& profiler = impl();
+  std::lock_guard<std::mutex> control(profiler.control);
+  if (!profiler.running) return profiler.last_report;
+  std::uint64_t sweeps = 0;
+  std::uint64_t samples = 0;
+  {
+    // The sampler thread mutates the counters under sampler_mutex.
+    std::lock_guard<std::mutex> lock(profiler.sampler_mutex);
+    sweeps = profiler.sweeps;
+    samples = profiler.samples;
+  }
+  const double duration =
+      profiler_clock(profiler.config).now() - profiler.start_seconds;
+  return build_report(sweeps, samples, duration, profiler.config.hz);
+}
+
+std::optional<CaptureSummary> Profiler::last_capture() const {
+  ProfilerImpl& profiler = impl();
+  std::lock_guard<std::mutex> control(profiler.control);
+  return profiler.last_summary;
+}
+
+std::uint64_t Profiler::captures() const {
+  ProfilerImpl& profiler = impl();
+  std::lock_guard<std::mutex> control(profiler.control);
+  return profiler.finished_captures;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string folded_stacks(const ProfileReport& report, FoldMetric metric) {
+  std::string out;
+  folded_walk(report.root, "", metric, out);
+  return out;
+}
+
+std::string profile_top_table(const ProfileReport& report, std::size_t limit) {
+  std::vector<TableRow> rows;
+  collect_rows(report.root, "", rows);
+  std::sort(rows.begin(), rows.end(), hot_rank_before);
+  if (rows.size() > limit) rows.resize(limit);
+
+  std::string out = "=== profile: top scopes (self) ===\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%8s %8s %10s %10s %14s  %s\n", "self",
+                "incl", "entries", "allocs", "alloc_bytes", "scope");
+  out += line;
+  for (const TableRow& row : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%8llu %8llu %10llu %10llu %14llu  ",
+                  static_cast<unsigned long long>(row.self),
+                  static_cast<unsigned long long>(row.inclusive),
+                  static_cast<unsigned long long>(row.entries),
+                  static_cast<unsigned long long>(row.alloc_count),
+                  static_cast<unsigned long long>(row.alloc_bytes));
+    out += line;
+    out += row.path;
+    out += '\n';
+  }
+  std::snprintf(line, sizeof(line),
+                "(sweeps %llu, samples %llu, %.3fs @ %.0fHz",
+                static_cast<unsigned long long>(report.sweeps),
+                static_cast<unsigned long long>(report.samples),
+                report.duration_seconds, report.hz);
+  out += line;
+  if (report.truncated > 0) {
+    std::snprintf(line, sizeof(line), ", %llu truncated",
+                  static_cast<unsigned long long>(report.truncated));
+    out += line;
+  }
+  if (!report.alloc_available) out += "; alloc counters unavailable";
+  out += ")\n";
+  return out;
+}
+
+CaptureSummary summarize_profile(const ProfileReport& report) {
+  CaptureSummary summary;
+  summary.sweeps = report.sweeps;
+  summary.samples = report.samples;
+  summary.duration_seconds = report.duration_seconds;
+  summary.hz = report.hz;
+  std::vector<TableRow> rows;
+  collect_rows(report.root, "", rows);
+  const auto hottest =
+      std::min_element(rows.begin(), rows.end(), hot_rank_before);
+  if (hottest != rows.end()) {
+    summary.hot_path = hottest->path;
+    summary.hot_samples = hottest->self;
+    summary.hot_alloc_bytes = hottest->alloc_bytes;
+  }
+  return summary;
+}
+
+}  // namespace patchecko::obs

@@ -64,6 +64,11 @@ double thread_cpu_seconds() {
 std::uint64_t thread_allocation_count() { return t_alloc_count; }
 std::uint64_t thread_allocation_bytes() { return t_alloc_bytes; }
 
+void thread_allocation_totals(std::uint64_t* count, std::uint64_t* bytes) {
+  *count = t_alloc_count;
+  *bytes = t_alloc_bytes;
+}
+
 bool allocation_counting_available() { return PK_ALLOC_HOOK != 0; }
 
 std::int64_t process_rss_kb() {

@@ -33,6 +33,11 @@ double thread_cpu_seconds();
 std::uint64_t thread_allocation_count();
 std::uint64_t thread_allocation_bytes();
 
+/// Both counters in one call (one TLS round-trip). The profiler reads these
+/// at every scope boundary to attribute the allocation delta to the scope
+/// that was active over the interval.
+void thread_allocation_totals(std::uint64_t* count, std::uint64_t* bytes);
+
 /// False in sanitizer builds (hook compiled out); counts then read 0.
 bool allocation_counting_available();
 

@@ -16,6 +16,7 @@ std::string_view endpoint_name(Endpoint endpoint) {
     case Endpoint::drain: return "drain";
     case Endpoint::ping: return "ping";
     case Endpoint::stats: return "stats";
+    case Endpoint::profile: return "profile";
     case Endpoint::other: return "other";
   }
   return "other";

@@ -43,9 +43,10 @@ enum class Endpoint : std::uint8_t {
   drain,
   ping,
   stats,
+  profile,
   other,
 };
-constexpr std::size_t kEndpointCount = 8;
+constexpr std::size_t kEndpointCount = 9;
 
 std::string_view endpoint_name(Endpoint endpoint);
 /// Inverse of endpoint_name(); unrecognized names map to Endpoint::other.

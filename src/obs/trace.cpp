@@ -4,6 +4,7 @@
 
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/request_context.h"
 
 namespace patchecko::obs {
@@ -66,9 +67,14 @@ ScopedSpan::ScopedSpan(std::string_view name, Tracer& tracer) {
   name_.assign(name.data(), name.size());
   start_seconds_ = tracer.since_epoch();
   t_span_stack.push_back(id_);
+  if (profiling_enabled()) {
+    detail::profile_scope_push(name);
+    profiled_ = true;
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (profiled_) detail::profile_scope_pop();
   if (id_ == 0) return;
   // Open spans nest strictly (RAII), so this span is the stack top.
   if (!t_span_stack.empty() && t_span_stack.back() == id_)

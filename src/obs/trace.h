@@ -87,6 +87,10 @@ class ScopedSpan {
   std::uint64_t request_ = 0;
   std::string name_;
   double start_seconds_ = 0.0;
+  /// True iff this span pushed a profiler scope (profiling was active at
+  /// construction); the destructor pops only what it pushed, so captures
+  /// can start/stop while spans are open.
+  bool profiled_ = false;
 };
 
 }  // namespace patchecko::obs

@@ -1,5 +1,7 @@
 #include "service/access_log.h"
 
+#include <unistd.h>
+
 #include "obs/json.h"
 
 namespace patchecko::service {
@@ -69,6 +71,13 @@ void AccessLog::append(const AccessEntry& entry) {
   std::fwrite(line.data(), 1, line.size(), out);
   std::fputc('\n', out);
   std::fflush(out);
+}
+
+void AccessLog::flush_sync() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_ || stream_ == nullptr) return;
+  std::fflush(stream_);
+  ::fsync(::fileno(stream_));
 }
 
 }  // namespace patchecko::service

@@ -66,6 +66,11 @@ class AccessLog {
 
   void append(const AccessEntry& entry);
 
+  /// Flush + fsync the sink (no-op for the stderr sink). Called on
+  /// graceful shutdown so a SIGINT/SIGTERM'd daemon leaves a durable log
+  /// that reconciles with every response it put on the wire.
+  void flush_sync();
+
  private:
   void close();
 

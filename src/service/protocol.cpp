@@ -125,6 +125,8 @@ std::optional<Request> parse_request(std::string_view payload,
     request.type = RequestType::ping;
   else if (request.raw_type == "stats")
     request.type = RequestType::stats;
+  else if (request.raw_type == "profile")
+    request.type = RequestType::profile;
   else
     request.type = RequestType::unknown;
 
@@ -192,6 +194,28 @@ std::optional<Request> parse_request(std::string_view payload,
       }
       request.seed = static_cast<std::uint64_t>(seed.as_number());
     }
+  } else if (request.type == RequestType::profile) {
+    const obs_json::Value& seconds = doc->get("seconds");
+    if (!seconds.is_null()) {
+      if (seconds.kind() != obs_json::Value::Kind::number ||
+          seconds.as_number() <= 0.0 || seconds.as_number() > 300.0) {
+        if (error != nullptr)
+          *error = "profile \"seconds\" must be a number in (0, 300]";
+        return std::nullopt;
+      }
+      request.profile_seconds = seconds.as_number();
+    }
+    const obs_json::Value& hz = doc->get("hz");
+    if (!hz.is_null()) {
+      if (hz.kind() != obs_json::Value::Kind::number ||
+          !is_u64(hz.as_number()) || hz.as_number() < 1.0 ||
+          hz.as_number() > 10000.0) {
+        if (error != nullptr)
+          *error = "profile \"hz\" must be an integer in [1, 10000]";
+        return std::nullopt;
+      }
+      request.profile_hz = static_cast<long>(hz.as_number());
+    }
   }
   return request;
 }
@@ -242,6 +266,13 @@ std::string ping_request_json() { return "{\"type\":\"ping\"}"; }
 
 std::string stats_request_json() { return "{\"type\":\"stats\"}"; }
 
+std::string profile_request_json(double seconds, long hz) {
+  std::string out = "{\"type\":\"profile\",\"seconds\":";
+  obs_json::append_double(out, seconds);
+  out += ",\"hz\":" + std::to_string(hz) + "}";
+  return out;
+}
+
 // --- responses -------------------------------------------------------------
 
 std::string error_response(int code, std::string_view message,
@@ -279,6 +310,32 @@ std::string result_response(const ResultInfo& info) {
     out += ",\"provenance\":";
     obs_json::append_string(out, info.provenance);
   }
+  out += '}';
+  return out;
+}
+
+std::string profile_response(const ProfileInfo& info) {
+  std::string out = "{\"type\":\"profile\",\"seconds\":";
+  obs_json::append_double(out, info.seconds);
+  out += ",\"hz\":";
+  obs_json::append_double(out, info.hz);
+  out += ",\"sweeps\":" + std::to_string(info.sweeps) +
+         ",\"samples\":" + std::to_string(info.samples) +
+         ",\"truncated\":" + std::to_string(info.truncated) +
+         std::string(",\"alloc_available\":") +
+         (info.alloc_available ? "true" : "false") + ",\"hot\":";
+  if (info.hot_path.empty()) {
+    out += "null";
+  } else {
+    out += "{\"path\":";
+    obs_json::append_string(out, info.hot_path);
+    out += ",\"samples\":" + std::to_string(info.hot_samples) +
+           ",\"alloc_bytes\":" + std::to_string(info.hot_alloc_bytes) + "}";
+  }
+  out += ",\"folded\":";
+  obs_json::append_string(out, info.folded);
+  out += ",\"top\":";
+  obs_json::append_string(out, info.top);
   out += '}';
   return out;
 }

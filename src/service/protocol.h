@@ -80,6 +80,7 @@ enum class RequestType : std::uint8_t {
   drain,    ///< stop admitting scans, finish the queue, then shut down
   ping,     ///< liveness probe
   stats,    ///< rolling per-endpoint aggregates (obs::Rollup snapshot)
+  profile,  ///< capture an N-second sampling profile of the daemon
   unknown,  ///< unrecognized "type" — answered with a structured 400
 };
 
@@ -100,6 +101,12 @@ struct Request {
   // reload
   std::optional<double> scale;
   std::optional<std::uint64_t> seed;
+
+  // profile: capture duration and sampler cadence. Bounded at parse time
+  // (duration (0, 300] s, hz [1, 10000]) so a typo cannot park a session
+  // thread for an hour.
+  double profile_seconds = 1.0;
+  long profile_hz = 97;
 };
 
 /// Parses one request payload. Returns nullopt (with *error filled) only on
@@ -122,6 +129,7 @@ std::string reload_request_json(std::optional<double> scale,
 std::string drain_request_json();
 std::string ping_request_json();
 std::string stats_request_json();
+std::string profile_request_json(double seconds, long hz);
 
 // --- responses -------------------------------------------------------------
 
@@ -147,6 +155,25 @@ struct ResultInfo {
 };
 
 std::string result_response(const ResultInfo& info);
+
+/// One completed daemon profile capture. `folded` is the flamegraph.pl/
+/// speedscope-compatible folded-stack text; `top` is the rendered self-time
+/// table (human-facing, goes to the client's stderr).
+struct ProfileInfo {
+  double seconds = 0.0;        ///< requested capture duration
+  double hz = 0.0;             ///< sampler cadence
+  std::uint64_t sweeps = 0;    ///< sampler passes over the thread registry
+  std::uint64_t samples = 0;   ///< samples credited to some span
+  std::uint64_t truncated = 0; ///< pushes refused by depth/node caps
+  bool alloc_available = false;
+  std::string folded;
+  std::string top;
+  std::string hot_path;        ///< hottest leaf ("a;b;c"); empty = idle
+  std::uint64_t hot_samples = 0;
+  std::uint64_t hot_alloc_bytes = 0;
+};
+
+std::string profile_response(const ProfileInfo& info);
 std::string status_response(std::uint64_t request_id, std::string_view state);
 std::string reloaded_response(std::uint64_t corpus_version, std::size_t cves,
                               double build_seconds);

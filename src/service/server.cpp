@@ -18,6 +18,7 @@
 #include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/resource.h"
 
 namespace patchecko::service {
@@ -188,15 +189,18 @@ void ScanService::stop() {
   // interrupt token, when wired, shortens that), then exit.
   stopping_.store(true, std::memory_order_release);
   cancel_queued_.store(true, std::memory_order_release);
+  queue_.close();
+  for (std::thread& thread : dispatchers_) thread.join();
+  dispatchers_.clear();
+  // Stop the stats ticker only after the dispatchers have drained: its
+  // final line (written durably below the wait loop) then records the
+  // fully settled queue counters.
   {
     std::lock_guard<std::mutex> lock(stats_stop_mutex_);
     stats_stop_ = true;
   }
   stats_stop_cv_.notify_all();
   if (stats_thread_.joinable()) stats_thread_.join();
-  queue_.close();
-  for (std::thread& thread : dispatchers_) thread.join();
-  dispatchers_.clear();
   for (std::thread& thread : acceptors_) thread.join();
   acceptors_.clear();
   if (unix_fd_ >= 0) ::close(unix_fd_);
@@ -213,6 +217,10 @@ void ScanService::stop() {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     connections_.clear();
   }
+  // Every response is on the wire and every access line appended; make the
+  // log durable before the process can exit (SIGINT/SIGTERM land here via
+  // the serve loop's graceful-shutdown path).
+  access_log_.flush_sync();
   if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
 }
 
@@ -370,6 +378,43 @@ void ScanService::handle_payload(
     case RequestType::ping:
       done("ping", 200, "ok", pong_response());
       return;
+    case RequestType::profile: {
+      // Start/stop is guarded by the profiler itself: a second capture
+      // while one runs — from this or any other connection — answers 409
+      // instead of silently sharing (and then truncating) the first.
+      obs::Profiler::Config profiler_config;
+      profiler_config.hz = static_cast<double>(request->profile_hz);
+      if (!obs::Profiler::global().start(profiler_config)) {
+        done("profile", 409, "error",
+             error_response(409, "a profile capture is already running"));
+        return;
+      }
+      // The capture blocks this session (like drain); sliced sleeps keep
+      // stop() from waiting out a long capture during shutdown.
+      double remaining = request->profile_seconds;
+      while (remaining > 0.0 &&
+             !stopping_.load(std::memory_order_acquire)) {
+        const double slice = std::min(remaining, 0.05);
+        std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+        remaining -= slice;
+      }
+      const obs::ProfileReport report = obs::Profiler::global().stop();
+      ProfileInfo info;
+      info.seconds = request->profile_seconds;
+      info.hz = report.hz;
+      info.sweeps = report.sweeps;
+      info.samples = report.samples;
+      info.truncated = report.truncated;
+      info.alloc_available = report.alloc_available;
+      info.folded = obs::folded_stacks(report);
+      info.top = obs::profile_top_table(report);
+      const obs::CaptureSummary summary = obs::summarize_profile(report);
+      info.hot_path = summary.hot_path;
+      info.hot_samples = summary.hot_samples;
+      info.hot_alloc_bytes = summary.hot_alloc_bytes;
+      done("profile", 200, "ok", profile_response(info));
+      return;
+    }
     case RequestType::unknown:
       done("other", 400, "error",
            error_response(400, "unknown request type '" + request->raw_type +
@@ -743,7 +788,30 @@ std::string ScanService::stats_json() const {
          ",\"rejected\":" + std::to_string(queue.rejected) +
          ",\"completed\":" + std::to_string(queue.completed) + "}";
   out += ",\"rollup\":" + obs::rollup_snapshot_json(rollup_.snapshot());
-  out += "}";
+  // The profiler block feeds `patchecko top`'s hot-leaf row: capture count,
+  // whether one is running right now, and the hottest leaf of the last
+  // completed capture (null until the first `profile` request finishes).
+  obs::Profiler& profiler = obs::Profiler::global();
+  out += ",\"profile\":{\"captures\":" + std::to_string(profiler.captures()) +
+         std::string(",\"running\":") +
+         (profiler.running() ? "true" : "false") + ",\"last\":";
+  if (const auto summary = profiler.last_capture()) {
+    out += "{\"hot_path\":";
+    obs_json::append_string(out, summary->hot_path);
+    out += ",\"hot_samples\":" + std::to_string(summary->hot_samples) +
+           ",\"hot_alloc_bytes\":" +
+           std::to_string(summary->hot_alloc_bytes) +
+           ",\"samples\":" + std::to_string(summary->samples) +
+           ",\"sweeps\":" + std::to_string(summary->sweeps) +
+           ",\"duration_s\":";
+    obs_json::append_double(out, summary->duration_seconds);
+    out += ",\"hz\":";
+    obs_json::append_double(out, summary->hz);
+    out += "}";
+  } else {
+    out += "null";
+  }
+  out += "}}";
   return out;
 }
 
@@ -774,6 +842,14 @@ void ScanService::stats_ticker_loop() {
         [this] { return stats_stop_; });
     if (stopped) break;
   }
+  // Final tick after stop() has drained the dispatchers, then make the
+  // dump durable: a killed daemon's last line must reflect the settled
+  // queue, not whatever the last interval happened to catch.
+  const std::string line = stats_json();
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fputc('\n', out);
+  std::fflush(out);
+  ::fsync(::fileno(out));
   std::fclose(out);
 }
 

@@ -55,6 +55,36 @@ std::string bucket_quantile(const std::vector<std::uint64_t>& buckets,
 
 }  // namespace
 
+bool validate_stats(const obs::json::Value& stats, std::string* error) {
+  const auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (stats.kind() != Value::Kind::object)
+    return fail("stats response is not a JSON object");
+  if (stats.get("type").as_string() != "stats")
+    return fail("response \"type\" is not \"stats\"");
+  const Value& schema = stats.get("schema_version");
+  if (schema.kind() != Value::Kind::number || schema.as_number() < 1.0)
+    return fail("stats response is missing \"schema_version\"");
+  if (stats.get("uptime_s").kind() != Value::Kind::number)
+    return fail("stats response is missing \"uptime_s\"");
+  if (stats.get("corpus").kind() != Value::Kind::object)
+    return fail("stats response is missing the \"corpus\" block");
+  if (stats.get("queue").kind() != Value::Kind::object)
+    return fail("stats response is missing the \"queue\" block");
+  const Value& rollup = stats.get("rollup");
+  if (rollup.kind() != Value::Kind::object)
+    return fail("stats response is missing the \"rollup\" block");
+  if (rollup.get("le").kind() != Value::Kind::array)
+    return fail("rollup block is missing the \"le\" bucket bounds");
+  if (rollup.get("endpoints").kind() != Value::Kind::object)
+    return fail("rollup block is missing the \"endpoints\" table");
+  if (rollup.get("window_s").kind() != Value::Kind::number)
+    return fail("rollup block is missing \"window_s\"");
+  return true;
+}
+
 std::string render_top(const obs::json::Value& stats) {
   const Value& corpus = stats.get("corpus");
   const Value& queue = stats.get("queue");
@@ -121,6 +151,32 @@ std::string render_top(const obs::json::Value& stats) {
     const Value& total = endpoint.get("total");
     column(out, std::to_string(as_u64(total.get("count"))), 9);
     column(out, std::to_string(as_u64(total.get("errors"))), 10);
+    out += '\n';
+  }
+
+  // Hot-leaf row from the daemon's last `profile` capture; absent on
+  // daemons that predate the profiler block.
+  const Value& profile = stats.get("profile");
+  if (profile.kind() == Value::Kind::object) {
+    std::snprintf(buf, sizeof(buf), "profiler  captures %" PRIu64 "  %s",
+                  as_u64(profile.get("captures")),
+                  profile.get("running").as_bool(false) ? "capturing"
+                                                        : "idle");
+    out += buf;
+    const Value& last = profile.get("last");
+    if (last.kind() == Value::Kind::object) {
+      const std::string hot_path = last.get("hot_path").as_string();
+      std::snprintf(buf, sizeof(buf),
+                    "  hot %s  self %" PRIu64 "/%" PRIu64
+                    "  alloc %" PRIu64 " kB",
+                    hot_path.empty() ? "-" : hot_path.c_str(),
+                    as_u64(last.get("hot_samples")),
+                    as_u64(last.get("samples")),
+                    as_u64(last.get("hot_alloc_bytes")) / 1024);
+      out += buf;
+    } else {
+      out += "  hot -";
+    }
     out += '\n';
   }
   return out;

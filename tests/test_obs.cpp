@@ -11,11 +11,14 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace patchecko {
 namespace {
+
+namespace json = obs::json;
 
 using obs::EnabledScope;
 using obs::Registry;
@@ -259,6 +262,65 @@ TEST(Obs, SummaryLineReportsCacheRateAndPruning) {
   const std::string line = obs::summary_line(registry);
   EXPECT_NE(line.find("4/8 hits (50.0%)"), std::string::npos) << line;
   EXPECT_NE(line.find("100 -> 60 (40 pruned)"), std::string::npos) << line;
+}
+
+// Fuzz-style table over the JSON parser's edge cases: the parser fronts
+// every wire payload the daemon accepts, so its rejects must be clean
+// (nullopt, never a throw or over-read) and its accepts must decode
+// exactly. Each row is one document plus the expected accept/reject.
+TEST(Obs, JsonParserEdgeCaseTable) {
+  struct Case {
+    const char* name;
+    std::string text;
+    bool ok;
+  };
+  // Depth-limit probes: max_depth is 64, so 64 nested arrays parse and 65
+  // must be refused (bounded recursion is the anti-stack-smash contract).
+  std::string nested_ok, nested_deep;
+  for (int i = 0; i < 64; ++i) nested_ok += '[';
+  nested_deep = nested_ok + '[';
+  for (int i = 0; i < 64; ++i) nested_ok += ']';
+  for (int i = 0; i < 65; ++i) nested_deep += ']';
+
+  const std::vector<Case> cases = {
+      {"nested-at-limit", nested_ok, true},
+      {"nested-past-limit", nested_deep, false},
+      {"unicode-escape", "{\"k\":\"a\\u0041\\u00e9\\u20ac\"}", true},
+      {"unicode-truncated", "{\"k\":\"\\u00\"}", false},
+      {"unicode-bad-hex", "{\"k\":\"\\u00zz\"}", false},
+      {"unknown-escape", "{\"k\":\"\\x41\"}", false},
+      {"raw-control-char", std::string("{\"k\":\"a\tb\"}"), false},
+      {"unterminated-string", "{\"k\":\"abc", false},
+      {"truncated-object", "{\"k\":1,", false},
+      {"truncated-array", "[1,2,", false},
+      {"bare-prefix", "{\"k\"", false},
+      {"missing-colon", "{\"k\" 1}", false},
+      {"trailing-garbage", "{\"k\":1}x", false},
+      {"two-documents", "{} {}", false},
+      {"empty-input", "", false},
+      {"whitespace-only", "  \n\t ", false},
+      {"duplicate-keys", "{\"k\":1,\"k\":2}", true},
+      {"number-malformed", "{\"k\":1..5}", false},
+      {"number-bare-minus", "{\"k\":-}", false},
+      {"deep-mixed", "{\"a\":[{\"b\":[null,true,false,1e3]}]}", true},
+  };
+  for (const Case& c : cases) {
+    const auto doc = json::parse(c.text);
+    EXPECT_EQ(doc.has_value(), c.ok) << c.name << ": " << c.text;
+  }
+
+  // Accepted documents must also decode to the right values, not merely
+  // parse. \uXXXX decodes as UTF-8; duplicate keys keep the last value
+  // (std::map insert-or-assign semantics — part of the wire contract).
+  const auto unicode = json::parse("{\"k\":\"a\\u0041\\u00e9\\u20ac\"}");
+  ASSERT_TRUE(unicode.has_value());
+  EXPECT_EQ(unicode->get("k").as_string(), "aA\xC3\xA9\xE2\x82\xAC");
+  const auto dup = json::parse("{\"k\":1,\"k\":2}");
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->get("k").as_number(), 2.0);
+  const auto at_limit = json::parse(nested_ok);
+  ASSERT_TRUE(at_limit.has_value());
+  EXPECT_EQ(at_limit->kind(), json::Value::Kind::array);
 }
 
 }  // namespace

@@ -1,0 +1,416 @@
+// Tests for the sampling span profiler (src/obs/profiler): trie
+// aggregation of scope entries and manual samples, allocation attribution
+// to the innermost scope, capture lifecycle (start/stop guard, reset,
+// pre-existing-scope absorption), deterministic folded/top renderings, and
+// the acceptance contract — an engine scan's entries-folded export is
+// byte-identical across --jobs, and canonical report output is unchanged
+// by profiling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dl/trainer.h"
+#include "engine/engine.h"
+#include "firmware/firmware.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/resource.h"
+#include "obs/trace.h"
+
+namespace patchecko {
+namespace {
+
+using obs::EnabledScope;
+using obs::FoldMetric;
+using obs::ManualClock;
+using obs::ProfileNode;
+using obs::Profiler;
+using obs::ProfileReport;
+using obs::ScopedSpan;
+using obs::Tracer;
+
+/// Manual-clock, sampler-thread-free config: tests drive sample_once().
+Profiler::Config manual_config(const ManualClock& clock) {
+  Profiler::Config config;
+  config.hz = 0;
+  config.clock = &clock;
+  return config;
+}
+
+const ProfileNode* find_child(const ProfileNode& node,
+                              const std::string& name) {
+  for (const ProfileNode& child : node.children)
+    if (child.name == name) return &child;
+  return nullptr;
+}
+
+TEST(Profiler, StartWhileRunningIsRefused) {
+  EnabledScope on(true);
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  EXPECT_TRUE(profiler.running());
+  EXPECT_FALSE(profiler.start(manual_config(clock)));  // daemon maps to 409
+  EXPECT_TRUE(profiler.running());  // refused start didn't clobber anything
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  profiler.stop();
+}
+
+TEST(Profiler, EntriesAggregateIntoTrie) {
+  EnabledScope on(true);
+  Tracer tracer;
+  ManualClock clock(10.0);
+  Profiler& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan outer("p.outer", tracer);
+    { ScopedSpan inner("p.inner", tracer); }
+    { ScopedSpan inner("p.inner", tracer); }
+  }
+  clock.advance(2.5);
+  const ProfileReport report = profiler.stop();
+
+  EXPECT_DOUBLE_EQ(report.duration_seconds, 2.5);
+  EXPECT_EQ(report.hz, 0.0);
+  EXPECT_EQ(report.truncated, 0u);
+  const ProfileNode* outer = find_child(report.root, "p.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->entries, 3u);
+  const ProfileNode* inner = find_child(*outer, "p.inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->entries, 6u);
+  EXPECT_EQ(obs::folded_stacks(report, FoldMetric::entries),
+            "p.outer 3\np.outer;p.inner 6\n");
+}
+
+TEST(Profiler, ManualSamplesLandOnInnermostScope) {
+  EnabledScope on(true);
+  Tracer tracer;
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  {
+    ScopedSpan outer("s.outer", tracer);
+    {
+      ScopedSpan inner("s.inner", tracer);
+      for (int i = 0; i < 3; ++i) profiler.sample_once();
+    }
+    for (int i = 0; i < 2; ++i) profiler.sample_once();
+  }
+  profiler.sample_once();  // no scope open on any thread: sweep, no sample
+  const ProfileReport report = profiler.stop();
+
+  EXPECT_EQ(report.sweeps, 6u);
+  EXPECT_EQ(report.samples, 5u);
+  EXPECT_EQ(obs::folded_stacks(report, FoldMetric::samples),
+            "s.outer 2\ns.outer;s.inner 3\n");
+}
+
+// The determinism acceptance at the primitive level: K threads parked
+// inside the same scope path, swept a fixed number of times, yield exactly
+// K samples per sweep on the leaf — for any K, run after run.
+void parked_thread_capture(int threads, int sweeps, std::string* folded) {
+  Tracer tracer;
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  std::atomic<int> parked{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t)
+    workers.emplace_back([&] {
+      ScopedSpan work("park.work", tracer);
+      ScopedSpan leaf("park.leaf", tracer);
+      parked.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  while (parked.load() < threads) std::this_thread::yield();
+  for (int i = 0; i < sweeps; ++i) profiler.sample_once();
+  release.store(true);
+  for (std::thread& worker : workers) worker.join();
+  *folded = obs::folded_stacks(profiler.stop(), FoldMetric::samples);
+}
+
+TEST(Profiler, ParkedThreadSamplingIsDeterministic) {
+  EnabledScope on(true);
+  std::string one, four, four_again;
+  parked_thread_capture(1, 4, &one);
+  parked_thread_capture(4, 4, &four);
+  parked_thread_capture(4, 4, &four_again);
+  EXPECT_EQ(one, "park.work;park.leaf 4\n");
+  EXPECT_EQ(four, "park.work;park.leaf 16\n");
+  EXPECT_EQ(four, four_again);  // byte-identical run to run
+}
+
+TEST(Profiler, AllocationsAttributeToInnermostScope) {
+  if (!obs::allocation_counting_available())
+    GTEST_SKIP() << "alloc hook compiled out under sanitizers";
+  EnabledScope on(true);
+  Tracer tracer;
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  constexpr std::size_t kBytes = 1u << 20;
+  {
+    ScopedSpan outer("alloc.outer", tracer);
+    {
+      ScopedSpan inner("alloc.inner", tracer);
+      std::vector<char> block(kBytes);
+      block[0] = 1;
+      block[kBytes - 1] = 2;
+    }
+  }
+  const ProfileReport report = profiler.stop();
+
+  ASSERT_TRUE(report.alloc_available);
+  const ProfileNode* outer = find_child(report.root, "alloc.outer");
+  ASSERT_NE(outer, nullptr);
+  const ProfileNode* inner = find_child(*outer, "alloc.inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(inner->alloc_bytes, kBytes);
+  EXPECT_GE(inner->alloc_count, 1u);
+  // Self attribution: the big block belongs to the inner scope, not the
+  // outer one (which only pays incidental bookkeeping allocations).
+  EXPECT_LT(outer->alloc_bytes, kBytes / 2);
+}
+
+TEST(Profiler, ScopesOpenAtStartAreInvisibleAndAbsorbed) {
+  EnabledScope on(true);
+  Tracer tracer;
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+  auto pre = std::make_unique<ScopedSpan>("pre.open", tracer);
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  { ScopedSpan inner("pre.inner", tracer); }
+  pre.reset();  // pop of a pre-capture scope: absorbed, trie stays balanced
+  { ScopedSpan after("pre.after", tracer); }
+  const ProfileReport report = profiler.stop();
+
+  EXPECT_EQ(find_child(report.root, "pre.open"), nullptr);
+  // Both capture-era scopes are roots: pre.open contributed no path prefix.
+  EXPECT_EQ(obs::folded_stacks(report, FoldMetric::entries),
+            "pre.after 1\npre.inner 1\n");
+}
+
+TEST(Profiler, ScopesSpanningStopThenRestartStayBalanced) {
+  EnabledScope on(true);
+  Tracer tracer;
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  auto open = std::make_unique<ScopedSpan>("cross.capture", tracer);
+  profiler.stop();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  open.reset();  // pop from the previous capture: absorbed
+  { ScopedSpan fresh("cross.fresh", tracer); }
+  const ProfileReport report = profiler.stop();
+
+  EXPECT_EQ(find_child(report.root, "cross.capture"), nullptr);
+  EXPECT_EQ(obs::folded_stacks(report, FoldMetric::entries),
+            "cross.fresh 1\n");
+}
+
+void open_nested(Tracer& tracer, int remaining) {
+  if (remaining == 0) return;
+  ScopedSpan span("deep.scope", tracer);
+  open_nested(tracer, remaining - 1);
+}
+
+TEST(Profiler, DepthCapTruncatesButStaysBalanced) {
+  EnabledScope on(true);
+  Tracer tracer;
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  constexpr int kDepth = static_cast<int>(Profiler::max_depth) + 6;
+  open_nested(tracer, kDepth);
+  const ProfileReport report = profiler.stop();
+
+  EXPECT_EQ(report.truncated, 6u);
+  std::size_t depth = 0;
+  const ProfileNode* node = &report.root;
+  while ((node = find_child(*node, "deep.scope")) != nullptr) ++depth;
+  EXPECT_EQ(depth, Profiler::max_depth);
+}
+
+TEST(Profiler, ReportIsReadableMidCapture) {
+  EnabledScope on(true);
+  Tracer tracer;
+  ManualClock clock(5.0);
+  Profiler& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  { ScopedSpan live("mid.live", tracer); }
+  clock.advance(1.0);
+  const ProfileReport mid = profiler.report();
+  EXPECT_DOUBLE_EQ(mid.duration_seconds, 1.0);
+  const ProfileNode* live = find_child(mid.root, "mid.live");
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->entries, 1u);
+  profiler.stop();
+}
+
+TEST(Profiler, SummaryPicksHottestLeafAndCountsCaptures) {
+  EnabledScope on(true);
+  Tracer tracer;
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+  const std::uint64_t captures_before = profiler.captures();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  {
+    ScopedSpan cold("sum.cold", tracer);
+  }
+  {
+    ScopedSpan hot("sum.hot", tracer);
+    profiler.sample_once();
+    profiler.sample_once();
+  }
+  clock.advance(0.5);
+  profiler.stop();
+
+  EXPECT_EQ(profiler.captures(), captures_before + 1);
+  const auto summary = profiler.last_capture();
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->hot_path, "sum.hot");
+  EXPECT_EQ(summary->hot_samples, 2u);
+  EXPECT_EQ(summary->sweeps, 2u);
+  EXPECT_EQ(summary->samples, 2u);
+  EXPECT_DOUBLE_EQ(summary->duration_seconds, 0.5);
+}
+
+TEST(Profiler, TopTableIsDeterministicAndRanksBySelf) {
+  EnabledScope on(true);
+  Tracer tracer;
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(manual_config(clock)));
+  {
+    ScopedSpan a("tbl.a", tracer);
+    profiler.sample_once();
+    {
+      ScopedSpan b("tbl.b", tracer);
+      profiler.sample_once();
+      profiler.sample_once();
+    }
+  }
+  clock.advance(1.0);
+  const ProfileReport report = profiler.stop();
+
+  const std::string table = obs::profile_top_table(report);
+  EXPECT_EQ(table, obs::profile_top_table(report));  // stable rendering
+  // tbl.b (self 2) ranks above tbl.a (self 1); inclusive of tbl.a is 3.
+  const auto b_pos = table.find("tbl.a;tbl.b");
+  const auto a_pos = table.find("tbl.a\n");
+  ASSERT_NE(b_pos, std::string::npos) << table;
+  ASSERT_NE(a_pos, std::string::npos) << table;
+  EXPECT_LT(b_pos, a_pos);
+  EXPECT_NE(table.find("sweeps 3, samples 3"), std::string::npos) << table;
+}
+
+TEST(Profiler, SamplerThreadCollectsAgainstRealClock) {
+  EnabledScope on(true);
+  Tracer tracer;
+  Profiler& profiler = Profiler::global();
+  Profiler::Config config;
+  config.hz = 500;  // real sampler thread
+  ASSERT_TRUE(profiler.start(config));
+  {
+    ScopedSpan busy("real.busy", tracer);
+    // Park long enough for several sweep intervals at 500 Hz.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const ProfileReport report = profiler.stop();
+  EXPECT_GT(report.sweeps, 0u);
+  EXPECT_GT(report.duration_seconds, 0.0);
+  const ProfileNode* busy = find_child(report.root, "real.busy");
+  ASSERT_NE(busy, nullptr);
+  EXPECT_GT(busy->samples, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level acceptance: the entries-folded export of a real scan is
+// byte-identical across --jobs under ManualClock, and profiling leaves the
+// canonical report untouched.
+
+struct ProfilerUniverse {
+  SimilarityModel model;
+  std::unique_ptr<EvalCorpus> corpus;
+  std::unique_ptr<CveDatabase> database;
+  FirmwareImage firmware;
+  std::vector<std::string> cves;
+
+  ProfilerUniverse() {
+    TrainerConfig trainer;
+    trainer.dataset.library_count = 12;
+    trainer.dataset.functions_per_library = 10;
+    trainer.epochs = 4;
+    model = train_similarity_model(trainer).model;
+    EvalConfig eval;
+    eval.scale = 0.02;
+    corpus = std::make_unique<EvalCorpus>(eval);
+    database = std::make_unique<CveDatabase>(*corpus, DatabaseConfig{});
+    firmware = corpus->build_firmware(android_things_device());
+    for (const CveEntry& entry : database->entries()) {
+      if (cves.size() == 3) break;
+      cves.push_back(entry.spec.cve_id);
+    }
+  }
+
+  ScanRequest request() const {
+    ScanRequest request;
+    request.model = &model;
+    request.firmware = &firmware;
+    request.database = database.get();
+    request.cve_ids = cves;
+    return request;
+  }
+};
+
+const ProfilerUniverse& profiler_universe() {
+  static ProfilerUniverse instance;
+  return instance;
+}
+
+TEST(Profiler, EngineEntriesFoldedIsByteIdenticalAcrossJobs) {
+  EnabledScope on(true);
+  const ProfilerUniverse& u = profiler_universe();
+  ManualClock clock;
+  Profiler& profiler = Profiler::global();
+
+  std::vector<std::string> folded;
+  std::vector<std::string> canonical;
+  for (const int jobs : {1, 4}) {
+    EngineConfig config;
+    config.jobs = jobs;
+    config.use_cache = false;
+    ASSERT_TRUE(profiler.start(manual_config(clock)));
+    const ScanReport report = ScanEngine(config).run(u.request());
+    folded.push_back(
+        obs::folded_stacks(profiler.stop(), FoldMetric::entries));
+    canonical.push_back(report.canonical_text());
+  }
+
+  ASSERT_FALSE(folded[0].empty());
+  EXPECT_EQ(folded[0], folded[1]);
+  EXPECT_EQ(canonical[0], canonical[1]);
+  EXPECT_NE(folded[0].find("pipeline."), std::string::npos) << folded[0];
+
+  // Sampler-off bit-identity: the same scan without a capture produces the
+  // same canonical report bytes.
+  EngineConfig config;
+  config.jobs = 4;
+  config.use_cache = false;
+  const ScanReport unprofiled = ScanEngine(config).run(u.request());
+  EXPECT_EQ(unprofiled.canonical_text(), canonical[1]);
+}
+
+}  // namespace
+}  // namespace patchecko

@@ -24,11 +24,13 @@
 #include "engine/engine.h"
 #include "firmware/firmware.h"
 #include "obs/json.h"
+#include "obs/profiler.h"
 #include "service/admission.h"
 #include "service/client.h"
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/signals.h"
+#include "service/top.h"
 
 namespace patchecko {
 namespace {
@@ -185,6 +187,40 @@ TEST(Service, ParseRequestRoundTripsBuilders) {
   const auto stats = svc::parse_request(svc::stats_request_json(), &error);
   ASSERT_TRUE(stats.has_value());
   EXPECT_EQ(stats->type, svc::RequestType::stats);
+
+  const auto profile =
+      svc::parse_request(svc::profile_request_json(2.5, 250), &error);
+  ASSERT_TRUE(profile.has_value()) << error;
+  EXPECT_EQ(profile->type, svc::RequestType::profile);
+  EXPECT_DOUBLE_EQ(profile->profile_seconds, 2.5);
+  EXPECT_EQ(profile->profile_hz, 250);
+
+  // Bare profile request: defaults apply.
+  const auto bare = svc::parse_request("{\"type\":\"profile\"}", &error);
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_DOUBLE_EQ(bare->profile_seconds, 1.0);
+  EXPECT_EQ(bare->profile_hz, 97);
+}
+
+TEST(Service, ParseRequestBoundsProfileCaptures) {
+  // Duration and cadence are clamped at parse time: a typo must never park
+  // a daemon session thread for an hour or spin a 1 MHz sampler.
+  std::string error;
+  EXPECT_FALSE(
+      svc::parse_request("{\"type\":\"profile\",\"seconds\":0}", &error));
+  EXPECT_NE(error.find("seconds"), std::string::npos);
+  EXPECT_FALSE(
+      svc::parse_request("{\"type\":\"profile\",\"seconds\":301}", &error));
+  EXPECT_FALSE(
+      svc::parse_request("{\"type\":\"profile\",\"seconds\":-1}", &error));
+  EXPECT_FALSE(svc::parse_request("{\"type\":\"profile\",\"hz\":0}", &error));
+  EXPECT_NE(error.find("hz"), std::string::npos);
+  EXPECT_FALSE(
+      svc::parse_request("{\"type\":\"profile\",\"hz\":20000}", &error));
+  EXPECT_FALSE(
+      svc::parse_request("{\"type\":\"profile\",\"hz\":1.5}", &error));
+  EXPECT_FALSE(
+      svc::parse_request("{\"type\":\"profile\",\"hz\":\"fast\"}", &error));
 }
 
 TEST(Service, ParseRequestHandlesClientSuppliedScanIds) {
@@ -1014,6 +1050,189 @@ TEST(Service, ClientSuppliedRequestIdsHonoredAndDuplicatesRejected) {
   ASSERT_TRUE(next.has_value());
   EXPECT_EQ(parsed(*next).get("request_id").as_number(), 501.0);
   service.stop();
+}
+
+// --- profiler capture / durable shutdown -----------------------------------
+
+TEST(Service, ProfileCaptureOverSocketWith409DoubleStartGuard) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("profile");
+  const std::string log_path =
+      (std::filesystem::path(config.socket_path).parent_path() /
+       "access.jsonl")
+          .string();
+  config.access_log.enabled = true;
+  config.access_log.file = log_path;
+  svc::ScanService service(config);
+  service.start();
+
+  auto capturer =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  auto intruder =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  auto scanner =
+      svc::ServiceClient::connect_unix(service.config().socket_path);
+  ASSERT_TRUE(capturer.connected() && intruder.connected() &&
+              scanner.connected());
+
+  // Kick off a capture, then wait until the (process-global) profiler is
+  // provably live so the second request races against a running capture,
+  // not against session-thread scheduling.
+  ASSERT_TRUE(capturer.send(svc::profile_request_json(0.6, 200)));
+  for (int i = 0; i < 400 && !obs::Profiler::global().running(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(obs::Profiler::global().running());
+
+  // A concurrent start is a structured conflict, not a queue or a crash.
+  const auto conflict = intruder.call(svc::profile_request_json(0.2, 97));
+  ASSERT_TRUE(conflict.has_value());
+  const json::Value conflict_doc = parsed(*conflict);
+  EXPECT_EQ(conflict_doc.get("type").as_string(), "error");
+  EXPECT_EQ(conflict_doc.get("code").as_number(), 409.0);
+
+  // Give the sampler real spans to catch while the window is open.
+  const auto scanned = submit_scan(scanner, env.some_cves);
+  ASSERT_TRUE(scanned.has_value());
+
+  const auto response = capturer.receive();
+  ASSERT_TRUE(response.has_value());
+  const json::Value doc = parsed(*response);
+  EXPECT_EQ(doc.get("type").as_string(), "profile");
+  EXPECT_DOUBLE_EQ(doc.get("seconds").as_number(), 0.6);
+  EXPECT_DOUBLE_EQ(doc.get("hz").as_number(), 200.0);
+  EXPECT_GT(doc.get("sweeps").as_number(), 0.0);
+  EXPECT_EQ(doc.get("folded").kind(), json::Value::Kind::string);
+  // The top table always carries its header, samples or not.
+  EXPECT_NE(doc.get("top").as_string().find("self"), std::string::npos);
+  EXPECT_FALSE(obs::Profiler::global().running());
+
+  // The stats surface reflects the finished capture, survives the hard
+  // shape check, and feeds the `top` dashboard a profiler row.
+  const auto stats_response = intruder.call(svc::stats_request_json());
+  ASSERT_TRUE(stats_response.has_value());
+  const json::Value stats = parsed(*stats_response);
+  const json::Value profile = stats.get("profile");
+  ASSERT_EQ(profile.kind(), json::Value::Kind::object);
+  EXPECT_EQ(profile.get("captures").as_number(), 1.0);
+  EXPECT_FALSE(profile.get("running").as_bool(true));
+  EXPECT_EQ(profile.get("last").kind(), json::Value::Kind::object);
+  EXPECT_GT(profile.get("last").get("sweeps").as_number(), 0.0);
+  std::string error;
+  EXPECT_TRUE(svc::validate_stats(stats, &error)) << error;
+  EXPECT_NE(svc::render_top(stats).find("profiler"), std::string::npos);
+  service.stop();
+
+  // Both capture outcomes — the 200 and the 409 — hit the access log.
+  std::size_t ok_captures = 0, conflicts = 0;
+  for (const std::string& line : read_jsonl_lines(log_path)) {
+    const json::Value entry = parsed(line);
+    if (entry.get("op").as_string() != "profile") continue;
+    if (entry.get("status").as_number() == 200.0) ++ok_captures;
+    if (entry.get("status").as_number() == 409.0) ++conflicts;
+  }
+  EXPECT_EQ(ok_captures, 1u);
+  EXPECT_EQ(conflicts, 1u);
+}
+
+TEST(Service, ValidateStatsNamesTheFirstMissingPiece) {
+  const auto check = [](const std::string& text) {
+    std::string error;
+    const auto doc = json::parse(text);
+    EXPECT_TRUE(doc.has_value()) << text;
+    const bool ok = svc::validate_stats(doc.value_or(json::Value()), &error);
+    return std::make_pair(ok, error);
+  };
+
+  // Minimal document satisfying the hard shape check.
+  const std::string valid =
+      "{\"type\":\"stats\",\"schema_version\":1,\"uptime_s\":0.5,"
+      "\"corpus\":{},\"queue\":{},"
+      "\"rollup\":{\"window_s\":60,\"le\":[0.001],\"endpoints\":{}}}";
+  EXPECT_TRUE(check(valid).first) << check(valid).second;
+
+  EXPECT_FALSE(check("[1,2]").first);
+  EXPECT_FALSE(check("{\"type\":\"result\"}").first);
+  const auto no_version = check("{\"type\":\"stats\"}");
+  EXPECT_FALSE(no_version.first);
+  EXPECT_NE(no_version.second.find("schema_version"), std::string::npos);
+  // A truncated response missing its rollup block must not render as a
+  // dashboard of zeros.
+  const auto no_rollup = check(
+      "{\"type\":\"stats\",\"schema_version\":1,\"uptime_s\":1,"
+      "\"corpus\":{},\"queue\":{}}");
+  EXPECT_FALSE(no_rollup.first);
+  EXPECT_NE(no_rollup.second.find("rollup"), std::string::npos);
+  const auto bad_le = check(
+      "{\"type\":\"stats\",\"schema_version\":1,\"uptime_s\":1,"
+      "\"corpus\":{},\"queue\":{},"
+      "\"rollup\":{\"window_s\":60,\"le\":\"oops\",\"endpoints\":{}}}");
+  EXPECT_FALSE(bad_le.first);
+}
+
+TEST(Service, ShutdownMidStormLeavesDurableAccessLogThatReconciles) {
+  const ServiceUniverse& env = universe();
+  svc::ServiceConfig config = env.service_config("durablelog");
+  const std::string log_path =
+      (std::filesystem::path(config.socket_path).parent_path() /
+       "access.jsonl")
+          .string();
+  config.access_log.enabled = true;
+  config.access_log.file = log_path;
+  config.dispatchers = 1;
+  config.queue_limit = 8;
+  config.scan_delay_seconds = 0.2;  // hold the dispatcher so scans pile up
+  svc::ScanService service(config);
+  service.start();
+
+  // Storm: four accepted scans, at most one in flight — the rest are queued
+  // when the service is torn down, exactly the SIGINT/SIGTERM path.
+  const std::vector<std::string> one_cve = {env.some_cves.front()};
+  std::vector<svc::ServiceClient> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(
+        svc::ServiceClient::connect_unix(service.config().socket_path));
+    ASSERT_TRUE(clients.back().connected());
+    ASSERT_TRUE(clients.back().send(
+        svc::scan_request_json(env.firmware_path, one_cve, false)));
+    ASSERT_EQ(
+        parsed(clients.back().receive().value_or("")).get("type").as_string(),
+        "accepted");
+  }
+  service.stop();
+
+  // Tally what the clients actually saw: completions and 503 cancellations.
+  std::size_t client_ok = 0, client_cancelled = 0;
+  for (auto& client : clients) {
+    const auto final_frame = client.receive();
+    ASSERT_TRUE(final_frame.has_value());
+    const json::Value doc = parsed(*final_frame);
+    if (doc.get("type").as_string() == "result") {
+      ++client_ok;
+    } else {
+      EXPECT_EQ(doc.get("code").as_number(), 503.0);
+      ++client_cancelled;
+    }
+  }
+  ASSERT_EQ(client_ok + client_cancelled, 4u);
+  EXPECT_GE(client_cancelled, 1u);  // the 0.2s delay guarantees a backlog
+
+  // The flushed+fsynced log reconciles line-for-line with those responses:
+  // every scan the clients heard about is durably on disk, each line whole
+  // and in documented key order.
+  std::size_t log_ok = 0, log_cancelled = 0;
+  for (const std::string& line : read_jsonl_lines(log_path)) {
+    expect_access_key_order(line);
+    const json::Value entry = parsed(line);
+    if (entry.get("op").as_string() != "scan") continue;
+    const std::string outcome = entry.get("outcome").as_string();
+    if (outcome == "ok") ++log_ok;
+    if (outcome == "cancelled") {
+      EXPECT_EQ(entry.get("status").as_number(), 503.0);
+      ++log_cancelled;
+    }
+  }
+  EXPECT_EQ(log_ok, client_ok);
+  EXPECT_EQ(log_cancelled, client_cancelled);
 }
 
 }  // namespace

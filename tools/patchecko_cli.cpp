@@ -32,9 +32,10 @@
 //                    [--prefilter on|off|verify] [--prefilter-top-k N]
 //                    [--prefilter-min-total N]
 //   patchecko client --socket PATH | --tcp PORT [--op submit|status|health|
-//                    reload|drain|ping|stats] [--firmware fw.img] [--cve ID]
-//                    [--provenance[=FILE]] [--request-id N] [--scale S]
-//                    [--seed N]
+//                    reload|drain|ping|stats|profile] [--firmware fw.img]
+//                    [--cve ID] [--provenance[=FILE]] [--request-id N]
+//                    [--scale S] [--seed N] [--seconds S] [--hz N]
+//                    [--profile-out=FILE]
 //   patchecko top    --socket PATH | --tcp PORT [--once] [--interval MS]
 //
 // `scan` rebuilds the vulnerability database deterministically from the
@@ -71,6 +72,13 @@
 // periodic `--stats-out` dump — expose the sliding-window per-endpoint
 // rollup; `top` polls `stats` and renders a deterministic text dashboard
 // (`--once` for a single scriptable frame).
+//
+// Profiling: `--profile[=FILE][:hz]` on scan/batch-scan samples the live
+// span stacks for the run's duration, prints a self-time/allocation top
+// table on stderr, and writes flamegraph.pl/speedscope-compatible folded
+// stacks to FILE. `client --op profile [--seconds S] [--hz N]` captures the
+// same thing from a running daemon (409 while another capture is active);
+// `top` shows the last capture's hottest leaf.
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -90,6 +98,7 @@
 #include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "service/client.h"
 #include "service/protocol.h"
@@ -150,6 +159,34 @@ int emit_events(const cli::OutputSpec& spec, const ScanReport& report) {
   return write_text_file(spec.file, out, "events");
 }
 
+/// Starts the in-process --profile capture. Returns whether a capture was
+/// actually started (the caller passes that to emit_profile, so a pop
+/// without a push is impossible even if something else owns the profiler).
+bool start_profile(const cli::ProfileSpec& spec) {
+  if (!spec.enabled) return false;
+  obs::Profiler::Config config;
+  config.hz = spec.hz;
+  if (!obs::Profiler::global().start(config)) {
+    std::fprintf(stderr,
+                 "warning: a profiler capture is already running; "
+                 "--profile ignored\n");
+    return false;
+  }
+  return true;
+}
+
+/// Stops the --profile capture and emits its artifacts: the self-time/
+/// allocation top table on stderr (diagnostics never corrupt the piped
+/// report), folded stacks to the requested file.
+int emit_profile(const cli::ProfileSpec& spec, bool started) {
+  if (!started) return 0;
+  const obs::ProfileReport report = obs::Profiler::global().stop();
+  std::fprintf(stderr, "%s", obs::profile_top_table(report).c_str());
+  if (spec.file.empty()) return 0;
+  return write_text_file(spec.file, obs::folded_stacks(report),
+                         "folded profile");
+}
+
 /// Emits the Chrome trace_event file. No-op when --trace-out was not given.
 int emit_trace(const cli::OutputSpec& spec) {
   if (!spec.enabled) return 0;
@@ -196,7 +233,7 @@ int usage() {
                "  patchecko scan --model model.bin --firmware fw.img "
                "[--cve ID] [--scale S] [--seed N] [--threads N]\n"
                "                 [--metrics[=FILE]] [--events[=FILE]] "
-               "[--trace-out=FILE]\n"
+               "[--trace-out=FILE] [--profile[=FILE][:hz]]\n"
                "                 [--prefilter on|off|verify] "
                "[--prefilter-top-k N] [--prefilter-min-total N]\n"
                "  patchecko batch-scan --model model.bin --firmware fw.img "
@@ -206,7 +243,7 @@ int usage() {
                "                 [--heartbeat[=FILE][:interval_ms]] "
                "[--watchdog-soft S] [--watchdog-hard S]\n"
                "                 [--stall-inject LABEL:SECONDS] "
-               "[--canonical[=FILE]]\n"
+               "[--canonical[=FILE]] [--profile[=FILE][:hz]]\n"
                "                 [--prefilter on|off|verify] "
                "[--prefilter-top-k N] [--prefilter-min-total N]\n"
                "  patchecko explain --provenance FILE [--cve ID] "
@@ -224,10 +261,11 @@ int usage() {
                "                 [--prefilter on|off|verify] "
                "[--prefilter-top-k N] [--prefilter-min-total N]\n"
                "  patchecko client --socket PATH | --tcp PORT "
-               "[--op submit|status|health|reload|drain|ping|stats]\n"
+               "[--op submit|status|health|reload|drain|ping|stats|profile]\n"
                "                 [--firmware fw.img] [--cve ID] "
                "[--provenance[=FILE]] [--request-id N]\n"
-               "                 [--scale S] [--seed N]\n"
+               "                 [--scale S] [--seed N] [--seconds S] "
+               "[--hz N] [--profile-out=FILE]\n"
                "  patchecko top --socket PATH | --tcp PORT [--once] "
                "[--interval MS]\n");
   return 2;
@@ -354,14 +392,17 @@ int cmd_disasm(const Args& args) {
 int cmd_scan(const Args& args) {
   require_known_options(
       args, {"model", "firmware", "cve", "scale", "seed", "threads",
-             "metrics", "events", "trace-out", "prefilter",
+             "metrics", "events", "trace-out", "profile", "prefilter",
              "prefilter-top-k", "prefilter-min-total"});
   const cli::MetricsSpec metrics = metrics_spec_from(args);
   const cli::OutputSpec events = output_spec_from(args, "events");
   const cli::OutputSpec trace_out =
       output_spec_from(args, "trace-out", /*value_required=*/true);
-  obs::set_enabled(metrics.enabled || trace_out.enabled);
+  const cli::ProfileSpec profile = cli::profile_spec_from(args);
+  // The profiler snapshots span stacks, so spans must actually be pushed.
+  obs::set_enabled(metrics.enabled || trace_out.enabled || profile.enabled);
   obs::set_events_enabled(events.enabled || trace_out.enabled);
+  const bool profiling = start_profile(profile);
   const auto model = SimilarityModel::load(args.get("model", ""));
   if (!model) {
     std::fprintf(stderr, "error: cannot load model (run `patchecko train`)\n");
@@ -444,6 +485,7 @@ int cmd_scan(const Args& args) {
               "unresolved\n",
               total.elapsed_seconds(), vulnerable, patched, missing);
   int status = emit_metrics(metrics);
+  if (const int rc = emit_profile(profile, profiling); rc != 0) status = rc;
   if (const int rc = emit_events(events, provenance); rc != 0) status = rc;
   if (const int rc = emit_trace(trace_out); rc != 0) status = rc;
   return status;
@@ -453,8 +495,8 @@ int cmd_batch_scan(const Args& args) {
   // Validate every option before the expensive corpus/database build.
   require_known_options(args, {"model", "firmware", "cve", "jobs", "cache-dir",
                                "no-cache", "scale", "seed", "verbose",
-                               "metrics", "events", "trace-out", "heartbeat",
-                               "watchdog-soft", "watchdog-hard",
+                               "metrics", "events", "trace-out", "profile",
+                               "heartbeat", "watchdog-soft", "watchdog-hard",
                                "stall-inject", "canonical", "prefilter",
                                "prefilter-top-k", "prefilter-min-total"});
   const cli::MetricsSpec metrics = metrics_spec_from(args);
@@ -463,6 +505,7 @@ int cmd_batch_scan(const Args& args) {
   const cli::OutputSpec trace_out =
       output_spec_from(args, "trace-out", /*value_required=*/true);
   const cli::HeartbeatSpec heartbeat = cli::heartbeat_spec_from(args);
+  const cli::ProfileSpec profile = cli::profile_spec_from(args);
   const double watchdog_soft = args.get_double("watchdog-soft", 0.0);
   const double watchdog_hard = args.get_double("watchdog-hard", 0.0);
   if ((args.has("watchdog-soft") && watchdog_soft <= 0.0) ||
@@ -472,8 +515,9 @@ int cmd_batch_scan(const Args& args) {
   // Heartbeat/watchdog *sample* the registry and event log, so they need
   // the obs flags on even without --metrics/--events.
   obs::set_enabled(metrics.enabled || trace_out.enabled || heartbeat.enabled ||
-                   watchdog_on);
+                   watchdog_on || profile.enabled);
   obs::set_events_enabled(events.enabled || trace_out.enabled || watchdog_on);
+  const bool profiling = start_profile(profile);
   EngineConfig engine_config;
   engine_config.jobs = static_cast<unsigned>(
       args.get_count("jobs", static_cast<long>(default_worker_threads())));
@@ -583,6 +627,7 @@ int cmd_batch_scan(const Args& args) {
     std::printf("\n%s", report.summary_text().c_str());
   }
   int status = emit_metrics(metrics);
+  if (const int rc = emit_profile(profile, profiling); rc != 0) status = rc;
   if (canonical.enabled && !canonical.file.empty()) {
     if (const int rc = write_text_file(canonical.file, report.canonical_text(),
                                        "canonical report");
@@ -760,13 +805,14 @@ service::ServiceClient client_connect(const Args& args) {
 
 int cmd_client(const Args& args) {
   require_known_options(args, {"socket", "tcp", "op", "firmware", "cve",
-                               "provenance", "request-id", "scale", "seed"});
+                               "provenance", "request-id", "scale", "seed",
+                               "seconds", "hz", "profile-out"});
   const std::string op = args.get("op", "submit");
   if (op != "submit" && op != "status" && op != "health" && op != "reload" &&
-      op != "drain" && op != "ping" && op != "stats")
+      op != "drain" && op != "ping" && op != "stats" && op != "profile")
     throw UsageError(
-        "--op expects submit|status|health|reload|drain|ping|stats, got '" +
-        op + "'");
+        "--op expects submit|status|health|reload|drain|ping|stats|profile, "
+        "got '" + op + "'");
   const cli::OutputSpec provenance = output_spec_from(args, "provenance");
   service::ServiceClient client = client_connect(args);
   if (!client.connected()) {
@@ -802,16 +848,40 @@ int cmd_client(const Args& args) {
       payload = service::drain_request_json();
     } else if (op == "stats") {
       payload = service::stats_request_json();
+    } else if (op == "profile") {
+      const double seconds = args.get_double("seconds", 1.0);
+      if (seconds <= 0.0 || seconds > 300.0)
+        throw UsageError("--seconds must be in (0, 300]");
+      const long hz = args.has("hz") ? cli::checked_hz("--hz",
+                                                       args.get("hz", ""))
+                                     : 97;
+      payload = service::profile_request_json(seconds, hz);
     } else {
       payload = service::ping_request_json();
     }
+    // Profile captures can legitimately take minutes; validate the output
+    // spec before blocking the daemon for the capture window.
+    const cli::OutputSpec profile_out =
+        output_spec_from(args, "profile-out");
     const auto response = client.call(payload);
     if (!response) {
       std::fprintf(stderr, "error: connection closed without a response\n");
       return 1;
     }
-    std::printf("%s\n", response->c_str());
     const auto doc = obs::json::parse(*response);
+    if (op == "profile" && doc &&
+        doc->get("type").as_string() == "profile") {
+      // Folded stacks on stdout (or --profile-out=FILE) so the capture
+      // pipes straight into flamegraph.pl; the top table joins the other
+      // diagnostics on stderr.
+      const std::string folded = doc->get("folded").as_string();
+      std::fprintf(stderr, "%s", doc->get("top").as_string().c_str());
+      if (profile_out.enabled && !profile_out.file.empty())
+        return write_text_file(profile_out.file, folded, "folded profile");
+      std::fwrite(folded.data(), 1, folded.size(), stdout);
+      return 0;
+    }
+    std::printf("%s\n", response->c_str());
     return doc && doc->get("type").as_string() == "error" ? 1 : 0;
   }
 
@@ -896,7 +966,13 @@ int cmd_client(const Args& args) {
 int cmd_top(const Args& args) {
   require_known_options(args, {"socket", "tcp", "once", "interval"});
   const bool once = args.has("once");
+  // Same bounds discipline as the HeartbeatSpec interval suffix: strictly
+  // positive, and capped so a fat-fingered value (ms vs s confusion) can't
+  // freeze the dashboard for hours.
   const long interval_ms = args.get_count("interval", 1000);
+  if (interval_ms > 3600000)
+    throw UsageError("--interval must be <= 3600000 ms (1 hour), got " +
+                     std::to_string(interval_ms));
   service::ServiceClient client = client_connect(args);
   if (!client.connected()) {
     std::fprintf(stderr, "error: cannot connect to the scan service\n");
@@ -913,9 +989,23 @@ int cmd_top(const Args& args) {
       return 1;
     }
     const auto doc = obs::json::parse(*response);
-    if (!doc || doc->get("type").as_string() != "stats") {
-      std::fprintf(stderr, "error: unexpected response: %s\n",
-                   response->c_str());
+    if (!doc) {
+      std::fprintf(stderr, "error: malformed stats response (%zu bytes)\n",
+                   response->size());
+      return 1;
+    }
+    if (doc->get("type").as_string() == "error") {
+      std::fprintf(stderr, "error %d: %s\n",
+                   static_cast<int>(doc->get("code").as_number()),
+                   doc->get("message").as_string().c_str());
+      return 1;
+    }
+    std::string invalid;
+    if (!service::validate_stats(*doc, &invalid)) {
+      // A short or mis-shapen document must not paint a dashboard of
+      // zeros — name the first missing piece and bail.
+      std::fprintf(stderr, "error: invalid stats response: %s\n",
+                   invalid.c_str());
       return 1;
     }
     const std::string frame = service::render_top(*doc);
