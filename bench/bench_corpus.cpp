@@ -1,0 +1,115 @@
+// Prebuilt-corpus store acceptance bench: a store-backed snapshot load must
+// be at least 5x faster than the cold compile/fuzz/profile database build it
+// replaces, bit-identical to it, and a second `build` over the unchanged
+// matrix must recompile nothing. BENCH_corpus.json feeds the bench-diff
+// perf gate.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/cve_database.h"
+#include "corpus/builder.h"
+#include "corpus/serialize.h"
+#include "harness.h"
+#include "util/parallel.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace patchecko;
+
+int main() {
+  const bench::HarnessConfig config = bench::harness_config();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pk_bench_corpus_store")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  // Cold: the full database build every scan, bench, and CI run used to pay.
+  const Stopwatch cold_watch;
+  const EvalCorpus cold_corpus(config.eval);
+  const CveDatabase cold_database(cold_corpus, config.database);
+  const double cold_seconds = cold_watch.elapsed_seconds();
+
+  corpus::PrebuiltStore store(dir);
+  corpus::BuildMatrix matrix;
+  matrix.eval = config.eval;
+  matrix.database = config.database;
+  matrix.jobs = default_worker_threads();
+  const corpus::BuildReport populate = corpus::build_store(store, matrix);
+  const corpus::BuildReport repopulate = corpus::build_store(store, matrix);
+
+  const Stopwatch warm_watch;
+  corpus::SnapshotLoadStats load_stats;
+  const auto warm =
+      corpus::load_snapshot(store, 1, config.eval, config.database,
+                            &load_stats);
+  const double warm_seconds = warm_watch.elapsed_seconds();
+  const double speedup = cold_seconds / warm_seconds;
+
+  std::printf("=== Prebuilt-corpus store (%zu CVEs, scale %.2f) ===\n",
+              cold_database.entries().size(), config.eval.scale);
+  TextTable table({"phase", "seconds", "built", "reused"});
+  table.add_row({"cold database build", fmt_double(cold_seconds, 3), "-",
+                 "-"});
+  table.add_row({"store populate", fmt_double(populate.build_seconds, 3),
+                 std::to_string(populate.built),
+                 std::to_string(populate.reused)});
+  table.add_row({"store re-populate",
+                 fmt_double(repopulate.build_seconds, 3),
+                 std::to_string(repopulate.built),
+                 std::to_string(repopulate.reused)});
+  table.add_row({"warm snapshot load", fmt_double(warm_seconds, 3), "-",
+                 std::to_string(load_stats.entries_loaded)});
+  std::printf("%s\nwarm speedup: %.1fx\n", table.render().c_str(), speedup);
+
+  bool ok = bench::write_bench_json(
+      "corpus",
+      {bench::BenchRow("cold_build", {{"seconds", cold_seconds}}),
+       bench::BenchRow("store_populate",
+                       {{"seconds", populate.build_seconds},
+                        {"built", static_cast<double>(populate.built)}}),
+       bench::BenchRow(
+           "store_repopulate",
+           {{"seconds", repopulate.build_seconds},
+            {"recompiles", static_cast<double>(repopulate.built)}}),
+       bench::BenchRow("warm_load", {{"seconds", warm_seconds},
+                                     {"warm_speedup", speedup}})},
+      {"warm_speedup"});
+
+  if (repopulate.built != 0) {
+    std::printf("FAIL: second build recompiled %llu artifacts\n",
+                static_cast<unsigned long long>(repopulate.built));
+    ok = false;
+  }
+  if (load_stats.entries_built != 0) {
+    std::printf("FAIL: warm load fell back to %llu cold entry builds\n",
+                static_cast<unsigned long long>(load_stats.entries_built));
+    ok = false;
+  }
+  if (warm->database.entries().size() != cold_database.entries().size()) {
+    std::printf("FAIL: warm snapshot has %zu entries, cold build %zu\n",
+                warm->database.entries().size(),
+                cold_database.entries().size());
+    ok = false;
+  } else {
+    for (std::size_t i = 0; i < cold_database.entries().size(); ++i) {
+      if (corpus::serialize_cve_entry(warm->database.entries()[i]) !=
+          corpus::serialize_cve_entry(cold_database.entries()[i])) {
+        std::printf("FAIL: warm entry %zu differs from the cold build\n", i);
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (speedup < 5.0) {
+    std::printf("FAIL: warm load only %.1fx faster than cold build "
+                "(%.3fs vs %.3fs); need >= 5x\n",
+                speedup, warm_seconds, cold_seconds);
+    ok = false;
+  }
+  if (ok)
+    std::printf("store-backed snapshot bit-identical to cold build; "
+                "zero recompiles on re-populate; %.1fx warm speedup.\n",
+                speedup);
+  return ok ? 0 : 1;
+}

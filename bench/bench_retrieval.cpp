@@ -154,7 +154,9 @@ ScaleResult run_scale(const SimilarityModel& model, std::size_t n,
 }  // namespace
 
 int main() {
+  const Stopwatch setup_watch;
   const SimilarityModel& model = bench::shared_model();
+  const double setup_seconds = setup_watch.elapsed_seconds();
 
   double scale = 1.0;
   if (const char* env = std::getenv("PATCHECKO_SCALE"))
@@ -189,6 +191,12 @@ int main() {
                           {"index_build_ms", r.index_build_ms}});
   }
   std::printf("%s\n", table.render().c_str());
+
+  // Setup note: model acquisition cost (trained cold or served from the
+  // harness disk cache) — recorded so setup-cost changes are visible in
+  // the bench trajectory alongside the per-scale rows.
+  rows.emplace_back("setup", std::vector<std::pair<std::string, double>>{
+                                 {"model_seconds", setup_seconds}});
 
   bool ok = bench::write_bench_json("retrieval", rows, {"speedup", "recall"});
   for (const ScaleResult& r : results) {

@@ -132,7 +132,14 @@ int main() {
 
   bool ok = bench::write_bench_json(
       "service",
-      {bench::BenchRow("cold_oneshot", {{"seconds", cold_seconds}}),
+      {// Setup note: how long the shared database took to assemble and
+       // whether it came from the prebuilt store ($PATCHECKO_CORPUS) — the
+       // before/after record for the store's setup-cost win.
+       bench::BenchRow("setup",
+                       {{"database_build_seconds", ctx.database_seconds},
+                        {"store_backed",
+                         ctx.database_store_backed ? 1.0 : 0.0}}),
+       bench::BenchRow("cold_oneshot", {{"seconds", cold_seconds}}),
        bench::BenchRow("daemon_first", {{"seconds", first->seconds}}),
        bench::BenchRow("daemon_warm",
                        {{"seconds", warm->seconds},

@@ -9,7 +9,10 @@
 #include <sstream>
 #include <utility>
 
+#include "corpus/builder.h"
 #include "obs/json.h"
+#include "util/parallel.h"
+#include "util/timer.h"
 
 namespace patchecko::bench {
 
@@ -68,9 +71,30 @@ const EvalContext& shared_eval_context() {
                  "[harness] building evaluation corpus (scale=%.3f)...\n",
                  ctx.config.eval.scale);
     ctx.corpus = std::make_unique<EvalCorpus>(ctx.config.eval);
-    std::fprintf(stderr, "[harness] building vulnerability database...\n");
-    ctx.database =
-        std::make_unique<CveDatabase>(*ctx.corpus, ctx.config.database);
+    const std::string store_dir = env_string("PATCHECKO_CORPUS", "");
+    const Stopwatch database_watch;
+    if (!store_dir.empty()) {
+      // Store-backed: populate missing artifacts once (a warm store builds
+      // nothing), then assemble the database from stored entries.
+      std::fprintf(stderr,
+                   "[harness] loading vulnerability database from corpus "
+                   "store %s...\n",
+                   store_dir.c_str());
+      corpus::PrebuiltStore store(store_dir);
+      corpus::BuildMatrix matrix;
+      matrix.eval = ctx.config.eval;
+      matrix.database = ctx.config.database;
+      matrix.jobs = default_worker_threads();
+      corpus::build_store(store, matrix);
+      ctx.database = std::make_unique<CveDatabase>(
+          corpus::load_database(store, *ctx.corpus, ctx.config.database));
+      ctx.database_store_backed = true;
+    } else {
+      std::fprintf(stderr, "[harness] building vulnerability database...\n");
+      ctx.database =
+          std::make_unique<CveDatabase>(*ctx.corpus, ctx.config.database);
+    }
+    ctx.database_seconds = database_watch.elapsed_seconds();
     ctx.things = android_things_device();
     ctx.pixel = pixel2xl_device();
 

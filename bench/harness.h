@@ -7,6 +7,9 @@
 //                       paper's function counts; use 0.05 for a fast pass)
 //   PATCHECKO_EPOCHS  — training epochs (default 12)
 //   PATCHECKO_CACHE   — cache directory (default /tmp/patchecko_cache)
+//   PATCHECKO_CORPUS  — prebuilt-corpus store directory; when set, the CVE
+//                       database loads from the store (populated on first
+//                       use) instead of rebuilding cold every bench run
 #pragma once
 
 #include <memory>
@@ -42,6 +45,11 @@ struct EvalContext {
   SimilarityModel model;
   std::unique_ptr<EvalCorpus> corpus;
   std::unique_ptr<CveDatabase> database;
+  /// How long the database took to assemble, and whether it came from the
+  /// prebuilt store ($PATCHECKO_CORPUS) — benches record these as setup
+  /// rows so the before/after cost is visible in the BENCH JSONs.
+  double database_seconds = 0.0;
+  bool database_store_backed = false;
   DeviceSpec things;
   DeviceSpec pixel;
   // Compiled + analyzed libraries per device, indexed like corpus libraries.

@@ -8,10 +8,19 @@
 // selection at Oz, and deterministic instruction scheduling at Ofast.
 #pragma once
 
+#include <cstdint>
+
 #include "binary/binary.h"
 #include "source/ast.h"
 
 namespace patchecko {
+
+/// Code-generation version stamp, part of every prebuilt-corpus cache key
+/// (src/corpus). Bump whenever a change to instruction selection, register
+/// allocation or any optimization pass can alter emitted code for an
+/// unchanged source: stale store entries then miss and rebuild instead of
+/// silently serving binaries the current compiler would no longer produce.
+inline constexpr std::uint64_t kCompilerVersion = 1;
 
 /// Compiles one function of `library`. `function_index` must be valid.
 /// The returned binary's `source_uid` is seeded from `uid_base` + index so

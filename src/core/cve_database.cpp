@@ -8,6 +8,86 @@
 
 namespace patchecko {
 
+CveEntry build_cve_entry(const EvalCorpus& corpus, const HostedCve& cve,
+                         const LibraryBinary& reference,
+                         const DatabaseConfig& config, Rng fuzz_rng) {
+  const std::size_t lib = cve.library_index;
+  CveEntry entry;
+  entry.spec = cve.spec;
+  entry.library_index = lib;
+  entry.slot = cve.slot;
+  entry.target_uid = corpus.target_uid(cve);
+
+  entry.vulnerable_binary = reference.functions[cve.slot];
+  entry.vulnerable_features =
+      extract_static_features(entry.vulnerable_binary);
+  entry.vulnerable_signature = make_signature(entry.vulnerable_binary);
+
+  // Compile the patched reference in the same library context.
+  SourceLibrary patched_source = corpus.vulnerable_source(lib);
+  patched_source.functions[cve.slot] = cve.pair.patched;
+  entry.patched_binary = compile_function(
+      patched_source, cve.slot, corpus.config().db_arch,
+      corpus.config().db_opt,
+      entry.vulnerable_binary.source_uid - cve.slot);
+  entry.patched_features = extract_static_features(entry.patched_binary);
+  entry.patched_signature = make_signature(entry.patched_binary);
+
+  // Fuzz environments on the vulnerable reference...
+  std::vector<CallEnv> envs =
+      generate_environments(reference, cve.slot, fuzz_rng, config.fuzz);
+
+  // ...and keep those the patched version also survives.
+  LibraryBinary patched_reference = reference;
+  patched_reference.functions[cve.slot] = entry.patched_binary;
+  const Machine patched_machine(patched_reference, config.fuzz.machine);
+  std::vector<CallEnv> kept;
+  for (CallEnv& env : envs) {
+    if (patched_machine.run(cve.slot, env).status == ExecStatus::ok)
+      kept.push_back(std::move(env));
+  }
+  if (!kept.empty()) envs = std::move(kept);
+  entry.environments = std::move(envs);
+
+  const Machine vulnerable_machine(reference, config.fuzz.machine);
+  entry.vulnerable_profile =
+      profile_function(vulnerable_machine, cve.slot, entry.environments);
+  entry.patched_profile =
+      profile_function(patched_machine, cve.slot, entry.environments);
+
+  // On-device (architecture-matched) references. CVE pair functions are
+  // self-contained (no intra-library calls by construction), so a
+  // single-function library with the host's string pool suffices.
+  for (Arch arch : config.ref_arches) {
+    ArchRefs refs;
+    for (const bool patched : {false, true}) {
+      SourceLibrary mini;
+      mini.name = cve.spec.cve_id + (patched ? "_p" : "_v");
+      mini.strings = corpus.vulnerable_source(lib).strings;
+      mini.functions.push_back(patched ? cve.pair.patched
+                                       : cve.pair.vulnerable);
+      LibraryBinary mini_binary = compile_library(mini, arch, config.ref_opt);
+      const Machine mini_machine(mini_binary, config.fuzz.machine);
+      const StaticFeatureVector features =
+          extract_static_features(mini_binary.functions[0]);
+      const DiffSignature signature = make_signature(mini_binary.functions[0]);
+      const DynamicProfile profile =
+          profile_function(mini_machine, 0, entry.environments);
+      if (patched) {
+        refs.patched_features = features;
+        refs.patched_signature = signature;
+        refs.patched_profile = profile;
+      } else {
+        refs.vulnerable_features = features;
+        refs.vulnerable_signature = signature;
+        refs.vulnerable_profile = profile;
+      }
+    }
+    entry.arch_refs.emplace(arch, std::move(refs));
+  }
+  return entry;
+}
+
 CveDatabase::CveDatabase(const EvalCorpus& corpus,
                          const DatabaseConfig& config) {
   Rng rng(config.seed);
@@ -22,86 +102,9 @@ CveDatabase::CveDatabase(const EvalCorpus& corpus,
     // Reference build with the vulnerable versions in place.
     LibraryBinary reference = corpus.compile_reference(lib);
 
-    for (const HostedCve* cve : in_library) {
-      CveEntry entry;
-      entry.spec = cve->spec;
-      entry.library_index = lib;
-      entry.slot = cve->slot;
-      entry.target_uid = corpus.target_uid(*cve);
-
-      entry.vulnerable_binary = reference.functions[cve->slot];
-      entry.vulnerable_features =
-          extract_static_features(entry.vulnerable_binary);
-      entry.vulnerable_signature = make_signature(entry.vulnerable_binary);
-
-      // Compile the patched reference in the same library context.
-      SourceLibrary patched_source = corpus.vulnerable_source(lib);
-      patched_source.functions[cve->slot] = cve->pair.patched;
-      entry.patched_binary = compile_function(
-          patched_source, cve->slot, corpus.config().db_arch,
-          corpus.config().db_opt,
-          entry.vulnerable_binary.source_uid - cve->slot);
-      entry.patched_features = extract_static_features(entry.patched_binary);
-      entry.patched_signature = make_signature(entry.patched_binary);
-
-      // Fuzz environments on the vulnerable reference...
-      Rng fuzz_rng = rng.fork(0xF022 + entries_.size());
-      std::vector<CallEnv> envs = generate_environments(
-          reference, cve->slot, fuzz_rng, config.fuzz);
-
-      // ...and keep those the patched version also survives.
-      LibraryBinary patched_reference = reference;
-      patched_reference.functions[cve->slot] = entry.patched_binary;
-      const Machine patched_machine(patched_reference, config.fuzz.machine);
-      std::vector<CallEnv> kept;
-      for (CallEnv& env : envs) {
-        if (patched_machine.run(cve->slot, env).status == ExecStatus::ok)
-          kept.push_back(std::move(env));
-      }
-      if (!kept.empty()) envs = std::move(kept);
-      entry.environments = std::move(envs);
-
-      const Machine vulnerable_machine(reference, config.fuzz.machine);
-      entry.vulnerable_profile = profile_function(
-          vulnerable_machine, cve->slot, entry.environments);
-      entry.patched_profile = profile_function(patched_machine, cve->slot,
-                                               entry.environments);
-
-      // On-device (architecture-matched) references. CVE pair functions are
-      // self-contained (no intra-library calls by construction), so a
-      // single-function library with the host's string pool suffices.
-      for (Arch arch : config.ref_arches) {
-        ArchRefs refs;
-        for (const bool patched : {false, true}) {
-          SourceLibrary mini;
-          mini.name = cve->spec.cve_id + (patched ? "_p" : "_v");
-          mini.strings = corpus.vulnerable_source(lib).strings;
-          mini.functions.push_back(patched ? cve->pair.patched
-                                           : cve->pair.vulnerable);
-          LibraryBinary mini_binary =
-              compile_library(mini, arch, config.ref_opt);
-          const Machine mini_machine(mini_binary, config.fuzz.machine);
-          const StaticFeatureVector features =
-              extract_static_features(mini_binary.functions[0]);
-          const DiffSignature signature =
-              make_signature(mini_binary.functions[0]);
-          const DynamicProfile profile =
-              profile_function(mini_machine, 0, entry.environments);
-          if (patched) {
-            refs.patched_features = features;
-            refs.patched_signature = signature;
-            refs.patched_profile = profile;
-          } else {
-            refs.vulnerable_features = features;
-            refs.vulnerable_signature = signature;
-            refs.vulnerable_profile = profile;
-          }
-        }
-        entry.arch_refs.emplace(arch, std::move(refs));
-      }
-
-      entries_.push_back(std::move(entry));
-    }
+    for (const HostedCve* cve : in_library)
+      entries_.push_back(build_cve_entry(corpus, *cve, reference, config,
+                                         rng.fork(0xF022 + entries_.size())));
   }
 }
 

@@ -19,6 +19,7 @@
 #include "fuzz/fuzzer.h"
 #include "retrieval/query_catalog.h"
 #include "similarity/similarity.h"
+#include "util/rng.h"
 
 namespace patchecko {
 
@@ -75,6 +76,17 @@ struct DatabaseConfig {
                                Arch::arm64};
 };
 
+/// Builds one database entry for a hosted CVE: compiles the patched
+/// reference in the host-library context, fuzzes/validates the K execution
+/// environments, profiles both references, and prepares the per-arch
+/// on-device reference sets. `fuzz_rng` must be the caller's
+/// `rng.fork(0xF022 + entry_index)` stream so an entry built in isolation
+/// (the prebuilt-corpus store populating missing keys) is bit-identical to
+/// one built by a full CveDatabase pass.
+CveEntry build_cve_entry(const EvalCorpus& corpus, const HostedCve& cve,
+                         const LibraryBinary& reference,
+                         const DatabaseConfig& config, Rng fuzz_rng);
+
 /// Builds entries for every CVE hosted in the corpus. One reference library
 /// per evaluation library is compiled at database settings; environments are
 /// fuzzed on the vulnerable reference and kept only if the patched reference
@@ -83,6 +95,12 @@ struct DatabaseConfig {
 class CveDatabase {
  public:
   CveDatabase(const EvalCorpus& corpus, const DatabaseConfig& config);
+
+  /// Adopts prebuilt entries (the corpus-store warm path). Entries must be
+  /// in the cold build order: libraries ascending, hosted CVEs within each
+  /// library in corpus order.
+  explicit CveDatabase(std::vector<CveEntry> entries)
+      : entries_(std::move(entries)) {}
 
   const std::vector<CveEntry>& entries() const { return entries_; }
   const CveEntry& by_id(const std::string& cve_id) const;

@@ -1,0 +1,417 @@
+#include "corpus/serialize.h"
+
+#include <cstring>
+#include <type_traits>
+
+#include "features/static_features.h"
+
+namespace patchecko::corpus {
+
+namespace {
+
+// --- byte-stream helpers ---------------------------------------------------
+// Same shape as the PR 1 result-cache helpers (engine/cache.cpp): raw
+// native-endian scalars, bounds-checked reads with a latched failure flag.
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* data,
+                  std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), bytes, bytes + size);
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  append_bytes(out, &value, sizeof(value));
+}
+
+void append_i64(std::vector<std::uint8_t>& out, std::int64_t value) {
+  append_bytes(out, &value, sizeof(value));
+}
+
+void append_double(std::vector<std::uint8_t>& out, double value) {
+  append_bytes(out, &value, sizeof(value));
+}
+
+void append_string(std::vector<std::uint8_t>& out, const std::string& text) {
+  append_u64(out, text.size());
+  append_bytes(out, text.data(), text.size());
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool read(void* out, std::size_t size) {
+    if (!ok || pos + size > bytes.size()) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, bytes.data() + pos, size);
+    pos += size;
+    return true;
+  }
+  std::uint64_t read_u64() {
+    std::uint64_t value = 0;
+    read(&value, sizeof(value));
+    return value;
+  }
+  std::int64_t read_i64() {
+    std::int64_t value = 0;
+    read(&value, sizeof(value));
+    return value;
+  }
+  double read_double() {
+    double value = 0.0;
+    read(&value, sizeof(value));
+    return value;
+  }
+  std::string read_string() {
+    const std::uint64_t size = read_u64();
+    if (!ok || pos + size > bytes.size()) {
+      ok = false;
+      return {};
+    }
+    std::string text(reinterpret_cast<const char*>(bytes.data() + pos),
+                     static_cast<std::size_t>(size));
+    pos += static_cast<std::size_t>(size);
+    return text;
+  }
+  /// Guards count-prefixed loops: a fabricated huge count must fail before
+  /// any resize() tries to allocate it.
+  bool fits(std::uint64_t count, std::size_t element_size) {
+    if (ok && count <= (bytes.size() - pos) / element_size) return true;
+    ok = false;
+    return false;
+  }
+};
+
+// DynamicFeatures is 21 naturally-aligned 8-byte fields, so the raw object
+// representation has no padding and round-trips bit-exactly.
+static_assert(std::is_trivially_copyable_v<DynamicFeatures> &&
+                  sizeof(DynamicFeatures) == DynamicFeatures::count * 8,
+              "DynamicFeatures layout changed; bump kPayloadVersion and "
+              "serialize field-by-field");
+
+constexpr std::uint64_t kPayloadVersion = 1;
+constexpr std::uint64_t kLibraryTag = 0x4c4cu;  // 'LL'
+constexpr std::uint64_t kEntryTag = 0x4545u;    // 'EE'
+
+// --- field-group helpers ---------------------------------------------------
+
+void append_function(std::vector<std::uint8_t>& out,
+                     const FunctionBinary& fn) {
+  append_string(out, fn.name);
+  append_u64(out, static_cast<std::uint64_t>(fn.arch));
+  append_u64(out, static_cast<std::uint64_t>(fn.opt));
+  append_u64(out, fn.id);
+  append_i64(out, fn.frame_size);
+  append_u64(out, fn.source_uid);
+  append_u64(out, fn.param_types.size());
+  for (const ValueType type : fn.param_types)
+    append_u64(out, static_cast<std::uint64_t>(type));
+  append_u64(out, fn.jump_tables.size());
+  for (const auto& table : fn.jump_tables) {
+    append_u64(out, table.size());
+    for (const std::int32_t target : table) append_i64(out, target);
+  }
+  append_u64(out, fn.code.size());
+  for (const Instruction& inst : fn.code) {
+    append_u64(out, static_cast<std::uint64_t>(inst.op));
+    append_u64(out, inst.dst);
+    append_u64(out, inst.src1);
+    append_u64(out, inst.src2);
+    append_i64(out, inst.imm);
+    append_i64(out, inst.target);
+  }
+}
+
+bool read_function(Reader& reader, FunctionBinary& fn) {
+  fn.name = reader.read_string();
+  fn.arch = static_cast<Arch>(reader.read_u64());
+  fn.opt = static_cast<OptLevel>(reader.read_u64());
+  fn.id = static_cast<std::uint32_t>(reader.read_u64());
+  fn.frame_size = reader.read_i64();
+  fn.source_uid = reader.read_u64();
+  const std::uint64_t param_count = reader.read_u64();
+  if (!reader.fits(param_count, 8)) return false;
+  fn.param_types.resize(static_cast<std::size_t>(param_count));
+  for (ValueType& type : fn.param_types)
+    type = static_cast<ValueType>(reader.read_u64());
+  const std::uint64_t table_count = reader.read_u64();
+  if (!reader.fits(table_count, 8)) return false;
+  fn.jump_tables.resize(static_cast<std::size_t>(table_count));
+  for (auto& table : fn.jump_tables) {
+    const std::uint64_t size = reader.read_u64();
+    if (!reader.fits(size, 8)) return false;
+    table.resize(static_cast<std::size_t>(size));
+    for (std::int32_t& target : table)
+      target = static_cast<std::int32_t>(reader.read_i64());
+  }
+  const std::uint64_t code_count = reader.read_u64();
+  if (!reader.fits(code_count, 48)) return false;
+  fn.code.resize(static_cast<std::size_t>(code_count));
+  for (Instruction& inst : fn.code) {
+    inst.op = static_cast<Opcode>(reader.read_u64());
+    inst.dst = static_cast<std::uint8_t>(reader.read_u64());
+    inst.src1 = static_cast<std::uint8_t>(reader.read_u64());
+    inst.src2 = static_cast<std::uint8_t>(reader.read_u64());
+    inst.imm = reader.read_i64();
+    inst.target = static_cast<std::int32_t>(reader.read_i64());
+  }
+  return reader.ok;
+}
+
+void append_features(std::vector<std::uint8_t>& out,
+                     const StaticFeatureVector& features) {
+  append_bytes(out, features.data(), features.size() * sizeof(double));
+}
+
+bool read_features(Reader& reader, StaticFeatureVector& features) {
+  return reader.read(features.data(), features.size() * sizeof(double));
+}
+
+void append_signature(std::vector<std::uint8_t>& out,
+                      const DiffSignature& signature) {
+  for (const int count : signature.libcall_counts) append_i64(out, count);
+  append_i64(out, signature.basic_blocks);
+  append_i64(out, signature.edges);
+  append_i64(out, signature.cyclomatic);
+  append_i64(out, signature.params);
+  append_i64(out, signature.frame_size);
+  append_i64(out, signature.jump_tables);
+  append_i64(out, signature.string_refs);
+  append_i64(out, signature.conditional_branches);
+}
+
+bool read_signature(Reader& reader, DiffSignature& signature) {
+  for (int& count : signature.libcall_counts)
+    count = static_cast<int>(reader.read_i64());
+  signature.basic_blocks = static_cast<int>(reader.read_i64());
+  signature.edges = static_cast<int>(reader.read_i64());
+  signature.cyclomatic = static_cast<long>(reader.read_i64());
+  signature.params = static_cast<int>(reader.read_i64());
+  signature.frame_size = reader.read_i64();
+  signature.jump_tables = static_cast<int>(reader.read_i64());
+  signature.string_refs = static_cast<int>(reader.read_i64());
+  signature.conditional_branches = static_cast<int>(reader.read_i64());
+  return reader.ok;
+}
+
+void append_profile(std::vector<std::uint8_t>& out,
+                    const DynamicProfile& profile) {
+  append_u64(out, profile.per_env.size());
+  for (const auto& features : profile.per_env) {
+    append_u64(out, features.has_value() ? 1 : 0);
+    if (features) append_bytes(out, &*features, sizeof(DynamicFeatures));
+  }
+  append_u64(out, profile.effect_hash.size());
+  for (const auto& hash : profile.effect_hash) {
+    append_u64(out, hash.has_value() ? 1 : 0);
+    if (hash) append_u64(out, *hash);
+  }
+}
+
+bool read_profile(Reader& reader, DynamicProfile& profile) {
+  const std::uint64_t env_count = reader.read_u64();
+  if (!reader.fits(env_count, 8)) return false;
+  profile.per_env.resize(static_cast<std::size_t>(env_count));
+  for (auto& features : profile.per_env) {
+    if (reader.read_u64() != 0) {
+      DynamicFeatures value;
+      if (!reader.read(&value, sizeof(value))) return false;
+      features = value;
+    }
+  }
+  const std::uint64_t hash_count = reader.read_u64();
+  if (!reader.fits(hash_count, 8)) return false;
+  profile.effect_hash.resize(static_cast<std::size_t>(hash_count));
+  for (auto& hash : profile.effect_hash)
+    if (reader.read_u64() != 0) hash = reader.read_u64();
+  return reader.ok;
+}
+
+}  // namespace
+
+// --- LibraryArtifact -------------------------------------------------------
+
+LibraryArtifact make_library_artifact(LibraryBinary library) {
+  LibraryArtifact artifact;
+  artifact.features.reserve(library.functions.size());
+  artifact.codes.reserve(library.functions.size());
+  for (const FunctionBinary& fn : library.functions) {
+    artifact.features.push_back(extract_static_features(fn));
+    artifact.codes.push_back(retrieval::quantize(artifact.features.back()));
+  }
+  artifact.library = std::move(library);
+  return artifact;
+}
+
+std::vector<std::uint8_t> serialize_library_artifact(
+    const LibraryArtifact& artifact) {
+  std::vector<std::uint8_t> out;
+  append_u64(out, kLibraryTag);
+  append_u64(out, kPayloadVersion);
+  const std::vector<std::uint8_t> library =
+      serialize_library(artifact.library);
+  append_u64(out, library.size());
+  append_bytes(out, library.data(), library.size());
+  append_u64(out, artifact.features.size());
+  for (const StaticFeatureVector& features : artifact.features)
+    append_features(out, features);
+  append_u64(out, artifact.codes.size());
+  for (const retrieval::QuantizedVector& code : artifact.codes)
+    append_bytes(out, code.codes.data(), code.codes.size());
+  return out;
+}
+
+std::optional<LibraryArtifact> deserialize_library_artifact(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader reader{bytes};
+  if (reader.read_u64() != kLibraryTag ||
+      reader.read_u64() != kPayloadVersion)
+    return std::nullopt;
+  const std::uint64_t library_size = reader.read_u64();
+  if (!reader.fits(library_size, 1)) return std::nullopt;
+  std::vector<std::uint8_t> library_bytes(
+      static_cast<std::size_t>(library_size));
+  if (!reader.read(library_bytes.data(), library_bytes.size()))
+    return std::nullopt;
+  LibraryArtifact artifact;
+  try {
+    artifact.library = deserialize_library(library_bytes);
+  } catch (const std::exception&) {
+    return std::nullopt;  // corrupt nested container degrades to a miss
+  }
+  const std::uint64_t feature_count = reader.read_u64();
+  if (!reader.fits(feature_count, static_feature_count * sizeof(double)))
+    return std::nullopt;
+  artifact.features.resize(static_cast<std::size_t>(feature_count));
+  for (StaticFeatureVector& features : artifact.features)
+    if (!read_features(reader, features)) return std::nullopt;
+  const std::uint64_t code_count = reader.read_u64();
+  if (!reader.fits(code_count, static_feature_count)) return std::nullopt;
+  artifact.codes.resize(static_cast<std::size_t>(code_count));
+  for (retrieval::QuantizedVector& code : artifact.codes)
+    if (!reader.read(code.codes.data(), code.codes.size()))
+      return std::nullopt;
+  if (!reader.ok || reader.pos != bytes.size() ||
+      artifact.features.size() != artifact.library.functions.size() ||
+      artifact.codes.size() != artifact.library.functions.size())
+    return std::nullopt;
+  return artifact;
+}
+
+// --- CveEntry --------------------------------------------------------------
+
+std::vector<std::uint8_t> serialize_cve_entry(const CveEntry& entry) {
+  std::vector<std::uint8_t> out;
+  append_u64(out, kEntryTag);
+  append_u64(out, kPayloadVersion);
+  append_string(out, entry.spec.cve_id);
+  append_string(out, entry.spec.library);
+  append_u64(out, static_cast<std::uint64_t>(entry.spec.kind));
+  append_u64(out, entry.library_index);
+  append_u64(out, entry.slot);
+  append_u64(out, entry.target_uid);
+  append_function(out, entry.vulnerable_binary);
+  append_function(out, entry.patched_binary);
+  append_features(out, entry.vulnerable_features);
+  append_features(out, entry.patched_features);
+  append_signature(out, entry.vulnerable_signature);
+  append_signature(out, entry.patched_signature);
+  append_u64(out, entry.environments.size());
+  for (const CallEnv& env : entry.environments) {
+    append_u64(out, env.args.size());
+    for (const Value& arg : env.args) {
+      append_u64(out, static_cast<std::uint64_t>(arg.type));
+      append_i64(out, arg.i);
+      append_double(out, arg.f);
+      append_i64(out, arg.buffer);
+      append_i64(out, arg.offset);
+    }
+    append_u64(out, env.buffers.size());
+    for (const std::vector<std::uint8_t>& buffer : env.buffers) {
+      append_u64(out, buffer.size());
+      append_bytes(out, buffer.data(), buffer.size());
+    }
+  }
+  append_profile(out, entry.vulnerable_profile);
+  append_profile(out, entry.patched_profile);
+  append_u64(out, entry.arch_refs.size());
+  for (const auto& [arch, refs] : entry.arch_refs) {
+    append_u64(out, static_cast<std::uint64_t>(arch));
+    append_features(out, refs.vulnerable_features);
+    append_features(out, refs.patched_features);
+    append_signature(out, refs.vulnerable_signature);
+    append_signature(out, refs.patched_signature);
+    append_profile(out, refs.vulnerable_profile);
+    append_profile(out, refs.patched_profile);
+  }
+  return out;
+}
+
+std::optional<CveEntry> deserialize_cve_entry(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader reader{bytes};
+  if (reader.read_u64() != kEntryTag || reader.read_u64() != kPayloadVersion)
+    return std::nullopt;
+  CveEntry entry;
+  entry.spec.cve_id = reader.read_string();
+  entry.spec.library = reader.read_string();
+  entry.spec.kind = static_cast<PatchKind>(reader.read_u64());
+  entry.library_index = static_cast<std::size_t>(reader.read_u64());
+  entry.slot = static_cast<std::size_t>(reader.read_u64());
+  entry.target_uid = reader.read_u64();
+  if (!read_function(reader, entry.vulnerable_binary)) return std::nullopt;
+  if (!read_function(reader, entry.patched_binary)) return std::nullopt;
+  if (!read_features(reader, entry.vulnerable_features)) return std::nullopt;
+  if (!read_features(reader, entry.patched_features)) return std::nullopt;
+  if (!read_signature(reader, entry.vulnerable_signature))
+    return std::nullopt;
+  if (!read_signature(reader, entry.patched_signature)) return std::nullopt;
+  const std::uint64_t env_count = reader.read_u64();
+  if (!reader.fits(env_count, 16)) return std::nullopt;
+  entry.environments.resize(static_cast<std::size_t>(env_count));
+  for (CallEnv& env : entry.environments) {
+    const std::uint64_t arg_count = reader.read_u64();
+    if (!reader.fits(arg_count, 40)) return std::nullopt;
+    env.args.resize(static_cast<std::size_t>(arg_count));
+    for (Value& arg : env.args) {
+      arg.type = static_cast<ValueType>(reader.read_u64());
+      arg.i = reader.read_i64();
+      arg.f = reader.read_double();
+      arg.buffer = static_cast<int>(reader.read_i64());
+      arg.offset = reader.read_i64();
+    }
+    const std::uint64_t buffer_count = reader.read_u64();
+    if (!reader.fits(buffer_count, 8)) return std::nullopt;
+    env.buffers.resize(static_cast<std::size_t>(buffer_count));
+    for (std::vector<std::uint8_t>& buffer : env.buffers) {
+      const std::uint64_t size = reader.read_u64();
+      if (!reader.fits(size, 1)) return std::nullopt;
+      buffer.resize(static_cast<std::size_t>(size));
+      if (!reader.read(buffer.data(), buffer.size())) return std::nullopt;
+    }
+  }
+  if (!read_profile(reader, entry.vulnerable_profile)) return std::nullopt;
+  if (!read_profile(reader, entry.patched_profile)) return std::nullopt;
+  const std::uint64_t arch_count = reader.read_u64();
+  if (!reader.fits(arch_count, 8)) return std::nullopt;
+  for (std::uint64_t i = 0; i < arch_count; ++i) {
+    const Arch arch = static_cast<Arch>(reader.read_u64());
+    ArchRefs refs;
+    if (!read_features(reader, refs.vulnerable_features))
+      return std::nullopt;
+    if (!read_features(reader, refs.patched_features)) return std::nullopt;
+    if (!read_signature(reader, refs.vulnerable_signature))
+      return std::nullopt;
+    if (!read_signature(reader, refs.patched_signature)) return std::nullopt;
+    if (!read_profile(reader, refs.vulnerable_profile)) return std::nullopt;
+    if (!read_profile(reader, refs.patched_profile)) return std::nullopt;
+    entry.arch_refs.emplace(arch, std::move(refs));
+  }
+  if (!reader.ok || reader.pos != bytes.size()) return std::nullopt;
+  return entry;
+}
+
+}  // namespace patchecko::corpus

@@ -7,10 +7,17 @@
 namespace patchecko {
 
 CorpusStore::CorpusStore(const EvalConfig& eval,
-                         const DatabaseConfig& database_config)
-    : database_config_(database_config) {
-  current_ = std::make_shared<const CorpusSnapshot>(next_version_++, eval,
-                                                    database_config_);
+                         const DatabaseConfig& database_config,
+                         SnapshotBuilder builder)
+    : database_config_(database_config), builder_(std::move(builder)) {
+  current_ = build(next_version_++, eval);
+}
+
+std::shared_ptr<const CorpusSnapshot> CorpusStore::build(
+    std::uint64_t version, const EvalConfig& eval) const {
+  if (builder_) return builder_(version, eval, database_config_);
+  return std::make_shared<const CorpusSnapshot>(version, eval,
+                                                database_config_);
 }
 
 std::shared_ptr<const CorpusSnapshot> CorpusStore::current() const {
@@ -29,8 +36,7 @@ std::shared_ptr<const CorpusSnapshot> CorpusStore::reload(
     version = next_version_++;
   }
   const Stopwatch watch;
-  auto snapshot =
-      std::make_shared<const CorpusSnapshot>(version, eval, database_config_);
+  auto snapshot = build(version, eval);
   obs::Registry::global().counter("corpus.reloads").add();
   if (obs::events_enabled())
     obs::EventLog::global().emit(

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "core/cve_database.h"
 #include "firmware/firmware.h"
@@ -42,6 +44,19 @@ struct CorpusSnapshot {
         corpus(eval_config),
         database(corpus, db_config),
         queries(build_query_catalog(database)) {}
+
+  /// Adopts a corpus and database assembled elsewhere (the prebuilt-corpus
+  /// store's warm path, src/corpus): same invariants as the compiling
+  /// constructor, but the expensive CveDatabase build already happened.
+  CorpusSnapshot(std::uint64_t snapshot_version, const EvalConfig& eval_config,
+                 const DatabaseConfig& db_config, EvalCorpus&& prebuilt_corpus,
+                 CveDatabase&& prebuilt_database)
+      : version(snapshot_version),
+        eval(eval_config),
+        database_config(db_config),
+        corpus(std::move(prebuilt_corpus)),
+        database(std::move(prebuilt_database)),
+        queries(build_query_catalog(database)) {}
 };
 
 /// Thread-safe holder of the current CorpusSnapshot. current() is cheap
@@ -51,8 +66,18 @@ struct CorpusSnapshot {
 /// are serialized so generations observe strictly increasing versions.
 class CorpusStore {
  public:
+  /// Pluggable snapshot assembly. The default (an empty function) compiles
+  /// the corpus and database from scratch; the prebuilt-corpus store
+  /// (src/corpus) supplies a builder that loads serialized entries instead.
+  /// pk_engine sees only this signature, so the store library can layer on
+  /// top of the engine without a dependency cycle.
+  using SnapshotBuilder = std::function<std::shared_ptr<const CorpusSnapshot>(
+      std::uint64_t version, const EvalConfig& eval,
+      const DatabaseConfig& database_config)>;
+
   explicit CorpusStore(const EvalConfig& eval,
-                       const DatabaseConfig& database_config = {});
+                       const DatabaseConfig& database_config = {},
+                       SnapshotBuilder builder = {});
 
   /// The latest generation; never null.
   std::shared_ptr<const CorpusSnapshot> current() const;
@@ -64,7 +89,11 @@ class CorpusStore {
   std::uint64_t version() const { return current()->version; }
 
  private:
+  std::shared_ptr<const CorpusSnapshot> build(std::uint64_t version,
+                                              const EvalConfig& eval) const;
+
   DatabaseConfig database_config_;
+  SnapshotBuilder builder_;           ///< empty = compile from scratch
   mutable std::mutex mutex_;          ///< guards current_
   std::mutex reload_mutex_;           ///< serializes concurrent reloads
   std::shared_ptr<const CorpusSnapshot> current_;

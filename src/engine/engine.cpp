@@ -15,6 +15,7 @@
 #include "engine/thread_pool.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/request_context.h"
 #include "obs/resource.h"
 #include "obs/trace.h"
@@ -389,6 +390,11 @@ ScanReport ScanEngine::run(const ScanRequest& request,
   const auto execute = [&](std::size_t id) {
     Job& job = jobs[id];
     job.done = true;  // own-job write; read only after the graph drains
+    // A waiter helping the pool may run this job while its own job's spans
+    // are still open; re-root the profiler stack so the job's subtree hangs
+    // off the root wherever it executes — folded exports stay identical
+    // across --jobs.
+    const obs::ProfileTaskRoot profile_root;
     // Tag this job's spans/events with the owning service request (0 for
     // one-shot runs). The scope must open before the span so the span
     // itself is stamped.

@@ -288,4 +288,8 @@ std::uint64_t EvalCorpus::target_uid(const HostedCve& cve) const {
   return uid_base_for(cve.library_index) + cve.slot;
 }
 
+std::uint64_t EvalCorpus::uid_base(std::size_t library_index) const {
+  return uid_base_for(library_index);
+}
+
 }  // namespace patchecko

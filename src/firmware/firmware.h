@@ -122,6 +122,12 @@ class EvalCorpus {
   /// Ground-truth uid of a hosted CVE's target function.
   std::uint64_t target_uid(const HostedCve& cve) const;
 
+  /// Stable uid namespace of library `index`: function f compiles with
+  /// source_uid == uid_base(index) + f in every build variant. Exposed so
+  /// the prebuilt-corpus builder (src/corpus) can compile matrix variants
+  /// bit-identical to compile_reference/compile_for_device output.
+  std::uint64_t uid_base(std::size_t library_index) const;
+
   /// Ground-truth symbol name (available to the evaluation harness even
   /// though device binaries are stripped).
   const std::string& function_name(std::size_t library_index,

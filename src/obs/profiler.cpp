@@ -104,6 +104,9 @@ struct ThreadState {
   std::uint64_t last_alloc_count = 0;
   std::uint64_t last_alloc_bytes = 0;
   bool registered = false;
+  // Bumped by every capture reset so a ProfileTaskRoot can tell that the
+  // position it saved belongs to a discarded trie and must not be restored.
+  std::uint64_t resets = 0;
 };
 
 struct SpinGuard {
@@ -139,6 +142,7 @@ void reset_state_locked(ThreadState& state) {
   state.overflow = 0;
   state.truncated = 0;
   state.alloc_synced = false;
+  ++state.resets;
 }
 
 // Flush the allocation delta since the last boundary into the node that was
@@ -339,6 +343,34 @@ void profile_scope_pop() {
 }
 
 }  // namespace detail
+
+ProfileTaskRoot::ProfileTaskRoot() {
+  if (!profiling_enabled()) return;  // mirror ScopedSpan: inactive when off
+  ThreadState& state = local_state();
+  const SpinGuard guard(state);
+  flush_alloc(state);  // attribute the tail to the scope we are leaving
+  current_ = state.current;
+  depth_ = state.depth;
+  overflow_ = state.overflow;
+  resets_ = state.resets;
+  state.current = 0;
+  state.depth = 0;
+  state.overflow = 0;
+  active_ = true;
+}
+
+ProfileTaskRoot::~ProfileTaskRoot() {
+  if (!active_) return;
+  ThreadState& state = local_state();
+  const SpinGuard guard(state);
+  flush_alloc(state);
+  // A capture reset while re-rooted discarded the trie the saved position
+  // points into; stay at root, like the unbalanced-pop guard above.
+  if (state.resets != resets_) return;
+  state.current = current_;
+  state.depth = depth_;
+  state.overflow = overflow_;
+}
 
 // ---------------------------------------------------------------------------
 

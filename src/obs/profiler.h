@@ -62,6 +62,30 @@ void profile_scope_push(std::string_view name);
 void profile_scope_pop();
 }  // namespace detail
 
+/// Re-roots the calling thread's profiler scope stack for its lifetime:
+/// scopes opened while it is alive attach to the trie root instead of
+/// whatever scopes the thread already has open, and the previous position
+/// is restored on destruction. The engine wraps each top-level job in one,
+/// because a thread blocked in a TaskGroup wait "helps" by running queued
+/// pool work — without re-rooting, a stolen job's spans would nest under
+/// the waiter's open stack and the folded export would depend on which
+/// thread happened to pick the job up.
+class ProfileTaskRoot {
+ public:
+  ProfileTaskRoot();
+  ~ProfileTaskRoot();
+
+  ProfileTaskRoot(const ProfileTaskRoot&) = delete;
+  ProfileTaskRoot& operator=(const ProfileTaskRoot&) = delete;
+
+ private:
+  std::uint32_t current_ = 0;
+  std::uint32_t depth_ = 0;
+  std::uint32_t overflow_ = 0;
+  std::uint64_t resets_ = 0;  ///< capture-reset count at construction
+  bool active_ = false;
+};
+
 /// One merged trie node. Children are sorted by name; `samples` is self
 /// samples (the sweep landed inside this exact scope), inclusive counts are
 /// the subtree sum.

@@ -144,7 +144,7 @@ obs::RollupConfig rollup_config(const ServiceConfig& config) {
 
 ScanService::ScanService(ServiceConfig config)
     : config_(std::move(config)),
-      store_(config_.eval),
+      store_(config_.eval, DatabaseConfig{}, config_.snapshot_builder),
       engine_(config_.engine),
       queue_(config_.queue_limit),
       rollup_(rollup_config(config_)) {
@@ -765,6 +765,10 @@ std::string ScanService::health_json() const {
          ",\"index_build_s\":";
   obs_json::append_double(out, health.retrieval_index_build_seconds);
   out += "}";
+  // Present only when serve runs store-backed (--corpus-dir): the provider
+  // renders the prebuilt store's stats object.
+  if (config_.corpus_store_stats_json)
+    out += ",\"corpus_store\":" + config_.corpus_store_stats_json();
   out += ",\"process\":{\"rss_kb\":" + std::to_string(obs::process_rss_kb()) +
          ",\"peak_rss_kb\":" + std::to_string(obs::process_peak_rss_kb()) +
          "}}";
@@ -811,7 +815,10 @@ std::string ScanService::stats_json() const {
   } else {
     out += "null";
   }
-  out += "}}";
+  out += "}";
+  if (config_.corpus_store_stats_json)
+    out += ",\"corpus_store\":" + config_.corpus_store_stats_json();
+  out += "}";
   return out;
 }
 

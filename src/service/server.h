@@ -24,6 +24,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -59,6 +60,16 @@ struct ServiceConfig {
   /// Scan execution; `interrupt` here doubles as the graceful-shutdown
   /// token for in-flight scans.
   EngineConfig engine;
+
+  /// Optional store-backed snapshot builder (`serve --corpus-dir`): when
+  /// set, startup and hot reload load CorpusSnapshots from the prebuilt
+  /// store instead of recompiling from source. A std::function so the
+  /// service layer never links against pk_corpus.
+  CorpusStore::SnapshotBuilder snapshot_builder;
+  /// Provider of the prebuilt store's stats JSON object; when set, the
+  /// `health` and `stats` responses carry a "corpus_store" block that
+  /// `patchecko top` renders.
+  std::function<std::string()> corpus_store_stats_json;
 
   /// Scans admitted but not yet dispatched; the bound is the backpressure
   /// contract — a full queue rejects instead of buffering.

@@ -179,6 +179,23 @@ std::string render_top(const obs::json::Value& stats) {
     }
     out += '\n';
   }
+
+  // Prebuilt-store row; present only on store-backed daemons
+  // (serve --corpus-dir), so its absence is not an error.
+  const Value& store = stats.get("corpus_store");
+  if (store.kind() == Value::Kind::object) {
+    const std::uint64_t lookups =
+        as_u64(store.get("hits")) + as_u64(store.get("misses"));
+    std::snprintf(buf, sizeof(buf),
+                  "store  entries %" PRIu64 "  %" PRIu64 " kB  gen %" PRIu64
+                  "  hits %" PRIu64 "/%" PRIu64 "  stores %" PRIu64 "\n",
+                  as_u64(store.get("entries")),
+                  as_u64(store.get("bytes")) / 1024,
+                  as_u64(store.get("generation")),
+                  as_u64(store.get("hits")), lookups,
+                  as_u64(store.get("stores")));
+    out += buf;
+  }
   return out;
 }
 

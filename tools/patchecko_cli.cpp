@@ -22,9 +22,15 @@
 //                    [--prefilter-min-total N]
 //   patchecko explain --provenance FILE [--cve ID] [--function INDEX]
 //   patchecko bench-diff --old PATH --new PATH [--rel-tol F] [--abs-tol F]
+//   patchecko corpus build  --dir DIR [--jobs N] [--scale S] [--seed N]
+//                    [--arch a,b,...] [--opt O0,O2,...]
+//   patchecko corpus verify --dir DIR
+//   patchecko corpus gc     --dir DIR [--dry-run]
+//   patchecko corpus stats  --dir DIR [--json]
 //   patchecko serve  --model model.bin --socket PATH [--tcp PORT]
 //                    [--scale S] [--seed N] [--jobs N] [--cache-dir DIR]
-//                    [--no-cache] [--queue-limit N] [--dispatchers N]
+//                    [--no-cache] [--corpus-dir DIR]
+//                    [--queue-limit N] [--dispatchers N]
 //                    [--max-frame-bytes N] [--events=FILE]
 //                    [--heartbeat=FILE[:interval_ms]]
 //                    [--access-log[=FILE]] [--stats-out=FILE[:interval_ms]]
@@ -90,6 +96,7 @@
 #include <string>
 
 #include "core/pipeline.h"
+#include "corpus/builder.h"
 #include "dl/trainer.h"
 #include "engine/engine.h"
 #include "obs/decision.h"
@@ -250,10 +257,14 @@ int usage() {
                "[--function INDEX]\n"
                "  patchecko bench-diff --old PATH --new PATH [--rel-tol F] "
                "[--abs-tol F]\n"
+               "  patchecko corpus build --dir DIR [--jobs N] [--scale S] "
+               "[--seed N] [--arch a,b,...] [--opt O0,O2,...]\n"
+               "  patchecko corpus verify|gc|stats --dir DIR [--dry-run] "
+               "[--json]\n"
                "  patchecko serve --model model.bin --socket PATH "
                "[--tcp PORT] [--scale S] [--seed N] [--jobs N]\n"
                "                 [--cache-dir DIR] [--no-cache] "
-               "[--queue-limit N] [--dispatchers N]\n"
+               "[--corpus-dir DIR] [--queue-limit N] [--dispatchers N]\n"
                "                 [--max-frame-bytes N] [--events=FILE] "
                "[--heartbeat=FILE[:interval_ms]]\n"
                "                 [--access-log[=FILE]] "
@@ -307,6 +318,133 @@ EvalConfig eval_config_from(const Args& args) {
   config.seed = static_cast<std::uint64_t>(
       args.get_long("seed", static_cast<long>(config.seed)));
   return config;
+}
+
+// --- corpus lifecycle ------------------------------------------------------
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',') {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+Arch parse_arch(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(Arch::arm64); ++i)
+    if (name == arch_name(static_cast<Arch>(i)))
+      return static_cast<Arch>(i);
+  throw UsageError("unknown arch '" + name +
+                   "' (expected x86, amd64, arm32, or arm64)");
+}
+
+OptLevel parse_opt(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(OptLevel::Ofast); ++i)
+    if (name == opt_level_name(static_cast<OptLevel>(i)))
+      return static_cast<OptLevel>(i);
+  throw UsageError("unknown opt level '" + name +
+                   "' (expected O0, O1, O2, O3, Oz, or Ofast)");
+}
+
+corpus::PrebuiltStore open_store(const Args& args) {
+  const std::string dir = args.get("dir", "");
+  if (dir.empty())
+    throw UsageError("corpus " + args.command + " requires --dir DIR");
+  return corpus::PrebuiltStore(dir);
+}
+
+int cmd_corpus_build(const Args& args) {
+  require_known_options(
+      args, {"dir", "jobs", "scale", "seed", "arch", "opt", "metrics"});
+  const cli::MetricsSpec metrics = metrics_spec_from(args);
+  obs::set_enabled(metrics.enabled);
+  corpus::PrebuiltStore store = open_store(args);
+  corpus::BuildMatrix matrix;
+  matrix.eval = eval_config_from(args);
+  matrix.jobs = static_cast<unsigned>(
+      args.get_count("jobs", static_cast<long>(default_worker_threads())));
+  if (args.has("arch"))
+    for (const std::string& name : split_csv(args.get("arch", "")))
+      matrix.arches.push_back(parse_arch(name));
+  if (args.has("opt"))
+    for (const std::string& name : split_csv(args.get("opt", "")))
+      matrix.opts.push_back(parse_opt(name));
+  std::printf("populating corpus store %s (scale %.2f, %u jobs)...\n",
+              store.root().c_str(), matrix.eval.scale, matrix.jobs);
+  const corpus::BuildReport report = corpus::build_store(store, matrix);
+  // CI greps "built N, reused M" to assert a warm rebuild recompiles
+  // nothing — keep this line format stable.
+  std::printf("requested %llu artifacts (%llu libraries, %llu entries): "
+              "built %llu, reused %llu in %.2fs\n",
+              static_cast<unsigned long long>(report.requested),
+              static_cast<unsigned long long>(report.library_artifacts),
+              static_cast<unsigned long long>(report.entry_artifacts),
+              static_cast<unsigned long long>(report.built),
+              static_cast<unsigned long long>(report.reused),
+              report.build_seconds);
+  return emit_metrics(metrics);
+}
+
+int cmd_corpus_verify(const Args& args) {
+  require_known_options(args, {"dir"});
+  corpus::PrebuiltStore store = open_store(args);
+  if (const auto issue = store.verify()) {
+    std::fprintf(stderr, "error: corpus store %s: object %s",
+                 store.root().c_str(), issue->object.c_str());
+    if (!issue->key.empty())
+      std::fprintf(stderr, " [%s]", issue->key.c_str());
+    std::fprintf(stderr, ": %s\n", issue->detail.c_str());
+    return 1;
+  }
+  const corpus::StoreStats stats = store.stats();
+  std::printf("corpus store ok: %llu objects, %llu bytes verified\n",
+              static_cast<unsigned long long>(stats.entries),
+              static_cast<unsigned long long>(stats.bytes));
+  return 0;
+}
+
+int cmd_corpus_gc(const Args& args) {
+  require_known_options(args, {"dir", "dry-run"});
+  corpus::PrebuiltStore store = open_store(args);
+  const bool dry_run = args.has("dry-run");
+  const corpus::GcResult result = store.gc(dry_run);
+  if (!dry_run && !store.flush()) {
+    std::fprintf(stderr, "error: cannot write manifest in %s\n",
+                 store.root().c_str());
+    return 1;
+  }
+  std::printf("%s %llu objects, %llu bytes%s\n",
+              dry_run ? "would remove" : "removed",
+              static_cast<unsigned long long>(result.removed_objects),
+              static_cast<unsigned long long>(result.reclaimed_bytes),
+              dry_run ? " (dry run)" : "");
+  return 0;
+}
+
+int cmd_corpus_stats(const Args& args) {
+  require_known_options(args, {"dir", "json"});
+  corpus::PrebuiltStore store = open_store(args);
+  if (args.has("json")) {
+    std::printf("%s\n", store.stats_json().c_str());
+    return 0;
+  }
+  const corpus::StoreStats stats = store.stats();
+  std::printf("corpus store %s\n"
+              "  entries     %llu\n"
+              "  bytes       %llu\n"
+              "  generation  %llu\n",
+              store.root().c_str(),
+              static_cast<unsigned long long>(stats.entries),
+              static_cast<unsigned long long>(stats.bytes),
+              static_cast<unsigned long long>(stats.generation));
+  return 0;
 }
 
 int cmd_build_firmware(const Args& args) {
@@ -693,10 +831,10 @@ int cmd_explain(const Args& args) {
 int cmd_serve(const Args& args) {
   require_known_options(
       args, {"model", "socket", "tcp", "scale", "seed", "jobs", "cache-dir",
-             "no-cache", "queue-limit", "dispatchers", "max-frame-bytes",
-             "events", "heartbeat", "access-log", "stats-out", "stats-window",
-             "scan-delay", "prefilter", "prefilter-top-k",
-             "prefilter-min-total"});
+             "no-cache", "corpus-dir", "queue-limit", "dispatchers",
+             "max-frame-bytes", "events", "heartbeat", "access-log",
+             "stats-out", "stats-window", "scan-delay", "prefilter",
+             "prefilter-top-k", "prefilter-min-total"});
   service::ServiceConfig config;
   config.socket_path = args.get("socket", "");
   if (config.socket_path.empty() && !args.has("tcp"))
@@ -743,6 +881,19 @@ int cmd_serve(const Args& args) {
   config.scan_delay_seconds = args.get_double("scan-delay", 0.0);
   if (config.scan_delay_seconds < 0.0)
     throw UsageError("--scan-delay must be >= 0");
+  // Store-backed corpus: startup and SIGHUP reloads assemble snapshots from
+  // the prebuilt store (self-healing on misses) instead of recompiling, and
+  // health/stats grow a corpus_store block.
+  std::shared_ptr<corpus::PrebuiltStore> prebuilt;
+  if (args.has("corpus-dir")) {
+    const std::string dir = args.get("corpus-dir", "");
+    if (dir.empty()) throw UsageError("--corpus-dir requires a directory");
+    prebuilt = std::make_shared<corpus::PrebuiltStore>(dir);
+    config.snapshot_builder = corpus::store_backed_builder(prebuilt);
+    config.corpus_store_stats_json = [prebuilt] {
+      return prebuilt->stats_json();
+    };
+  }
 
   // The daemon always runs with obs on: the health endpoint samples the
   // registry and per-request provenance needs the event machinery.
@@ -755,8 +906,13 @@ int cmd_serve(const Args& args) {
     return 1;
   }
   config.model = &*model;
-  std::printf("building vulnerability database (scale %.2f)...\n",
-              config.eval.scale);
+  if (prebuilt != nullptr)
+    std::printf("loading vulnerability database from corpus store %s "
+                "(scale %.2f)...\n",
+                prebuilt->root().c_str(), config.eval.scale);
+  else
+    std::printf("building vulnerability database (scale %.2f)...\n",
+                config.eval.scale);
   service::ScanService svc(config);
   service::install_signal_handlers(/*with_sighup=*/true);
   svc.start();
@@ -1028,10 +1184,23 @@ int cmd_top(const Args& args) {
   }
 }
 
+/// `patchecko corpus <verb> ...` — the verb parses as the command once the
+/// `corpus` token is shifted off.
+int cmd_corpus(int argc, char** argv) {
+  const Args args = parse_args(argc - 1, argv + 1);
+  if (args.command == "build") return cmd_corpus_build(args);
+  if (args.command == "verify") return cmd_corpus_verify(args);
+  if (args.command == "gc") return cmd_corpus_gc(args);
+  if (args.command == "stats") return cmd_corpus_stats(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && std::string(argv[1]) == "corpus")
+      return cmd_corpus(argc, argv);
     const Args args = parse_args(argc, argv);
     if (args.command == "train") return cmd_train(args);
     if (args.command == "build-firmware") return cmd_build_firmware(args);
